@@ -1,0 +1,37 @@
+//! Fluid-solver throughput: phase-by-phase integration on paper schemes
+//! and growing random batteries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netbw::graph::schemes;
+use netbw::prelude::*;
+use std::hint::black_box;
+
+fn bench_fluid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fluid");
+    for g in [
+        schemes::fig5().with_uniform_size(1000),
+        schemes::mk1().with_uniform_size(1000),
+        schemes::mk2().with_uniform_size(1000),
+    ] {
+        group.bench_with_input(BenchmarkId::new("myrinet", g.name()), &g, |b, g| {
+            let solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
+            b.iter(|| black_box(solver.solve(black_box(g))))
+        });
+        group.bench_with_input(BenchmarkId::new("gige", g.name()), &g, |b, g| {
+            let solver =
+                FluidSolver::new(GigabitEthernetModel::default(), NetworkParams::unit());
+            b.iter(|| black_box(solver.solve(black_box(g))))
+        });
+    }
+    for n in [16usize, 32, 64] {
+        let g = schemes::random_bounded(n, n, 3, 3, 1000, 7);
+        group.bench_with_input(BenchmarkId::new("random-myrinet", n), &g, |b, g| {
+            let solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
+            b.iter(|| black_box(solver.solve(black_box(g))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fluid);
+criterion_main!(benches);

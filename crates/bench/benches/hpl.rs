@@ -1,0 +1,46 @@
+//! End-to-end HPL prediction cost: trace generation + replay against the
+//! fluid-model backend (the Fig. 8/9 pipeline, prediction side).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netbw::prelude::*;
+use std::hint::black_box;
+
+fn bench_hpl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hpl");
+    group.sample_size(10);
+    for (name, n) in [("n1024", 1024usize), ("n2048", 2048), ("n4096", 4096)] {
+        let hpl = HplConfig {
+            n,
+            nb: 128,
+            tasks: 8,
+            ..HplConfig::paper()
+        };
+        let cluster = ClusterSpec::smp(4);
+        group.bench_with_input(BenchmarkId::new("trace-gen", name), &hpl, |b, hpl| {
+            b.iter(|| black_box(hpl.trace()))
+        });
+        group.bench_with_input(BenchmarkId::new("predict-myrinet", name), &hpl, |b, hpl| {
+            let trace = hpl.trace();
+            b.iter(|| {
+                let placement = Placement::assign(
+                    &PlacementPolicy::RoundRobinNode,
+                    trace.len(),
+                    &cluster,
+                );
+                let backend = FluidNetwork::new(
+                    MyrinetModel::default(),
+                    NetworkParams::myrinet2000(),
+                );
+                black_box(
+                    Simulator::new(&trace, cluster, placement, backend)
+                        .run()
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hpl);
+criterion_main!(benches);

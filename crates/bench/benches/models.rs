@@ -1,0 +1,25 @@
+//! Penalty-evaluation throughput of every model on the paper's schemes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netbw::core::ModelKind;
+use netbw::graph::schemes;
+use std::hint::black_box;
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("models");
+    let graphs = [schemes::fig5(), schemes::mk1(), schemes::mk2()];
+    for kind in ModelKind::ALL {
+        let model = kind.build();
+        for g in &graphs {
+            group.bench_with_input(
+                BenchmarkId::new(kind.to_string(), g.name()),
+                g.comms(),
+                |b, comms| b.iter(|| black_box(model.penalties(black_box(comms)))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

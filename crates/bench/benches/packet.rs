@@ -1,0 +1,30 @@
+//! Packet-fabric event throughput: whole-scheme runs per fabric.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netbw::graph::schemes;
+use netbw::graph::units::MB;
+use netbw::prelude::*;
+use std::hint::black_box;
+
+fn bench_packet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packet");
+    group.sample_size(20);
+    for cfg in FabricConfig::paper_fabrics() {
+        for (name, g) in [
+            ("ladder3", schemes::outgoing_ladder(3).with_uniform_size(4 * MB)),
+            ("fig5", schemes::fig5().with_uniform_size(4 * MB)),
+            ("mk2", schemes::mk2().with_uniform_size(4 * MB)),
+        ] {
+            let fab = PacketFabric::new(cfg, 8);
+            group.bench_with_input(
+                BenchmarkId::new(cfg.name, name),
+                &g,
+                |b, g| b.iter(|| black_box(fab.run_scheme(black_box(g)))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_packet);
+criterion_main!(benches);

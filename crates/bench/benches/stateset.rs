@@ -1,0 +1,41 @@
+//! ABL-2 — state-set enumeration scaling: Bron–Kerbosch with pivoting vs
+//! the naive variant, on random bounded-degree schemes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netbw::core::states::{
+    enumerate_components, enumerate_components_naive, DEFAULT_STATE_SET_BUDGET,
+};
+use netbw::graph::conflict::{ConflictGraph, ConflictRule};
+use netbw::graph::schemes;
+use std::hint::black_box;
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stateset");
+    for comms in [8usize, 12, 16, 20] {
+        let g = schemes::random_bounded(comms, comms, 3, 3, 1, 42);
+        let cg = ConflictGraph::build(g.comms(), ConflictRule::Strict);
+        group.bench_with_input(BenchmarkId::new("pivot", comms), &cg, |b, cg| {
+            b.iter(|| {
+                black_box(enumerate_components(cg, DEFAULT_STATE_SET_BUDGET).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive", comms), &cg, |b, cg| {
+            b.iter(|| {
+                black_box(enumerate_components_naive(cg, DEFAULT_STATE_SET_BUDGET).unwrap())
+            })
+        });
+    }
+    // the paper's own graphs
+    for g in [schemes::fig5(), schemes::mk1(), schemes::mk2()] {
+        let cg = ConflictGraph::build(g.comms(), ConflictRule::Strict);
+        group.bench_with_input(BenchmarkId::new("paper", g.name()), &cg, |b, cg| {
+            b.iter(|| {
+                black_box(enumerate_components(cg, DEFAULT_STATE_SET_BUDGET).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration);
+criterion_main!(benches);

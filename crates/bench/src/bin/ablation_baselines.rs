@@ -1,0 +1,51 @@
+//! ABL-3 — model accuracy against the baselines of §II on every paper
+//! scheme and a random battery: the paper's models vs the contention-blind
+//! linear model (LogP/LogGP family) and the Kim & Lee max-conflict model.
+
+use netbw::core::baseline::{LinearModel, MaxConflictModel};
+use netbw::eval::{compare_scheme, parallel_map};
+use netbw::graph::units::MB;
+use netbw::prelude::*;
+use netbw::workloads::{paper_battery, random_battery};
+use netbw_bench::{section, show};
+
+fn main() {
+    let mut schemes = paper_battery(8 * MB);
+    schemes.extend(random_battery(6, 8, 10, 8 * MB, 42));
+
+    for (fabric, model) in netbw_bench::fabric_model_pairs() {
+        section(&format!("Eabs [%] per scheme on the {} fabric", fabric.name));
+        let rows = parallel_map(&schemes, 0, |scheme| {
+            let own = compare_scheme(model.as_ref(), fabric, scheme).eabs;
+            let lin = compare_scheme(&LinearModel, fabric, scheme).eabs;
+            let max = compare_scheme(&MaxConflictModel, fabric, scheme).eabs;
+            (scheme.name().to_string(), own, lin, max)
+        });
+        let mut t = Table::new(["scheme", "paper model", "linear (LogGP)", "max-conflict (Kim&Lee)"]);
+        let (mut so, mut sl, mut sm) = (0.0, 0.0, 0.0);
+        for (name, own, lin, max) in &rows {
+            t.push([
+                name.clone(),
+                format!("{own:.1}"),
+                format!("{lin:.1}"),
+                format!("{max:.1}"),
+            ]);
+            so += own;
+            sl += lin;
+            sm += max;
+        }
+        let n = rows.len() as f64;
+        t.push([
+            "MEAN".to_string(),
+            format!("{:.1}", so / n),
+            format!("{:.1}", sl / n),
+            format!("{:.1}", sm / n),
+        ]);
+        show(&t);
+    }
+    println!(
+        "\nExpected shape (paper §II): linear models 'poorly predict communication\n\
+         delays' under sharing; the max-conflict multiplier over-penalises; the\n\
+         paper's models sit well below both."
+    );
+}

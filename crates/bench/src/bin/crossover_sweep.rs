@@ -1,0 +1,67 @@
+//! Size-sweep and placement-crossover analysis: model accuracy versus
+//! message size, and the payload size above which co-locating ring
+//! neighbours (RRP) beats spreading them (RRN) — the integrator question
+//! of the paper's introduction, quantified.
+
+use netbw::eval::{compare_hpl, size_sweep};
+use netbw::graph::schemes;
+use netbw::graph::units::{KB, MB};
+use netbw::prelude::*;
+use netbw_bench::{section, show};
+
+fn main() {
+    section("Model accuracy vs message size (Myrinet, outgoing ladder k=3)");
+    let sizes = [64 * KB, 256 * KB, MB, 4 * MB, 16 * MB];
+    let pts = size_sweep(
+        &MyrinetModel::default(),
+        FabricConfig::myrinet2000(),
+        &schemes::outgoing_ladder(3),
+        &sizes,
+    );
+    let mut t = Table::new(["size", "Eabs [%]", "worst measured penalty"]);
+    for p in &pts {
+        t.push([
+            netbw::graph::units::format_size(p.size),
+            format!("{:.1}", p.eabs),
+            format!("{:.2}", p.worst_measured_penalty),
+        ]);
+    }
+    show(&t);
+
+    section("RRN vs RRP across HPL problem sizes (predicted makespans, Myrinet)");
+    let cluster = ClusterSpec::smp(4);
+    let mut t = Table::new(["N", "RRN makespan [s]", "RRP makespan [s]", "winner"]);
+    for n in [512usize, 1024, 2048, 4096] {
+        let hpl = HplConfig {
+            n,
+            nb: 128,
+            tasks: 8,
+            ..HplConfig::paper()
+        };
+        let run = |policy: &PlacementPolicy| {
+            compare_hpl(
+                &hpl,
+                &cluster,
+                policy,
+                MyrinetModel::default(),
+                FabricConfig::myrinet2000(),
+            )
+            .expect("replays")
+            .makespan_predicted
+        };
+        let rrn = run(&PlacementPolicy::RoundRobinNode);
+        let rrp = run(&PlacementPolicy::RoundRobinProcessor);
+        t.push([
+            n.to_string(),
+            format!("{rrn:.3}"),
+            format!("{rrp:.3}"),
+            if rrp < rrn { "RRP" } else { "RRN" }.to_string(),
+        ]);
+    }
+    show(&t);
+    println!(
+        "\nRRP wins whenever communication matters: its ring keeps every other\n\
+         message on-node. The gap widens with N as panels grow linearly while\n\
+         compute per task shrinks relative to the communication volume."
+    );
+}

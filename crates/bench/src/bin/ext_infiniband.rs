@@ -1,0 +1,56 @@
+//! EXT-1 — the InfiniBand extension model (the paper's announced future
+//! work) evaluated against the simulated InfiniHost III fabric and against
+//! the paper's published Fig. 2 measurements.
+
+use netbw::eval::{compare_scheme, parallel_map};
+use netbw::graph::schemes;
+use netbw::graph::units::MB;
+use netbw::prelude::*;
+use netbw_bench::{section, show};
+
+fn main() {
+    let model = InfinibandModel::default();
+
+    section("Model vs paper's Fig. 2 InfiniHost III measurements");
+    let paper: &[(usize, &[f64])] = &[
+        (1, &[1.0]),
+        (2, &[1.725, 1.725]),
+        (3, &[2.61, 2.61, 2.61]),
+        (4, &[2.61, 2.61, 2.61, 1.14]),
+        (5, &[3.663, 3.66, 3.66, 2.035, 2.035]),
+        (6, &[3.935, 3.935, 3.935, 1.995, 1.995, 1.01]),
+    ];
+    let mut t = Table::new(["scheme/com.", "model penalty", "paper measured", "Erel [%]"]);
+    for (s, vals) in paper {
+        let g = schemes::fig2_scheme(*s);
+        let p = model.penalties(g.comms());
+        for (i, (pi, paper_v)) in p.iter().zip(vals.iter()).enumerate() {
+            t.push([
+                format!("{s}/{}", g.label(netbw::graph::CommId(i as u32))),
+                format!("{:.3}", pi.value()),
+                format!("{paper_v}"),
+                format!("{:+.1}", (pi.value() - paper_v) / paper_v * 100.0),
+            ]);
+        }
+    }
+    show(&t);
+
+    section("Model vs simulated InfiniHost III fabric (Eabs per scheme)");
+    let battery: Vec<CommGraph> = (1..=6)
+        .map(|s| schemes::fig2_scheme(s).with_uniform_size(8 * MB))
+        .chain([schemes::mk1().with_uniform_size(8 * MB), schemes::mk2().with_uniform_size(8 * MB)])
+        .collect();
+    let rows = parallel_map(&battery, 0, |g| {
+        (g.name().to_string(), compare_scheme(&model, FabricConfig::infinihost3(), g).eabs)
+    });
+    let mut t = Table::new(["scheme", "Eabs [%]"]);
+    for (name, eabs) in rows {
+        t.push([name, format!("{eabs:.1}")]);
+    }
+    show(&t);
+    println!(
+        "\nKnown deviation: the paper's scheme-6 incoming row (1.995/1.995/1.01) is\n\
+         internally inconsistent (three overlapped incoming flows cannot all beat 2β);\n\
+         the model answers 2.95 there. See EXPERIMENTS.md."
+    );
+}

@@ -1,0 +1,28 @@
+//! FIG1 — the elementary conflict taxonomy of §IV.A on the Fig. 1 scheme.
+
+use netbw::graph::conflict::census;
+use netbw::graph::schemes;
+use netbw::prelude::*;
+use netbw_bench::{section, show};
+
+fn main() {
+    let g = schemes::fig1();
+    section("Fig. 1 — concurrent communication scheme");
+    print!("{g}");
+
+    section("Conflict census per communication");
+    let mut t = Table::new(["com.", "outgoing peers", "income peers", "income/outgo peers", "dominant"]);
+    for ((_, label, _), c) in g.iter().zip(census(&g)) {
+        t.push([
+            label.to_string(),
+            c.outgoing_peers.to_string(),
+            c.income_peers.to_string(),
+            c.income_outgo_peers.to_string(),
+            c.dominant().map_or("none".into(), |k| k.to_string()),
+        ]);
+    }
+    show(&t);
+
+    section("DOT export (render with graphviz)");
+    print!("{}", netbw::graph::dot::to_dot(&g));
+}

@@ -1,0 +1,44 @@
+//! FIG5 + FIG6 — the Myrinet state-set enumeration example and its
+//! penalty table, regenerated exactly.
+
+use netbw::core::MyrinetModel;
+use netbw::graph::schemes;
+use netbw::prelude::*;
+use netbw_bench::{section, show};
+
+fn main() {
+    let g = schemes::fig5();
+    section("Fig. 5 — the example graph");
+    print!("{g}");
+
+    let model = MyrinetModel::default();
+    let analysis = model.analyse(g.comms());
+
+    section("Fig. 5 — the five communication state sets (send sets)");
+    for (i, e) in analysis.components.iter().enumerate() {
+        for (k, set) in e.sets.iter().enumerate() {
+            let labels: Vec<&str> = set.iter().map(|v| g.label(netbw::graph::CommId(v as u32))).collect();
+            println!("component {i}, state set {}: send = {{{}}}", k + 1, labels.join(", "));
+        }
+    }
+
+    section("Fig. 6 — penalty calculation");
+    let mut t = Table::new(["", "a", "b", "c", "d", "e", "f"]);
+    t.push(
+        std::iter::once("Sum".to_string())
+            .chain(analysis.emission.iter().map(u64::to_string))
+            .collect::<Vec<_>>(),
+    );
+    t.push(
+        std::iter::once("Minimum".to_string())
+            .chain(analysis.coefficient.iter().map(u64::to_string))
+            .collect::<Vec<_>>(),
+    );
+    t.push(
+        std::iter::once("penalty".to_string())
+            .chain(analysis.penalties.iter().map(|p| p.to_string()))
+            .collect::<Vec<_>>(),
+    );
+    show(&t);
+    println!("\nPaper's Fig. 6: Sum 1 2 2 2 2 3 | Minimum 1 1 1 2 2 2 | penalty 5 5 5 2.5 2.5 2.5");
+}

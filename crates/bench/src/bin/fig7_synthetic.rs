@@ -1,0 +1,79 @@
+//! FIG7 — the MK1 (tree) and MK2 (complete graph) synthetic benchmarks:
+//! measured vs predicted times and relative errors for the Myrinet model,
+//! plus the exact fluid-solver reproduction of the paper's predicted
+//! column at tref = 0.0354 s.
+
+use netbw::eval::compare_scheme;
+use netbw::graph::schemes;
+use netbw::graph::units::MB;
+use netbw::prelude::*;
+use netbw_bench::{section, show};
+
+fn paper_predicted(scheme: &CommGraph) {
+    // the paper's tref: 0.0354 s (≈ 8 MB on Myrinet 2000)
+    let solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
+    let sized = scheme.clone().with_uniform_size(10_000);
+    let res = solver.solve(&sized);
+    let mut t = Table::new(["com.", "penalty multiple", "Tp = mult x 0.0354 [s]", "paper Tp [s]"]);
+    let paper: &[(&str, &str)] = if scheme.name() == "mk1" {
+        &[
+            ("a", "0.089"),
+            ("b", "0.089"),
+            ("c", "0.071"),
+            ("d", "0.053"),
+            ("e", "0.035"),
+            ("f", "0.053"),
+            ("g", "0.071"),
+        ]
+    } else {
+        &[
+            ("a", "0.177"),
+            ("b", "0.177"),
+            ("c", "0.177"),
+            ("d", "0.177"),
+            ("e", "0.053"),
+            ("f", "0.085"),
+            ("g", "0.085"),
+            ("h", "0.101"),
+            ("i", "0.101"),
+            ("j", "0.073"),
+        ]
+    };
+    for (label, want) in paper {
+        let id = sized.by_label(label).expect("label exists");
+        let mult = res[id.idx()].completion / 10_000.0;
+        t.push([
+            label.to_string(),
+            format!("{mult:.4}"),
+            format!("{:.4}", mult * 0.0354),
+            want.to_string(),
+        ]);
+    }
+    show(&t);
+}
+
+fn main() {
+    for scheme in [schemes::mk1(), schemes::mk2()] {
+        section(&format!(
+            "Fig. 7 {} — fluid reproduction of the paper's predicted column",
+            scheme.name().to_uppercase()
+        ));
+        paper_predicted(&scheme);
+
+        section(&format!(
+            "Fig. 7 {} — Tm (simulated Myrinet fabric) vs Tp (model), 8 MB",
+            scheme.name().to_uppercase()
+        ));
+        let cmp = compare_scheme(
+            &MyrinetModel::default(),
+            FabricConfig::myrinet2000(),
+            &scheme.clone().with_uniform_size(8 * MB),
+        );
+        show(&cmp.to_table());
+        println!("Average of absolute errors Eabs = {:.1} %", cmp.eabs);
+        println!(
+            "(paper: Eabs = {} % against its physical cluster)",
+            if scheme.name() == "mk1" { "2.6" } else { "9.5" }
+        );
+    }
+}

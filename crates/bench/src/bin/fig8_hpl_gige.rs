@@ -1,0 +1,37 @@
+//! FIG8 — HPL (N = 20500) on Gigabit Ethernet: per-task measured vs
+//! predicted communication-time sums and absolute error, under the three
+//! scheduling policies of §VI.D.
+
+use netbw::eval::compare_hpl;
+use netbw::prelude::*;
+use netbw_bench::{section, show};
+
+fn main() {
+    let hpl = HplConfig::paper();
+    let cluster = ClusterSpec::smp(8); // 16 tasks on 8 two-core nodes
+    for policy in [
+        PlacementPolicy::RoundRobinNode,
+        PlacementPolicy::RoundRobinProcessor,
+        PlacementPolicy::Random(2008),
+    ] {
+        section(&format!(
+            "Fig. 8 — HPL {}x{} (NB {}), GigE, scheduling {policy}",
+            hpl.n, hpl.n, hpl.nb
+        ));
+        let cmp = compare_hpl(
+            &hpl,
+            &cluster,
+            &policy,
+            GigabitEthernetModel::default(),
+            FabricConfig::gige(),
+        )
+        .expect("HPL trace replays");
+        show(&cmp.to_table());
+        println!(
+            "mean per-task Eabs = {:.1} % | makespan measured {:.1} s, predicted {:.1} s",
+            cmp.mean_eabs(),
+            cmp.makespan_measured,
+            cmp.makespan_predicted
+        );
+    }
+}

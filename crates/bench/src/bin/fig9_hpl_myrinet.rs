@@ -1,0 +1,41 @@
+//! FIG9 — HPL (N = 20500) on Myrinet 2000: per-task measured vs predicted
+//! communication-time sums and absolute error, under the three scheduling
+//! policies of §VI.D.
+
+use netbw::eval::compare_hpl;
+use netbw::prelude::*;
+use netbw_bench::{section, show};
+
+fn main() {
+    let hpl = HplConfig::paper();
+    let cluster = ClusterSpec::smp(8);
+    for policy in [
+        PlacementPolicy::RoundRobinNode,
+        PlacementPolicy::RoundRobinProcessor,
+        PlacementPolicy::Random(2008),
+    ] {
+        section(&format!(
+            "Fig. 9 — HPL {}x{} (NB {}), Myrinet 2000, scheduling {policy}",
+            hpl.n, hpl.n, hpl.nb
+        ));
+        let cmp = compare_hpl(
+            &hpl,
+            &cluster,
+            &policy,
+            MyrinetModel::default(),
+            FabricConfig::myrinet2000(),
+        )
+        .expect("HPL trace replays");
+        show(&cmp.to_table());
+        println!(
+            "mean per-task Eabs = {:.1} % | makespan measured {:.1} s, predicted {:.1} s",
+            cmp.mean_eabs(),
+            cmp.makespan_measured,
+            cmp.makespan_predicted
+        );
+    }
+    println!(
+        "\nPaper's finding: the Myrinet model is globally accurate; GigE is a bit\n\
+         less accurate (OS/TCP variability). Compare with fig8_hpl_gige output."
+    );
+}

@@ -1,0 +1,84 @@
+//! One command, the whole paper: runs every reproduction experiment and
+//! prints a consolidated markdown report (a lighter-weight, regenerated
+//! version of `EXPERIMENTS.md`).
+//!
+//! `cargo run --release -p netbw-bench --bin report_all`
+
+use netbw::core::MyrinetModel;
+use netbw::eval::{compare_hpl, compare_scheme, fig2_table};
+use netbw::graph::schemes;
+use netbw::graph::units::MB;
+use netbw::prelude::*;
+use netbw_bench::{fabric_model_pairs, section, show};
+
+fn main() {
+    println!("# netbw — full reproduction report");
+
+    section("Fig. 2 — measured penalties on the simulated fabrics (20 MB)");
+    show(&fig2_table(20 * MB));
+
+    section("Fig. 6 — Myrinet penalty table (exact reproduction)");
+    let analysis = MyrinetModel::default().analyse(schemes::fig5().comms());
+    let mut t = Table::new(["row", "a", "b", "c", "d", "e", "f"]);
+    t.push(
+        std::iter::once("Sum".to_string())
+            .chain(analysis.emission.iter().map(u64::to_string))
+            .collect::<Vec<_>>(),
+    );
+    t.push(
+        std::iter::once("penalty".to_string())
+            .chain(analysis.penalties.iter().map(|p| p.to_string()))
+            .collect::<Vec<_>>(),
+    );
+    show(&t);
+
+    section("Fig. 7 — synthetic graphs, model vs simulated fabric (8 MB)");
+    let mut t = Table::new(["scheme", "fabric", "model", "Eabs [%]"]);
+    for (fabric, model) in fabric_model_pairs() {
+        for scheme in [schemes::mk1(), schemes::mk2()] {
+            let cmp = compare_scheme(
+                model.as_ref(),
+                fabric,
+                &scheme.clone().with_uniform_size(8 * MB),
+            );
+            t.push([
+                scheme.name().to_string(),
+                fabric.name.to_string(),
+                model.name().to_string(),
+                format!("{:.1}", cmp.eabs),
+            ]);
+        }
+    }
+    show(&t);
+
+    section("Figs. 8/9 — HPL 20500 per-task prediction error (16 tasks, 8 nodes)");
+    let hpl = HplConfig::paper();
+    let cluster = ClusterSpec::smp(8);
+    let mut t = Table::new(["fabric", "policy", "mean Eabs [%]", "makespan Sm/Sp [s]"]);
+    for (fabric, model_name) in [
+        (FabricConfig::gige(), "gige"),
+        (FabricConfig::myrinet2000(), "myrinet"),
+    ] {
+        for policy in [
+            PlacementPolicy::RoundRobinNode,
+            PlacementPolicy::RoundRobinProcessor,
+            PlacementPolicy::Random(2008),
+        ] {
+            let cmp = if model_name == "gige" {
+                compare_hpl(&hpl, &cluster, &policy, GigabitEthernetModel::default(), fabric)
+            } else {
+                compare_hpl(&hpl, &cluster, &policy, MyrinetModel::default(), fabric)
+            }
+            .expect("HPL replays");
+            t.push([
+                model_name.to_string(),
+                policy.to_string(),
+                format!("{:.1}", cmp.mean_eabs()),
+                format!("{:.1}/{:.1}", cmp.makespan_measured, cmp.makespan_predicted),
+            ]);
+        }
+    }
+    show(&t);
+
+    println!("\nSee EXPERIMENTS.md for the full annotated comparison against the paper.");
+}

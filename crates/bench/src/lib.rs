@@ -1,0 +1,46 @@
+//! Shared helpers for the table-regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper (see `DESIGN.md §4` for the index); the Criterion benches in
+//! `benches/` measure the performance of the underlying machinery.
+
+use netbw::prelude::*;
+
+/// Prints a section header in the harness output.
+pub fn section(title: &str) {
+    println!("\n== {title} ==");
+}
+
+/// Pretty-prints a table to stdout.
+pub fn show(table: &Table) {
+    print!("{}", table.to_markdown());
+}
+
+/// The paper's three fabrics with their models, paired for sweeps:
+/// (fabric config, model for that fabric).
+pub fn fabric_model_pairs() -> Vec<(FabricConfig, Box<dyn PenaltyModel>)> {
+    vec![
+        (
+            FabricConfig::gige(),
+            Box::new(GigabitEthernetModel::default()),
+        ),
+        (FabricConfig::myrinet2000(), Box::new(MyrinetModel::default())),
+        (
+            FabricConfig::infinihost3(),
+            Box::new(InfinibandModel::default()),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_cover_all_fabrics() {
+        let pairs = fabric_model_pairs();
+        assert_eq!(pairs.len(), 3);
+        let names: Vec<&str> = pairs.iter().map(|(f, _)| f.name).collect();
+        assert_eq!(names, vec!["gige", "myrinet", "infiniband"]);
+    }
+}

@@ -1,0 +1,92 @@
+//! Baseline models the paper compares against (§II).
+//!
+//! * [`LinearModel`] — the LogP/LogGP family: communication time is a
+//!   linear function of message length with *no* contention term. As the
+//!   paper notes, "these linear models poorly predict communication delays"
+//!   once communications overlap. In penalty terms it always answers 1.
+//! * [`MaxConflictModel`] — Kim & Lee (J. Parallel Distrib. Comput. 61(11),
+//!   2001): a piecewise-linear time multiplied by "the maximum number of
+//!   communications within the sharing conflict"; in penalty terms
+//!   `p = max(Δo(vs), Δi(vd))`.
+
+use crate::model::{scatter_penalties, split_intra_node, PenaltyModel};
+use crate::penalty::Penalty;
+use netbw_graph::Communication;
+
+/// Contention-blind LogP/LogGP-style baseline: penalty 1 for everything.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinearModel;
+
+impl PenaltyModel for LinearModel {
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+
+    fn penalties(&self, comms: &[Communication]) -> Vec<Penalty> {
+        vec![Penalty::ONE; comms.len()]
+    }
+}
+
+/// Kim & Lee's max-conflict multiplier baseline:
+/// `p = max(Δo(src), Δi(dst))`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MaxConflictModel;
+
+impl PenaltyModel for MaxConflictModel {
+    fn name(&self) -> &'static str {
+        "maxconflict"
+    }
+
+    fn penalties(&self, comms: &[Communication]) -> Vec<Penalty> {
+        let (indices, network) = split_intra_node(comms);
+        let net: Vec<Penalty> = network
+            .iter()
+            .map(|c| {
+                let dout = network.iter().filter(|o| o.src == c.src).count();
+                let din = network.iter().filter(|o| o.dst == c.dst).count();
+                Penalty::new(dout.max(din) as f64)
+            })
+            .collect();
+        scatter_penalties(comms.len(), &indices, &net)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netbw_graph::schemes;
+
+    #[test]
+    fn linear_always_one() {
+        let m = LinearModel;
+        for scheme in 1..=6 {
+            let g = schemes::fig2_scheme(scheme);
+            assert!(m.penalties(g.comms()).iter().all(|p| p.value() == 1.0));
+        }
+    }
+
+    #[test]
+    fn max_conflict_on_ladder() {
+        let m = MaxConflictModel;
+        let g = schemes::outgoing_ladder(3);
+        assert!(m.penalties(g.comms()).iter().all(|p| p.value() == 3.0));
+    }
+
+    #[test]
+    fn max_conflict_on_fig5() {
+        // a(0→3): Δo = 3, Δi = 3 → 3. f(2→5): Δo = 2, Δi = 1 → 2.
+        let m = MaxConflictModel;
+        let p = m.penalties(schemes::fig5().comms());
+        assert_eq!(p[0].value(), 3.0);
+        assert_eq!(p[5].value(), 2.0);
+    }
+
+    #[test]
+    fn max_conflict_ignores_intra_node() {
+        let mut comms = schemes::outgoing_ladder(2).comms().to_vec();
+        comms.push(Communication::new(5u32, 5u32, 1));
+        let p = MaxConflictModel.penalties(&comms);
+        assert_eq!(p[2].value(), 1.0);
+        assert_eq!(p[0].value(), 2.0);
+    }
+}

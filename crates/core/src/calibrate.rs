@@ -1,0 +1,211 @@
+//! Parameter estimation for the Gigabit Ethernet model (§V.A).
+//!
+//! The paper estimates the three parameters from targeted measurements:
+//!
+//! * **β** from simple outgoing conflicts: measure the penalty of `k`
+//!   concurrent sends from one node and divide by `k`
+//!   (Fig. 2: `1.5/2 = 2.25/3 = 0.75`);
+//! * **γo, γi** from the Fig. 4 graph, where communication `a` isolates
+//!   the emission-side correction and `f` the reception side:
+//!   `γo = 1 − ta/(3·β·tref)`, `γi = 1 − tf/(3·β·tref)`.
+//!
+//! [`calibrate_gige`] drives both steps through a measurement closure, so
+//! the same code calibrates against the packet simulators of
+//! `netbw-packet` or against externally collected times.
+
+use crate::gige::GigabitEthernetModel;
+use netbw_graph::{schemes, CommGraph};
+
+/// Error from calibration on degenerate measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for CalibrationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "calibration failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for CalibrationError {}
+
+/// Estimates β from outgoing-ladder penalties: the mean of `penalty/k`
+/// over the provided `(k, penalty)` pairs with `k >= 2`.
+pub fn estimate_beta(ladder: &[(usize, f64)]) -> Result<f64, CalibrationError> {
+    let usable: Vec<f64> = ladder
+        .iter()
+        .filter(|(k, _)| *k >= 2)
+        .map(|(k, p)| p / *k as f64)
+        .collect();
+    if usable.is_empty() {
+        return Err(CalibrationError {
+            message: "need at least one ladder point with k >= 2".into(),
+        });
+    }
+    let beta = usable.iter().sum::<f64>() / usable.len() as f64;
+    if !(0.0..=1.5).contains(&beta) || !beta.is_finite() {
+        return Err(CalibrationError {
+            message: format!("estimated beta {beta} is not plausible"),
+        });
+    }
+    Ok(beta.min(1.0))
+}
+
+/// Estimates the asymmetry corrections from the Fig. 4 measurements:
+/// `ta`/`tf` are the measured times of communications `a` and `f`, `tref`
+/// the uncontended time for the same payload.
+pub fn estimate_gammas(
+    beta: f64,
+    tref: f64,
+    ta: f64,
+    tf: f64,
+) -> Result<(f64, f64), CalibrationError> {
+    if tref <= 0.0 || ta <= 0.0 || tf <= 0.0 {
+        return Err(CalibrationError {
+            message: "times must be positive".into(),
+        });
+    }
+    let gamma_o = 1.0 - ta / (3.0 * beta * tref);
+    let gamma_i = 1.0 - tf / (3.0 * beta * tref);
+    // The estimator is exact only when a ∉ Cmo with |Cmo| = 1 (Fig. 4's
+    // construction); noise can push the estimate slightly negative.
+    let clamp = |g: f64| g.clamp(0.0, 0.5);
+    if !gamma_o.is_finite() || !gamma_i.is_finite() {
+        return Err(CalibrationError {
+            message: "non-finite gamma estimate".into(),
+        });
+    }
+    Ok((clamp(gamma_o), clamp(gamma_i)))
+}
+
+/// Measurements needed by [`calibrate_gige`]: times for each communication
+/// of a scheme, in scheme order, plus the uncontended reference time for
+/// the same payload.
+pub trait Measurer {
+    /// Time of a single uncontended transfer of `size` bytes.
+    fn reference_time(&mut self, size: u64) -> f64;
+    /// Per-communication completion times for a scheme.
+    fn measure(&mut self, scheme: &CommGraph) -> Vec<f64>;
+}
+
+impl<F, G> Measurer for (F, G)
+where
+    F: FnMut(u64) -> f64,
+    G: FnMut(&CommGraph) -> Vec<f64>,
+{
+    fn reference_time(&mut self, size: u64) -> f64 {
+        (self.0)(size)
+    }
+    fn measure(&mut self, scheme: &CommGraph) -> Vec<f64> {
+        (self.1)(scheme)
+    }
+}
+
+/// Runs the paper's full calibration protocol against a measurement source:
+/// β from ladders k = 2, 3 (at `ladder_size` bytes), γo/γi from the Fig. 4
+/// graph (at `gamma_size` bytes).
+pub fn calibrate_gige<M: Measurer>(
+    measurer: &mut M,
+    ladder_size: u64,
+    gamma_size: u64,
+) -> Result<GigabitEthernetModel, CalibrationError> {
+    let tref_ladder = measurer.reference_time(ladder_size);
+    if tref_ladder <= 0.0 {
+        return Err(CalibrationError {
+            message: "non-positive reference time".into(),
+        });
+    }
+    let mut ladder_points = Vec::new();
+    for k in [2usize, 3] {
+        let scheme = schemes::outgoing_ladder(k).with_uniform_size(ladder_size);
+        let times = measurer.measure(&scheme);
+        if times.len() != k {
+            return Err(CalibrationError {
+                message: format!("ladder {k}: expected {k} times, got {}", times.len()),
+            });
+        }
+        let mean = times.iter().sum::<f64>() / k as f64;
+        ladder_points.push((k, mean / tref_ladder));
+    }
+    let beta = estimate_beta(&ladder_points)?;
+
+    let tref_gamma = measurer.reference_time(gamma_size);
+    let fig4 = schemes::fig4(gamma_size);
+    let times = measurer.measure(&fig4);
+    if times.len() != 6 {
+        return Err(CalibrationError {
+            message: format!("fig4: expected 6 times, got {}", times.len()),
+        });
+    }
+    let ta = times[fig4.by_label("a").expect("fig4 has a").idx()];
+    let tf = times[fig4.by_label("f").expect("fig4 has f").idx()];
+    let (gamma_o, gamma_i) = estimate_gammas(beta, tref_gamma, ta, tf)?;
+    Ok(GigabitEthernetModel::new(beta, gamma_o, gamma_i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PenaltyModel;
+
+    #[test]
+    fn beta_from_paper_ladder() {
+        // Fig. 2: penalties 1.5 (k=2) and 2.25 (k=3) → β = 0.75.
+        let beta = estimate_beta(&[(2, 1.5), (3, 2.25)]).unwrap();
+        assert!((beta - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beta_needs_conflicted_points() {
+        assert!(estimate_beta(&[(1, 1.0)]).is_err());
+        assert!(estimate_beta(&[]).is_err());
+    }
+
+    #[test]
+    fn gammas_from_paper_fig4() {
+        // With β = 0.75, tref = 0.0477: ta = 0.095 → γo ≈ 0.115;
+        // tf = 0.103 → γi ≈ 0.036 (paper's printed values).
+        let (go, gi) = estimate_gammas(0.75, 0.0477, 0.095, 0.103).unwrap();
+        assert!((go - 0.115).abs() < 0.008, "gamma_o {go}");
+        assert!((gi - 0.036).abs() < 0.008, "gamma_i {gi}");
+    }
+
+    #[test]
+    fn gammas_reject_nonpositive_times() {
+        assert!(estimate_gammas(0.75, 0.0, 0.1, 0.1).is_err());
+        assert!(estimate_gammas(0.75, 0.1, -0.1, 0.1).is_err());
+    }
+
+    #[test]
+    fn calibration_round_trips_through_the_model_itself() {
+        // Use the default model as the "hardware": calibration must
+        // recover its parameters (the protocol is exact on Fig. 4 because
+        // a ∉ Cmo and f ∉ Cmi with cardinality 1).
+        let truth = GigabitEthernetModel::default();
+        let tref_of = |size: u64| size as f64 / 1e8; // arbitrary base rate
+        let mut measurer = (
+            |size: u64| tref_of(size),
+            |scheme: &CommGraph| {
+                truth
+                    .penalties(scheme.comms())
+                    .iter()
+                    .zip(scheme.comms())
+                    .map(|(p, c)| p.value() * tref_of(c.size))
+                    .collect()
+            },
+        );
+        let fitted = calibrate_gige(&mut measurer, 20_000_000, 4_000_000).unwrap();
+        assert!((fitted.beta - truth.beta).abs() < 1e-9);
+        assert!((fitted.gamma_o - truth.gamma_o).abs() < 1e-9);
+        assert!((fitted.gamma_i - truth.gamma_i).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamps_noisy_gammas() {
+        // ta larger than 3·β·tref would give negative γo: clamp to 0.
+        let (go, _) = estimate_gammas(0.75, 0.04, 0.2, 0.08).unwrap();
+        assert_eq!(go, 0.0);
+    }
+}

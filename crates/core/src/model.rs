@@ -1,0 +1,188 @@
+//! The [`PenaltyModel`] abstraction shared by all predictive models.
+
+use crate::penalty::Penalty;
+use netbw_graph::Communication;
+
+/// An instantaneous bandwidth-sharing model.
+///
+/// Given the set of communications in flight *right now*, a model assigns
+/// each a [`Penalty`] — the factor by which its transfer rate is reduced
+/// relative to running alone. The fluid solver (`netbw-fluid`) integrates
+/// these instantaneous penalties over time, re-querying the model whenever
+/// a communication completes or a new one starts.
+///
+/// # Contract
+///
+/// * The returned vector is aligned with (and as long as) the input slice.
+/// * Intra-node communications (`src == dst`) never cross the NIC; models
+///   must give them penalty 1 and exclude them from degree counts. The
+///   helper [`split_intra_node`] implements this policy.
+/// * Penalties are `>= 1` and finite ([`Penalty`] enforces this).
+/// * A single inter-node communication with no conflict has penalty 1
+///   (`Tref` is *defined* as its time).
+pub trait PenaltyModel: Send + Sync {
+    /// A short stable name for reports and tables.
+    fn name(&self) -> &'static str;
+
+    /// Penalties for the given set of concurrent communications.
+    fn penalties(&self, comms: &[Communication]) -> Vec<Penalty>;
+
+    /// Penalty of one communication inside a population. Convenience used
+    /// by tests and spot checks; index must be in range.
+    fn penalty_of(&self, comms: &[Communication], index: usize) -> Penalty {
+        self.penalties(comms)[index]
+    }
+}
+
+impl<M: PenaltyModel + ?Sized> PenaltyModel for &M {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn penalties(&self, comms: &[Communication]) -> Vec<Penalty> {
+        (**self).penalties(comms)
+    }
+}
+
+impl<M: PenaltyModel + ?Sized> PenaltyModel for Box<M> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn penalties(&self, comms: &[Communication]) -> Vec<Penalty> {
+        (**self).penalties(comms)
+    }
+}
+
+/// Splits a communication population into network communications (returned
+/// with their original indices) and intra-node ones. Models compute on the
+/// former; the latter get [`Penalty::ONE`].
+pub fn split_intra_node(comms: &[Communication]) -> (Vec<usize>, Vec<Communication>) {
+    let mut indices = Vec::with_capacity(comms.len());
+    let mut network = Vec::with_capacity(comms.len());
+    for (i, c) in comms.iter().enumerate() {
+        if !c.is_intra_node() {
+            indices.push(i);
+            network.push(*c);
+        }
+    }
+    (indices, network)
+}
+
+/// Scatters penalties computed on the network subset back into a
+/// full-length vector, filling intra-node slots with penalty 1.
+pub fn scatter_penalties(
+    total_len: usize,
+    indices: &[usize],
+    network_penalties: &[Penalty],
+) -> Vec<Penalty> {
+    debug_assert_eq!(indices.len(), network_penalties.len());
+    let mut out = vec![Penalty::ONE; total_len];
+    for (&i, &p) in indices.iter().zip(network_penalties) {
+        out[i] = p;
+    }
+    out
+}
+
+/// Identifies a model family; useful for command-line harnesses and
+/// experiment configs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// The paper's Gigabit Ethernet model (§V.A).
+    GigabitEthernet,
+    /// The paper's Myrinet 2000 state-set model (§V.B).
+    Myrinet,
+    /// Our InfiniBand extension model (paper future work).
+    Infiniband,
+    /// Contention-blind LogP/LogGP-style baseline.
+    Linear,
+    /// Kim & Lee max-conflict-multiplier baseline.
+    MaxConflict,
+}
+
+impl ModelKind {
+    /// All kinds, in presentation order.
+    pub const ALL: [ModelKind; 5] = [
+        ModelKind::GigabitEthernet,
+        ModelKind::Myrinet,
+        ModelKind::Infiniband,
+        ModelKind::Linear,
+        ModelKind::MaxConflict,
+    ];
+
+    /// Builds the model with its default (paper-calibrated) parameters.
+    pub fn build(self) -> Box<dyn PenaltyModel> {
+        match self {
+            ModelKind::GigabitEthernet => Box::new(crate::GigabitEthernetModel::default()),
+            ModelKind::Myrinet => Box::new(crate::MyrinetModel::default()),
+            ModelKind::Infiniband => Box::new(crate::InfinibandModel::default()),
+            ModelKind::Linear => Box::new(crate::baseline::LinearModel),
+            ModelKind::MaxConflict => Box::new(crate::baseline::MaxConflictModel),
+        }
+    }
+
+    /// Parses a user-facing name (`gige`, `myrinet`, `infiniband`,
+    /// `linear`, `maxconflict`).
+    pub fn parse(s: &str) -> Option<ModelKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "gige" | "gigabit" | "ethernet" | "gigabit-ethernet" => {
+                Some(ModelKind::GigabitEthernet)
+            }
+            "myrinet" | "mx" => Some(ModelKind::Myrinet),
+            "infiniband" | "ib" => Some(ModelKind::Infiniband),
+            "linear" | "logp" | "loggp" => Some(ModelKind::Linear),
+            "maxconflict" | "max-conflict" | "kimlee" | "kim-lee" => Some(ModelKind::MaxConflict),
+        _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ModelKind::GigabitEthernet => "gige",
+            ModelKind::Myrinet => "myrinet",
+            ModelKind::Infiniband => "infiniband",
+            ModelKind::Linear => "linear",
+            ModelKind::MaxConflict => "maxconflict",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_and_scatter_round_trip() {
+        let comms = vec![
+            Communication::new(0u32, 1u32, 10),
+            Communication::new(2u32, 2u32, 10), // intra-node
+            Communication::new(0u32, 3u32, 10),
+        ];
+        let (idx, net) = split_intra_node(&comms);
+        assert_eq!(idx, vec![0, 2]);
+        assert_eq!(net.len(), 2);
+        let out = scatter_penalties(3, &idx, &[Penalty::new(2.0), Penalty::new(3.0)]);
+        assert_eq!(out[0].value(), 2.0);
+        assert_eq!(out[1].value(), 1.0);
+        assert_eq!(out[2].value(), 3.0);
+    }
+
+    #[test]
+    fn model_kind_parse_and_display() {
+        for kind in ModelKind::ALL {
+            assert_eq!(ModelKind::parse(&kind.to_string()), Some(kind));
+        }
+        assert_eq!(ModelKind::parse("GigE"), Some(ModelKind::GigabitEthernet));
+        assert_eq!(ModelKind::parse("kim-lee"), Some(ModelKind::MaxConflict));
+        assert_eq!(ModelKind::parse("token-ring"), None);
+    }
+
+    #[test]
+    fn build_produces_named_models() {
+        for kind in ModelKind::ALL {
+            let m = kind.build();
+            assert!(!m.name().is_empty());
+        }
+    }
+}

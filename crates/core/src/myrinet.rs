@@ -1,0 +1,384 @@
+//! The Myrinet 2000 congestion model (§V.B).
+//!
+//! Myrinet's NIC implements a Stop & Go flow-control protocol over
+//! cut-through (wormhole) routing: a receiver injects *Stop*/*Go* control
+//! messages to block or resume senders. The paper abstracts this as a
+//! two-state protocol — each communication is either *send*ing or
+//! *wait*ing — and derives penalties from exhaustive enumeration of the
+//! possible state combinations:
+//!
+//! 1. Enumerate all **state sets** (maximal independent sets of the strict
+//!    conflict graph — see [`crate::states`]).
+//! 2. The **emission coefficient** σ(c) of a communication is the number of
+//!    state sets in which it sends.
+//! 3. Outgoing communications of one node share the NIC fairly, so each is
+//!    as slow as the slowest: every outgoing communication of a node gets
+//!    the **minimum** σ among that node's outgoing communications, κ(c).
+//! 4. The **penalty** is `p(c) = S / κ(c)` with `S` the number of state
+//!    sets (of c's conflict component).
+//!
+//! On the paper's Fig. 5 example this yields exactly the Fig. 6 table:
+//! sums `1,2,2,2,2,3`, minima `1,1,1,2,2,2`, penalties `5,5,5,2.5,2.5,2.5`.
+
+use crate::model::{scatter_penalties, split_intra_node, PenaltyModel};
+use crate::penalty::Penalty;
+use crate::states::{
+    count_components, enumerate_components, StateSetEnumeration, DEFAULT_STATE_SET_BUDGET,
+};
+use netbw_graph::conflict::{ConflictGraph, ConflictRule};
+use netbw_graph::Communication;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The paper's Myrinet 2000 model.
+#[derive(Debug)]
+pub struct MyrinetModel {
+    /// Conflict rule used to build the state graph. The paper's rule is
+    /// [`ConflictRule::Strict`]; [`ConflictRule::SharedNode`] is kept for
+    /// the `ABL-1` ablation.
+    pub rule: ConflictRule,
+    /// Cap on enumerated state sets per component. Beyond it the model
+    /// falls back to the max-conflict approximation (`p = max(Δo, Δi)`),
+    /// counted in [`MyrinetModel::fallback_count`].
+    pub budget: usize,
+    fallbacks: AtomicU64,
+}
+
+impl Clone for MyrinetModel {
+    fn clone(&self) -> Self {
+        MyrinetModel {
+            rule: self.rule,
+            budget: self.budget,
+            fallbacks: AtomicU64::new(self.fallbacks.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl Default for MyrinetModel {
+    fn default() -> Self {
+        MyrinetModel {
+            rule: ConflictRule::Strict,
+            budget: DEFAULT_STATE_SET_BUDGET,
+            fallbacks: AtomicU64::new(0),
+        }
+    }
+}
+
+impl MyrinetModel {
+    /// Model with a non-default conflict rule (ablation).
+    pub fn with_rule(rule: ConflictRule) -> Self {
+        MyrinetModel {
+            rule,
+            ..Self::default()
+        }
+    }
+
+    /// How many times the exponential enumeration hit its budget and the
+    /// model fell back to the max-conflict approximation. Zero on every
+    /// graph in the paper.
+    pub fn fallback_count(&self) -> u64 {
+        self.fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Full analysis of a set of concurrent communications: state sets,
+    /// emission coefficients, minima and penalties — everything needed to
+    /// print the paper's Figs. 5 and 6.
+    pub fn analyse(&self, comms: &[Communication]) -> MyrinetAnalysis {
+        let (indices, network) = split_intra_node(comms);
+        let graph = ConflictGraph::build(&network, self.rule);
+
+        let mut state_count = vec![1u64; network.len()];
+        let mut emission = vec![1u64; network.len()];
+        let mut components = Vec::new();
+
+        match enumerate_components(&graph, self.budget) {
+            Ok(comps) => {
+                for e in &comps {
+                    for &v in &e.vertices {
+                        state_count[v] = e.count() as u64;
+                        emission[v] = e.emission(v) as u64;
+                    }
+                }
+                components = comps;
+            }
+            Err(_) => {
+                self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                // Approximation: S/κ ≈ max(Δo, Δi), expressed by setting
+                // state_count = that maximum and emission = 1.
+                (state_count, emission) = Self::fallback_tables(&network);
+            }
+        }
+
+        // κ: minimum emission coefficient among each node's outgoing comms.
+        let mut min_by_source: HashMap<netbw_graph::NodeId, u64> = HashMap::new();
+        for (v, c) in network.iter().enumerate() {
+            min_by_source
+                .entry(c.src)
+                .and_modify(|m| *m = (*m).min(emission[v]))
+                .or_insert(emission[v]);
+        }
+        let coefficient: Vec<u64> = network
+            .iter()
+            .map(|c| min_by_source[&c.src])
+            .collect();
+
+        let penalties = Self::penalties_from_tables(
+            comms.len(),
+            &indices,
+            &network,
+            &state_count,
+            &emission,
+        );
+
+        MyrinetAnalysis {
+            network_indices: indices,
+            state_count,
+            emission,
+            coefficient,
+            components,
+            penalties,
+        }
+    }
+}
+
+impl MyrinetModel {
+    /// Penalty computation over (S, σ) tables shared by the counting and
+    /// enumerating paths.
+    fn penalties_from_tables(
+        comms_len: usize,
+        indices: &[usize],
+        network: &[Communication],
+        state_count: &[u64],
+        emission: &[u64],
+    ) -> Vec<Penalty> {
+        let mut min_by_source: HashMap<netbw_graph::NodeId, u64> = HashMap::new();
+        for (v, c) in network.iter().enumerate() {
+            min_by_source
+                .entry(c.src)
+                .and_modify(|m| *m = (*m).min(emission[v]))
+                .or_insert(emission[v]);
+        }
+        let net: Vec<Penalty> = network
+            .iter()
+            .enumerate()
+            .map(|(v, c)| {
+                Penalty::new(state_count[v] as f64 / min_by_source[&c.src] as f64)
+            })
+            .collect();
+        scatter_penalties(comms_len, indices, &net)
+    }
+
+    /// Max-conflict fallback tables when the enumeration budget blows up.
+    fn fallback_tables(network: &[Communication]) -> (Vec<u64>, Vec<u64>) {
+        let mut state_count = vec![1u64; network.len()];
+        let emission = vec![1u64; network.len()];
+        for (v, c) in network.iter().enumerate() {
+            let dout = network.iter().filter(|o| o.src == c.src).count();
+            let din = network.iter().filter(|o| o.dst == c.dst).count();
+            state_count[v] = dout.max(din) as u64;
+        }
+        (state_count, emission)
+    }
+}
+
+impl PenaltyModel for MyrinetModel {
+    fn name(&self) -> &'static str {
+        "myrinet"
+    }
+
+    /// Uses the counting-only enumeration (no materialised state sets) —
+    /// identical penalties to [`MyrinetModel::analyse`] at a fraction of
+    /// the memory.
+    fn penalties(&self, comms: &[Communication]) -> Vec<Penalty> {
+        let (indices, network) = split_intra_node(comms);
+        let graph = ConflictGraph::build(&network, self.rule);
+        let mut state_count = vec![1u64; network.len()];
+        let mut emission = vec![1u64; network.len()];
+        match count_components(&graph, self.budget) {
+            Ok(comps) => {
+                for c in &comps {
+                    for (i, &v) in c.vertices.iter().enumerate() {
+                        state_count[v] = c.count;
+                        emission[v] = c.emission[i];
+                    }
+                }
+            }
+            Err(_) => {
+                self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                (state_count, emission) = Self::fallback_tables(&network);
+            }
+        }
+        Self::penalties_from_tables(comms.len(), &indices, &network, &state_count, &emission)
+    }
+}
+
+/// Everything the Myrinet model derives from a communication population.
+/// Indices in `state_count`/`emission`/`coefficient` refer to the network
+/// (inter-node) subset; `network_indices` maps them back to the input.
+#[derive(Debug, Clone)]
+pub struct MyrinetAnalysis {
+    /// Input indices of the network communications, in model order.
+    pub network_indices: Vec<usize>,
+    /// `S`: state-set count of each communication's conflict component.
+    pub state_count: Vec<u64>,
+    /// `σ`: number of state sets in which the communication sends
+    /// (the Fig. 6 "Sum" row).
+    pub emission: Vec<u64>,
+    /// `κ`: minimum σ among the source node's outgoing communications
+    /// (the Fig. 6 "Minimum" row).
+    pub coefficient: Vec<u64>,
+    /// Per-component enumerations (for printing Fig. 5's state diagrams).
+    pub components: Vec<StateSetEnumeration>,
+    /// Final penalties, aligned with the *input* slice (intra-node slots
+    /// hold penalty 1).
+    pub penalties: Vec<Penalty>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netbw_graph::schemes;
+
+    #[test]
+    fn fig6_table_reproduced_exactly() {
+        let model = MyrinetModel::default();
+        let fig5 = schemes::fig5();
+        let a = model.analyse(fig5.comms());
+        assert_eq!(a.emission, vec![1, 2, 2, 2, 2, 3], "Sum row");
+        assert_eq!(a.coefficient, vec![1, 1, 1, 2, 2, 2], "Minimum row");
+        let p: Vec<f64> = a.penalties.iter().map(|p| p.value()).collect();
+        assert_eq!(p, vec![5.0, 5.0, 5.0, 2.5, 2.5, 2.5], "penalty row");
+        assert_eq!(model.fallback_count(), 0);
+    }
+
+    #[test]
+    fn mk1_initial_penalties() {
+        // Components: d–a–b–f path (3 sets), {c,g} (2 sets), {e} (1 set).
+        // Penalties: a,b → 3; c,g → 2; d,f → 1.5; e → 1.
+        let model = MyrinetModel::default();
+        let mk1 = schemes::mk1();
+        let p: Vec<f64> = model
+            .penalties(mk1.comms())
+            .iter()
+            .map(|p| p.value())
+            .collect();
+        let by_label: std::collections::HashMap<&str, f64> = mk1
+            .labels()
+            .iter()
+            .map(String::as_str)
+            .zip(p.iter().copied())
+            .collect();
+        assert_eq!(by_label["a"], 3.0);
+        assert_eq!(by_label["b"], 3.0);
+        assert_eq!(by_label["c"], 2.0);
+        assert_eq!(by_label["g"], 2.0);
+        assert_eq!(by_label["d"], 1.5);
+        assert_eq!(by_label["f"], 1.5);
+        assert_eq!(by_label["e"], 1.0);
+    }
+
+    #[test]
+    fn mk2_initial_penalties() {
+        // Verified against the paper's fluid-predicted times (DESIGN.md §1):
+        // a–d = 6, e = 1.5, f,g = 2.4, h,i = 3, j = 2.
+        let model = MyrinetModel::default();
+        let mk2 = schemes::mk2();
+        let p: Vec<f64> = model
+            .penalties(mk2.comms())
+            .iter()
+            .map(|p| p.value())
+            .collect();
+        assert_eq!(&p[0..4], &[6.0, 6.0, 6.0, 6.0]);
+        assert_eq!(p[4], 1.5); // e
+        assert!((p[5] - 2.4).abs() < 1e-12); // f
+        assert!((p[6] - 2.4).abs() < 1e-12); // g
+        assert_eq!(p[7], 3.0); // h
+        assert_eq!(p[8], 3.0); // i
+        assert_eq!(p[9], 2.0); // j
+    }
+
+    #[test]
+    fn single_comm_penalty_one() {
+        let model = MyrinetModel::default();
+        let g = schemes::single();
+        assert_eq!(model.penalties(g.comms())[0].value(), 1.0);
+    }
+
+    #[test]
+    fn outgoing_ladder_penalty_equals_k() {
+        // k comms from one node: k singleton state sets, κ = 1 → p = k.
+        let model = MyrinetModel::default();
+        for k in 1..=6 {
+            let g = schemes::outgoing_ladder(k);
+            for p in model.penalties(g.comms()) {
+                assert_eq!(p.value(), k as f64, "ladder {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn intra_node_comms_are_transparent() {
+        let model = MyrinetModel::default();
+        let mut comms = schemes::fig5().comms().to_vec();
+        comms.push(Communication::new(9u32, 9u32, 1)); // intra-node
+        let p = model.penalties(&comms);
+        assert_eq!(p[6].value(), 1.0);
+        // and it must not perturb the network penalties
+        assert_eq!(p[0].value(), 5.0);
+        assert_eq!(p[5].value(), 2.5);
+    }
+
+    #[test]
+    fn fallback_on_budget_blowup() {
+        // 2^20 global sets but per-component is cheap; force fallback with
+        // a tiny budget instead.
+        let model = MyrinetModel {
+            budget: 2,
+            ..MyrinetModel::default()
+        };
+        let g = schemes::fig5();
+        let p = model.penalties(g.comms());
+        assert_eq!(model.fallback_count(), 1);
+        // approximation: p = max(Δo, Δi) — a: max(3, 3) = 3
+        assert_eq!(p[0].value(), 3.0);
+    }
+
+    #[test]
+    fn shared_node_rule_changes_result() {
+        // ABL-1: the loose rule gives 6 sets on Fig. 5 and different sums.
+        let strict = MyrinetModel::default();
+        let loose = MyrinetModel::with_rule(ConflictRule::SharedNode);
+        let g = schemes::fig5();
+        let ps = strict.analyse(g.comms());
+        let pl = loose.analyse(g.comms());
+        assert_ne!(ps.emission, pl.emission);
+    }
+
+    #[test]
+    fn counting_path_matches_enumerating_path() {
+        let model = MyrinetModel::default();
+        for seed in 0..10 {
+            let g = schemes::random(7, 9, 100, seed);
+            let fast: Vec<f64> = model
+                .penalties(g.comms())
+                .iter()
+                .map(|p| p.value())
+                .collect();
+            let full: Vec<f64> = model
+                .analyse(g.comms())
+                .penalties
+                .iter()
+                .map(|p| p.value())
+                .collect();
+            assert_eq!(fast, full, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn analysis_exposes_components_for_fig5_printing() {
+        let model = MyrinetModel::default();
+        let a = model.analyse(schemes::fig5().comms());
+        assert_eq!(a.components.len(), 1);
+        assert_eq!(a.components[0].count(), 5);
+    }
+}

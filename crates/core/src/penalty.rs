@@ -1,0 +1,115 @@
+//! The penalty value type.
+
+use std::fmt;
+
+/// The slowdown factor of a communication under contention:
+/// `P = T / Tref` (§IV.B). `P = 1` means the communication proceeds at its
+/// uncontended rate; `P = 2.5` means it takes 2.5× longer.
+///
+/// Invariants: finite and `>= 1` (models clamp — a shared network can never
+/// make a transfer faster than its exclusive reference time; the paper's
+/// measured penalties are all `>= 1`).
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd)]
+pub struct Penalty(f64);
+
+impl Penalty {
+    /// The neutral penalty (uncontended communication).
+    pub const ONE: Penalty = Penalty(1.0);
+
+    /// Creates a penalty, clamping to the `[1, ∞)` invariant.
+    ///
+    /// # Panics
+    /// If `value` is NaN or infinite — a model producing those has a bug
+    /// worth failing loudly on.
+    pub fn new(value: f64) -> Self {
+        assert!(
+            value.is_finite(),
+            "penalty must be finite, got {value}"
+        );
+        Penalty(value.max(1.0))
+    }
+
+    /// The slowdown factor.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The instantaneous rate fraction `1/P` (share of the uncontended
+    /// bandwidth the communication receives).
+    #[inline]
+    pub fn rate(self) -> f64 {
+        1.0 / self.0
+    }
+
+    /// Pointwise maximum (the paper's `p = max(po, pi)`).
+    pub fn max(self, other: Penalty) -> Penalty {
+        Penalty(self.0.max(other.0))
+    }
+}
+
+impl Default for Penalty {
+    fn default() -> Self {
+        Penalty::ONE
+    }
+}
+
+impl fmt::Display for Penalty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // match the paper's table style: up to 3 decimals, trailing zeros trimmed
+        let s = format!("{:.3}", self.0);
+        let s = s.trim_end_matches('0').trim_end_matches('.');
+        f.write_str(s)
+    }
+}
+
+impl From<Penalty> for f64 {
+    fn from(p: Penalty) -> f64 {
+        p.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamps_below_one() {
+        assert_eq!(Penalty::new(0.3).value(), 1.0);
+        assert_eq!(Penalty::new(1.0).value(), 1.0);
+        assert_eq!(Penalty::new(2.5).value(), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        Penalty::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_infinity() {
+        Penalty::new(f64::INFINITY);
+    }
+
+    #[test]
+    fn rate_is_reciprocal() {
+        assert_eq!(Penalty::new(4.0).rate(), 0.25);
+        assert_eq!(Penalty::ONE.rate(), 1.0);
+    }
+
+    #[test]
+    fn max_combines() {
+        let a = Penalty::new(1.5);
+        let b = Penalty::new(2.25);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        assert_eq!(Penalty::new(2.5).to_string(), "2.5");
+        assert_eq!(Penalty::new(1.0).to_string(), "1");
+        assert_eq!(Penalty::new(1.725).to_string(), "1.725");
+    }
+}

@@ -1,0 +1,206 @@
+//! Parameter sensitivity and direct fitting for the Gigabit Ethernet
+//! model.
+//!
+//! The paper calibrates `β, γo, γi` with two purpose-built schemes (§V.A,
+//! implemented in [`crate::calibrate`]). When only *arbitrary* measured
+//! penalty tables are available — e.g. from a production cluster under
+//! test — a direct fit over the parameter space is the practical
+//! alternative; this module provides it, together with one-dimensional
+//! sensitivity sweeps that show how forgiving each parameter is.
+
+use crate::gige::GigabitEthernetModel;
+use crate::model::PenaltyModel;
+use netbw_graph::CommGraph;
+
+/// A `(scheme, measured penalties)` observation; penalties are aligned
+/// with the scheme's communications.
+pub type Observation<'a> = (&'a CommGraph, &'a [f64]);
+
+/// Mean absolute penalty error of a model over a set of observations.
+///
+/// # Panics
+/// If an observation's penalty slice length mismatches its scheme.
+pub fn penalty_error(model: &dyn PenaltyModel, observations: &[Observation<'_>]) -> f64 {
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (scheme, measured) in observations {
+        assert_eq!(
+            scheme.len(),
+            measured.len(),
+            "one measured penalty per communication"
+        );
+        let predicted = model.penalties(scheme.comms());
+        for (p, &m) in predicted.iter().zip(*measured) {
+            total += (p.value() - m).abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// One-dimensional β sensitivity: the fit error as β varies with the γs
+/// fixed. Returns `(β, mean abs penalty error)` pairs.
+pub fn sweep_beta(
+    observations: &[Observation<'_>],
+    gamma_o: f64,
+    gamma_i: f64,
+    betas: &[f64],
+) -> Vec<(f64, f64)> {
+    betas
+        .iter()
+        .map(|&beta| {
+            let model = GigabitEthernetModel::new(beta, gamma_o, gamma_i);
+            (beta, penalty_error(&model, observations))
+        })
+        .collect()
+}
+
+/// Grid-search fit of the full `(β, γo, γi)` triple against observations,
+/// refining around the best cell for `refinements` rounds. Deterministic.
+pub fn fit_gige(
+    observations: &[Observation<'_>],
+    refinements: usize,
+) -> GigabitEthernetModel {
+    let mut lo = [0.5f64, 0.0, 0.0];
+    let mut hi = [1.0f64, 0.4, 0.4];
+    let steps = 8usize;
+    let mut best = (f64::INFINITY, GigabitEthernetModel::default());
+    for _ in 0..=refinements {
+        for ib in 0..=steps {
+            let beta = lo[0] + (hi[0] - lo[0]) * ib as f64 / steps as f64;
+            for igo in 0..=steps {
+                let go = lo[1] + (hi[1] - lo[1]) * igo as f64 / steps as f64;
+                for igi in 0..=steps {
+                    let gi = lo[2] + (hi[2] - lo[2]) * igi as f64 / steps as f64;
+                    let model = GigabitEthernetModel::new(
+                        beta.clamp(1e-6, 1.0),
+                        go.clamp(0.0, 0.999),
+                        gi.clamp(0.0, 0.999),
+                    );
+                    let err = penalty_error(&model, observations);
+                    if err < best.0 {
+                        best = (err, model);
+                    }
+                }
+            }
+        }
+        // shrink the box around the incumbent
+        let m = best.1;
+        let widths = [
+            (hi[0] - lo[0]) / steps as f64 * 2.0,
+            (hi[1] - lo[1]) / steps as f64 * 2.0,
+            (hi[2] - lo[2]) / steps as f64 * 2.0,
+        ];
+        lo = [
+            (m.beta - widths[0]).max(1e-6),
+            (m.gamma_o - widths[1]).max(0.0),
+            (m.gamma_i - widths[2]).max(0.0),
+        ];
+        hi = [
+            (m.beta + widths[0]).min(1.0),
+            (m.gamma_o + widths[1]).min(0.999),
+            (m.gamma_i + widths[2]).min(0.999),
+        ];
+    }
+    best.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netbw_graph::schemes;
+
+    fn observations_from(
+        truth: &GigabitEthernetModel,
+        graphs: &[CommGraph],
+    ) -> Vec<(CommGraph, Vec<f64>)> {
+        graphs
+            .iter()
+            .map(|g| {
+                let p: Vec<f64> = truth.penalties(g.comms()).iter().map(|p| p.value()).collect();
+                (g.clone(), p)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn penalty_error_zero_on_self() {
+        let model = GigabitEthernetModel::default();
+        let g = schemes::fig4(4_000_000);
+        let measured: Vec<f64> = model.penalties(g.comms()).iter().map(|p| p.value()).collect();
+        let obs = [(&g, measured.as_slice())];
+        assert_eq!(penalty_error(&model, &obs), 0.0);
+    }
+
+    #[test]
+    fn beta_sweep_minimises_at_truth() {
+        let truth = GigabitEthernetModel::new(0.8, 0.1, 0.05);
+        let graphs = vec![schemes::outgoing_ladder(2), schemes::outgoing_ladder(3)];
+        let owned = observations_from(&truth, &graphs);
+        let obs: Vec<Observation<'_>> =
+            owned.iter().map(|(g, p)| (g, p.as_slice())).collect();
+        let sweep = sweep_beta(&obs, 0.1, 0.05, &[0.6, 0.7, 0.8, 0.9, 1.0]);
+        let best = sweep
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        assert_eq!(best.0, 0.8);
+        assert!(best.1 < 1e-12);
+    }
+
+    #[test]
+    fn grid_fit_recovers_planted_parameters() {
+        let truth = GigabitEthernetModel::new(0.77, 0.12, 0.04);
+        let graphs = vec![
+            schemes::outgoing_ladder(2),
+            schemes::outgoing_ladder(3),
+            schemes::fig4(4_000_000),
+            schemes::incoming_ladder(3),
+        ];
+        let owned = observations_from(&truth, &graphs);
+        let obs: Vec<Observation<'_>> =
+            owned.iter().map(|(g, p)| (g, p.as_slice())).collect();
+        let fitted = fit_gige(&obs, 3);
+        assert!((fitted.beta - truth.beta).abs() < 0.01, "beta {}", fitted.beta);
+        assert!(
+            (fitted.gamma_o - truth.gamma_o).abs() < 0.03,
+            "gamma_o {}",
+            fitted.gamma_o
+        );
+        assert!(
+            (fitted.gamma_i - truth.gamma_i).abs() < 0.03,
+            "gamma_i {}",
+            fitted.gamma_i
+        );
+        assert!(penalty_error(&fitted, &obs) < 0.01);
+    }
+
+    #[test]
+    fn fit_on_paper_fig2_numbers_recovers_beta() {
+        // feed the paper's printed GigE penalties for schemes 2 and 3
+        let g2 = schemes::outgoing_ladder(2);
+        let g3 = schemes::outgoing_ladder(3);
+        let m2 = [1.5, 1.5];
+        let m3 = [2.25, 2.25, 2.25];
+        let obs: Vec<Observation<'_>> = vec![(&g2, &m2), (&g3, &m3)];
+        let fitted = fit_gige(&obs, 3);
+        assert!((fitted.beta - 0.75).abs() < 0.01, "beta {}", fitted.beta);
+    }
+
+    #[test]
+    #[should_panic(expected = "one measured penalty per communication")]
+    fn length_mismatch_panics() {
+        let g = schemes::single();
+        let bad = [1.0, 2.0];
+        penalty_error(&GigabitEthernetModel::default(), &[(&g, &bad)]);
+    }
+
+    #[test]
+    fn empty_observations_are_zero_error() {
+        assert_eq!(penalty_error(&GigabitEthernetModel::default(), &[]), 0.0);
+    }
+}

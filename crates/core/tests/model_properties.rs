@@ -1,0 +1,123 @@
+//! Property-based tests for the penalty models.
+
+use netbw_core::states::{count_components, enumerate_components, DEFAULT_STATE_SET_BUDGET};
+use netbw_core::{GigabitEthernetModel, InfinibandModel, MyrinetModel, PenaltyModel};
+use netbw_graph::conflict::{ConflictGraph, ConflictRule};
+use netbw_graph::Communication;
+use proptest::prelude::*;
+
+fn arb_comms() -> impl Strategy<Value = Vec<Communication>> {
+    proptest::collection::vec((0u32..7, 0u32..6, 1u64..1000), 1..10).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(s, d_raw, size)| {
+                let d = if d_raw >= s { d_raw + 1 } else { d_raw };
+                Communication::new(s, d, size)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// The GigE model is permutation-equivariant: shuffling the input
+    /// shuffles the output identically.
+    #[test]
+    fn gige_is_permutation_equivariant(comms in arb_comms(), seed in 0u64..100) {
+        let model = GigabitEthernetModel::default();
+        let base = model.penalties(&comms);
+        // deterministic pseudo-shuffle
+        let mut idx: Vec<usize> = (0..comms.len()).collect();
+        let n = idx.len();
+        for i in 0..n {
+            let j = ((seed as usize).wrapping_mul(31).wrapping_add(i * 17)) % n;
+            idx.swap(i, j);
+        }
+        let shuffled: Vec<Communication> = idx.iter().map(|&i| comms[i]).collect();
+        let p2 = model.penalties(&shuffled);
+        for (k, &i) in idx.iter().enumerate() {
+            prop_assert!((p2[k].value() - base[i].value()).abs() < 1e-12);
+        }
+    }
+
+    /// Duplicating the whole scheme onto disjoint fresh nodes leaves every
+    /// penalty unchanged (models are local to conflict structure).
+    #[test]
+    fn disjoint_copies_do_not_interact(comms in arb_comms()) {
+        let shift = 100u32;
+        let mut doubled = comms.clone();
+        doubled.extend(
+            comms
+                .iter()
+                .map(|c| Communication::new(c.src.0 + shift, c.dst.0 + shift, c.size)),
+        );
+        for model in [
+            Box::new(GigabitEthernetModel::default()) as Box<dyn PenaltyModel>,
+            Box::new(MyrinetModel::default()),
+            Box::new(InfinibandModel::default()),
+        ] {
+            let base = model.penalties(&comms);
+            let both = model.penalties(&doubled);
+            for i in 0..comms.len() {
+                prop_assert!(
+                    (both[i].value() - base[i].value()).abs() < 1e-12,
+                    "{}: comm {i}: {} vs {}",
+                    model.name(),
+                    both[i].value(),
+                    base[i].value()
+                );
+                prop_assert!(
+                    (both[comms.len() + i].value() - base[i].value()).abs() < 1e-12
+                );
+            }
+        }
+    }
+
+    /// Counting and enumerating state sets agree everywhere.
+    #[test]
+    fn counting_equals_enumeration(comms in arb_comms()) {
+        let cg = ConflictGraph::build(&comms, ConflictRule::Strict);
+        let full = enumerate_components(&cg, DEFAULT_STATE_SET_BUDGET).unwrap();
+        let fast = count_components(&cg, DEFAULT_STATE_SET_BUDGET).unwrap();
+        prop_assert_eq!(full.len(), fast.len());
+        for (e, c) in full.iter().zip(&fast) {
+            prop_assert_eq!(e.count() as u64, c.count);
+            for (i, &v) in c.vertices.iter().enumerate() {
+                prop_assert_eq!(e.emission(v) as u64, c.emission[i]);
+            }
+        }
+    }
+
+    /// Under the Myrinet model, all outgoing comms of one node share the
+    /// same penalty (fair NIC sharing via the minimum coefficient).
+    #[test]
+    fn myrinet_same_source_same_penalty(comms in arb_comms()) {
+        let model = MyrinetModel::default();
+        let p = model.penalties(&comms);
+        for i in 0..comms.len() {
+            for j in 0..comms.len() {
+                if comms[i].src == comms[j].src
+                    && !comms[i].is_intra_node()
+                    && !comms[j].is_intra_node()
+                {
+                    // same source ⇒ same component ⇒ same S and same κ
+                    prop_assert!(
+                        (p[i].value() - p[j].value()).abs() < 1e-12,
+                        "comms {i},{j} share source but differ: {} vs {}",
+                        p[i].value(),
+                        p[j].value()
+                    );
+                }
+            }
+        }
+    }
+
+    /// β scales the GigE conflicted penalties linearly.
+    #[test]
+    fn gige_beta_scaling(k in 2usize..6) {
+        let low = GigabitEthernetModel::new(0.6, 0.0, 0.0);
+        let high = GigabitEthernetModel::new(0.9, 0.0, 0.0);
+        let g = netbw_graph::schemes::outgoing_ladder(k);
+        let pl = low.penalties(g.comms())[0].value();
+        let ph = high.penalties(g.comms())[0].value();
+        prop_assert!((ph / pl - 0.9 / 0.6).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,62 @@
+//! Error metrics (§VI.B).
+
+/// Relative error in percent: `(Tp − Tm)/Tm × 100`.
+/// Negative means the model is optimistic, positive pessimistic.
+///
+/// # Panics
+/// If `tm` is not strictly positive.
+pub fn relative_error(tp: f64, tm: f64) -> f64 {
+    assert!(tm > 0.0, "measured time must be positive, got {tm}");
+    (tp - tm) / tm * 100.0
+}
+
+/// Average of absolute relative errors (percent): `Eabs(G)`.
+/// Returns 0 for an empty slice.
+pub fn mean_absolute_error(erel: &[f64]) -> f64 {
+    if erel.is_empty() {
+        return 0.0;
+    }
+    erel.iter().map(|e| e.abs()).sum::<f64>() / erel.len() as f64
+}
+
+/// Per-task absolute error (percent): `|(Sp − Sm)/Sm| × 100`.
+///
+/// # Panics
+/// If `sm` is not strictly positive.
+pub fn per_task_abs_error(sp: f64, sm: f64) -> f64 {
+    assert!(sm > 0.0, "measured sum must be positive, got {sm}");
+    ((sp - sm) / sm * 100.0).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_signs() {
+        assert!((relative_error(1.1, 1.0) - 10.0).abs() < 1e-9);
+        assert!(relative_error(0.9, 1.0) < 0.0);
+        assert_eq!(relative_error(2.0, 2.0), 0.0);
+    }
+
+    #[test]
+    fn eabs_avoids_compensation() {
+        // +10 and −10 compensate to 0 in the mean but not in Eabs
+        let e = [10.0, -10.0];
+        assert_eq!(mean_absolute_error(&e), 10.0);
+        assert_eq!(mean_absolute_error(&[]), 0.0);
+    }
+
+    #[test]
+    fn per_task_error_is_absolute() {
+        assert!((per_task_abs_error(0.9, 1.0) - 10.0).abs() < 1e-9);
+        assert!((per_task_abs_error(1.1, 1.0) - 10.0).abs() < 1e-9);
+        assert_eq!(per_task_abs_error(1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_zero_measurement() {
+        relative_error(1.0, 0.0);
+    }
+}

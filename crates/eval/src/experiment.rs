@@ -1,0 +1,269 @@
+//! Measured-vs-predicted experiments (Figs. 2, 4, 7, 8, 9).
+
+use crate::error::{mean_absolute_error, per_task_abs_error, relative_error};
+use crate::table::{fnum, Table};
+use netbw_core::PenaltyModel;
+use netbw_fluid::{FluidNetwork, FluidSolver, NetworkParams};
+use netbw_graph::CommGraph;
+use netbw_packet::{measure_penalties, FabricConfig, PacketFabric, PacketNetwork};
+use netbw_sim::{ClusterSpec, Placement, PlacementPolicy, Simulator};
+use netbw_workloads::HplConfig;
+
+/// One scheme's measured-vs-predicted comparison (the Fig. 4/Fig. 7
+/// experiment structure).
+#[derive(Clone, Debug)]
+pub struct SchemeComparison {
+    /// Scheme name.
+    pub scheme: String,
+    /// Communication labels, scheme order.
+    pub labels: Vec<String>,
+    /// Measured times `Tm` (packet fabric), seconds.
+    pub measured: Vec<f64>,
+    /// Predicted times `Tp` (model × measured reference), seconds.
+    pub predicted: Vec<f64>,
+    /// Relative errors `Erel`, percent.
+    pub erel: Vec<f64>,
+    /// Mean absolute error `Eabs`, percent.
+    pub eabs: f64,
+}
+
+impl SchemeComparison {
+    /// Renders the Fig. 7-style table (`com | Tm | Tp | Erel`).
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(["com.", "Tm [s]", "Tp [s]", "Erel [%]"]);
+        for i in 0..self.labels.len() {
+            t.push([
+                self.labels[i].clone(),
+                fnum(self.measured[i], 4),
+                fnum(self.predicted[i], 4),
+                fnum(self.erel[i], 1),
+            ]);
+        }
+        t
+    }
+}
+
+/// Runs one scheme through a packet fabric (measured) and a penalty model
+/// (predicted), paper-style: the model predicts effective penalties via
+/// the fluid solver, then times are `penalty × Tref(size)` with `Tref`
+/// *measured on the same fabric* — exactly how the paper turns model
+/// penalties into predicted seconds.
+pub fn compare_scheme(
+    model: &dyn PenaltyModel,
+    fabric: FabricConfig,
+    scheme: &CommGraph,
+) -> SchemeComparison {
+    let nodes = scheme
+        .nodes()
+        .iter()
+        .map(|n| n.idx() + 1)
+        .max()
+        .unwrap_or(2)
+        .max(2);
+    let fab = PacketFabric::new(fabric, nodes);
+    let measured = fab.run_scheme(scheme);
+
+    let solver = FluidSolver::new(model, NetworkParams::unit());
+    let eff = solver.effective_penalties(scheme);
+    let mut tref_cache: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
+    let predicted: Vec<f64> = scheme
+        .comms()
+        .iter()
+        .zip(&eff)
+        .map(|(c, p)| {
+            let tref = *tref_cache
+                .entry(c.size)
+                .or_insert_with(|| fab.reference_time(c.size));
+            p * tref
+        })
+        .collect();
+
+    let erel: Vec<f64> = predicted
+        .iter()
+        .zip(&measured)
+        .map(|(&tp, &tm)| relative_error(tp, tm))
+        .collect();
+    let eabs = mean_absolute_error(&erel);
+    SchemeComparison {
+        scheme: scheme.name().to_string(),
+        labels: scheme.labels().to_vec(),
+        measured,
+        predicted,
+        erel,
+        eabs,
+    }
+}
+
+/// Regenerates the Fig. 2 table: measured penalties of the six schemes on
+/// all three fabrics.
+pub fn fig2_table(size: u64) -> Table {
+    let mut t = Table::new(["scheme", "com.", "gige", "myrinet", "infiniband"]);
+    for s in 1..=6 {
+        let scheme = netbw_graph::schemes::fig2_scheme(s).with_uniform_size(size);
+        let per_fabric: Vec<Vec<f64>> = FabricConfig::paper_fabrics()
+            .iter()
+            .map(|cfg| measure_penalties(*cfg, &scheme).penalties)
+            .collect();
+        for (i, label) in scheme.labels().iter().enumerate() {
+            t.push([
+                if i == 0 { format!("{s}") } else { String::new() },
+                label.clone(),
+                fnum(per_fabric[0][i], 2),
+                fnum(per_fabric[1][i], 2),
+                fnum(per_fabric[2][i], 2),
+            ]);
+        }
+    }
+    t
+}
+
+/// Per-task HPL comparison (Figs. 8 and 9): the same trace replayed once
+/// against the packet fabric (measured, `Sm`) and once against the penalty
+/// model (predicted, `Sp`), with the per-task absolute error.
+#[derive(Clone, Debug)]
+pub struct HplComparison {
+    /// Scheduling policy name.
+    pub policy: String,
+    /// Per-task sum of measured send times, `Sm`.
+    pub sm: Vec<f64>,
+    /// Per-task sum of predicted send times, `Sp`.
+    pub sp: Vec<f64>,
+    /// Per-task absolute error `Eabs(ti)`, percent.
+    pub eabs: Vec<f64>,
+    /// Measured application makespan.
+    pub makespan_measured: f64,
+    /// Predicted application makespan.
+    pub makespan_predicted: f64,
+}
+
+impl HplComparison {
+    /// Mean per-task error.
+    pub fn mean_eabs(&self) -> f64 {
+        mean_absolute_error(&self.eabs)
+    }
+
+    /// Renders the Fig. 8/9-style table.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(["task", "Sm [s]", "Sp [s]", "Eabs [%]"]);
+        for i in 0..self.sm.len() {
+            t.push([
+                format!("{i}"),
+                fnum(self.sm[i], 3),
+                fnum(self.sp[i], 3),
+                fnum(self.eabs[i], 1),
+            ]);
+        }
+        t
+    }
+}
+
+/// Runs the Fig. 8/9 experiment: HPL trace on `cluster` under `policy`;
+/// measured against the (coarse-grained) packet fabric, predicted with the
+/// penalty model over the fluid solver at the fabric's single-stream rate.
+pub fn compare_hpl(
+    hpl: &HplConfig,
+    cluster: &ClusterSpec,
+    policy: &PlacementPolicy,
+    model: impl PenaltyModel,
+    fabric: FabricConfig,
+) -> Result<HplComparison, netbw_sim::SimError> {
+    let trace = hpl.trace();
+    let placement = Placement::assign(policy, trace.len(), cluster);
+
+    // measured: packet fabric with coarse segments for tractability
+    let measured_backend = PacketNetwork::new(fabric.coarse(), cluster.nodes);
+    let measured = Simulator::new(&trace, *cluster, placement.clone(), measured_backend).run()?;
+
+    // predicted: model over the fluid solver, base rate = the fabric's
+    // single-stream goodput (the model's Tref convention)
+    let params = NetworkParams::new(fabric.flow_cap, fabric.startup);
+    let predicted_backend = FluidNetwork::new(model, params);
+    let predicted = Simulator::new(&trace, *cluster, placement, predicted_backend).run()?;
+
+    let sm = measured.task_send_sums();
+    let sp = predicted.task_send_sums();
+    let eabs: Vec<f64> = sm
+        .iter()
+        .zip(&sp)
+        .map(|(&m, &p)| if m > 0.0 { per_task_abs_error(p, m) } else { 0.0 })
+        .collect();
+    Ok(HplComparison {
+        policy: policy.to_string(),
+        sm,
+        sp,
+        eabs,
+        makespan_measured: measured.makespan(),
+        makespan_predicted: predicted.makespan(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netbw_core::{GigabitEthernetModel, MyrinetModel};
+    use netbw_graph::schemes;
+    use netbw_graph::units::MB;
+
+    #[test]
+    fn mk1_comparison_has_small_errors() {
+        // Myrinet model vs Myrinet fabric on the paper's tree: the paper
+        // reports Eabs = 2.6 %; our fabric is not their cluster, but the
+        // model should stay within ~20 % on average.
+        let cmp = compare_scheme(
+            &MyrinetModel::default(),
+            FabricConfig::myrinet2000(),
+            &schemes::mk1().with_uniform_size(8 * MB),
+        );
+        assert_eq!(cmp.labels.len(), 7);
+        assert!(cmp.eabs < 20.0, "Eabs = {:.1}%", cmp.eabs);
+        let table = cmp.to_table().to_markdown();
+        assert!(table.contains("Erel"));
+    }
+
+    #[test]
+    fn ladder_prediction_is_nearly_exact() {
+        // the GigE model was built from these schemes: near-zero error
+        let cmp = compare_scheme(
+            &GigabitEthernetModel::default(),
+            FabricConfig::gige(),
+            &schemes::outgoing_ladder(3).with_uniform_size(8 * MB),
+        );
+        assert!(cmp.eabs < 3.0, "Eabs = {:.2}%", cmp.eabs);
+    }
+
+    #[test]
+    fn fig2_table_has_all_rows() {
+        let t = fig2_table(2 * MB);
+        assert_eq!(t.len(), 1 + 2 + 3 + 4 + 5 + 6);
+        let md = t.to_markdown();
+        assert!(md.contains("gige"));
+        assert!(md.contains("myrinet"));
+        assert!(md.contains("infiniband"));
+    }
+
+    #[test]
+    fn hpl_comparison_runs_end_to_end() {
+        let hpl = HplConfig {
+            n: 1024,
+            nb: 128,
+            tasks: 4,
+            ..HplConfig::small()
+        };
+        let cluster = ClusterSpec::smp(2);
+        let cmp = compare_hpl(
+            &hpl,
+            &cluster,
+            &PlacementPolicy::RoundRobinNode,
+            MyrinetModel::default(),
+            FabricConfig::myrinet2000(),
+        )
+        .unwrap();
+        assert_eq!(cmp.sm.len(), 4);
+        assert!(cmp.makespan_measured > 0.0);
+        assert!(cmp.makespan_predicted > 0.0);
+        // the two makespans agree within 30 % (same compute model, network
+        // models differ)
+        let ratio = cmp.makespan_predicted / cmp.makespan_measured;
+        assert!(ratio > 0.7 && ratio < 1.3, "makespan ratio {ratio:.2}");
+    }
+}

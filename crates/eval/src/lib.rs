@@ -1,0 +1,31 @@
+//! Evaluation harness: the paper's §VI.B methodology.
+//!
+//! Predictions are compared against measurements with two error metrics:
+//!
+//! * the **relative error** per communication,
+//!   `Erel(ck) = (Tp − Tm)/Tm × 100`, which exposes optimistic (negative)
+//!   vs pessimistic (positive) model behaviour;
+//! * the **average of absolute errors** per graph,
+//!   `Eabs(G) = (1/N)·Σ|Erel(ck)|`, which avoids error compensation;
+//! * for application traces, the per-task absolute error
+//!   `Eabs(ti) = |(Sp − Sm)/Sm| × 100` over each task's summed
+//!   communication times.
+//!
+//! "Measured" times come from the packet-level fabrics (`netbw-packet`),
+//! "predicted" times from the penalty models through the fluid solver
+//! (`netbw-core` + `netbw-fluid`), optionally driven through the full
+//! trace simulator (`netbw-sim`) for HPL.
+
+pub mod error;
+pub mod experiment;
+pub mod sizes;
+pub mod sweep;
+pub mod table;
+
+pub use error::{mean_absolute_error, per_task_abs_error, relative_error};
+pub use experiment::{
+    compare_hpl, compare_scheme, fig2_table, HplComparison, SchemeComparison,
+};
+pub use sizes::{first_crossover, size_sweep, SizePoint};
+pub use sweep::parallel_map;
+pub use table::Table;

@@ -1,0 +1,121 @@
+//! Message-size sweeps: where penalties and placement choices cross over.
+//!
+//! Penalties are size-independent in the models, but *applications* are
+//! not: the balance between latency, contention, and intra-node copies
+//! shifts with payload size. These sweeps expose crossovers — e.g. the
+//! size above which co-locating ring neighbours (RRP) beats spreading
+//! tasks (RRN) — which is exactly the integrator question from the
+//! paper's introduction.
+
+use crate::experiment::compare_scheme;
+use netbw_core::PenaltyModel;
+use netbw_graph::CommGraph;
+use netbw_packet::FabricConfig;
+
+/// One sweep point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SizePoint {
+    /// Message size, bytes.
+    pub size: u64,
+    /// Mean absolute model error at this size, percent.
+    pub eabs: f64,
+    /// Worst measured penalty at this size.
+    pub worst_measured_penalty: f64,
+}
+
+/// Sweeps a scheme across message sizes, measuring model accuracy and
+/// worst-case sharing per size.
+pub fn size_sweep(
+    model: &dyn PenaltyModel,
+    fabric: FabricConfig,
+    scheme: &CommGraph,
+    sizes: &[u64],
+) -> Vec<SizePoint> {
+    sizes
+        .iter()
+        .map(|&size| {
+            let sized = scheme.clone().with_uniform_size(size);
+            let cmp = compare_scheme(model, fabric, &sized);
+            let fab = netbw_packet::PacketFabric::new(
+                fabric,
+                sized.nodes().iter().map(|n| n.idx() + 1).max().unwrap_or(2).max(2),
+            );
+            let tref = fab.reference_time(size);
+            let worst = cmp
+                .measured
+                .iter()
+                .map(|&t| t / tref)
+                .fold(0.0, f64::max);
+            SizePoint {
+                size,
+                eabs: cmp.eabs,
+                worst_measured_penalty: worst,
+            }
+        })
+        .collect()
+}
+
+/// Finds the first size (among `sizes`, ascending) where series `a`
+/// drops below series `b` — a crossover detector for sweep outputs.
+pub fn first_crossover(sizes: &[u64], a: &[f64], b: &[f64]) -> Option<u64> {
+    assert_eq!(sizes.len(), a.len());
+    assert_eq!(sizes.len(), b.len());
+    sizes
+        .iter()
+        .zip(a.iter().zip(b))
+        .find(|(_, (x, y))| x < y)
+        .map(|(s, _)| *s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netbw_core::MyrinetModel;
+    use netbw_graph::schemes;
+    use netbw_graph::units::MB;
+
+    #[test]
+    fn sweep_covers_requested_sizes() {
+        let pts = size_sweep(
+            &MyrinetModel::default(),
+            FabricConfig::myrinet2000(),
+            &schemes::outgoing_ladder(2),
+            &[MB, 4 * MB],
+        );
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].size, MB);
+        // ladder sharing: worst penalty close to 1.9 at any size
+        for p in &pts {
+            assert!(
+                (p.worst_measured_penalty - 1.9).abs() < 0.25,
+                "{p:?}"
+            );
+            assert!(p.eabs < 15.0, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn model_error_shrinks_with_size_on_ladders() {
+        // startup costs distort small messages; the asymptotic sharing is
+        // what the models capture, so accuracy improves with size.
+        let pts = size_sweep(
+            &MyrinetModel::default(),
+            FabricConfig::myrinet2000(),
+            &schemes::outgoing_ladder(3),
+            &[64 * 1024, MB, 16 * MB],
+        );
+        assert!(
+            pts[2].eabs <= pts[0].eabs + 1.0,
+            "error should not grow with size: {pts:?}"
+        );
+    }
+
+    #[test]
+    fn crossover_detector() {
+        let sizes = [1u64, 2, 3, 4];
+        let a = [5.0, 4.0, 2.0, 1.0];
+        let b = [3.0, 3.0, 3.0, 3.0];
+        assert_eq!(first_crossover(&sizes, &a, &b), Some(3));
+        assert_eq!(first_crossover(&sizes, &b, &b), None);
+    }
+}

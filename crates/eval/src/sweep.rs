@@ -1,0 +1,94 @@
+//! Parallel experiment sweeps over scheme batteries.
+//!
+//! Model evaluation is embarrassingly parallel across schemes; this module
+//! fans work out over scoped threads (crossbeam) so batteries of hundreds
+//! of graphs evaluate concurrently and deterministically (results keep
+//! input order).
+
+use parking_lot::Mutex;
+
+/// Applies `f` to every item on a pool of scoped worker threads, returning
+/// results in input order. Uses up to `threads` workers (0 = available
+/// parallelism).
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+    .min(n);
+
+    if workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<R>>> =
+        Mutex::new((0..n).map(|_| None).collect());
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                results.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every item processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, 8, |&x| x * x);
+        assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u64> = vec![];
+        assert!(parallel_map(&empty, 4, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[7u64], 4, |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        let items: Vec<u64> = (0..16).collect();
+        assert_eq!(parallel_map(&items, 0, |&x| x), items);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        let items = vec![1u64, 2, 3];
+        parallel_map(&items, 2, |&x| {
+            if x == 2 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

@@ -1,0 +1,99 @@
+//! Base network parameters for time predictions.
+
+/// Uncontended transfer parameters of one fabric.
+///
+/// `bandwidth` is the *single-stream* goodput — the rate realised by one
+/// `MPI_Send` with no concurrency. This is the paper's `Tref` convention:
+/// penalties are relative to a lone transfer, so the single-stream
+/// efficiency (β for TCP) is already folded into the reference and must be
+/// folded in here too.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetworkParams {
+    /// Single-stream goodput in bytes/second.
+    pub bandwidth: f64,
+    /// Per-message startup latency in seconds (envelope + handshake);
+    /// paid once, before the flow starts contending for bandwidth.
+    pub latency: f64,
+}
+
+impl NetworkParams {
+    /// Builds parameters, validating positivity.
+    ///
+    /// # Panics
+    /// If `bandwidth <= 0` or `latency < 0`.
+    pub fn new(bandwidth: f64, latency: f64) -> Self {
+        assert!(bandwidth > 0.0, "bandwidth must be positive");
+        assert!(latency >= 0.0, "latency must be non-negative");
+        NetworkParams { bandwidth, latency }
+    }
+
+    /// The paper's Gigabit Ethernet cluster (IBM e326, MPICH/TCP): 1 Gb/s
+    /// line, single-stream efficiency β = 0.75 → 93.75 MB/s goodput.
+    pub fn gige() -> Self {
+        NetworkParams::new(0.75 * 125e6, 55e-6)
+    }
+
+    /// The paper's Myrinet 2000 cluster (IBM e325, MPICH-MX): ~2 Gb/s
+    /// links; 226 MB/s single-stream goodput reproduces the Fig. 7
+    /// reference time (`tref = 0.0354 s` at 8 MB).
+    pub fn myrinet2000() -> Self {
+        NetworkParams::new(226e6, 9e-6)
+    }
+
+    /// The paper's InfiniHost III cluster (BULL Novascale): 4X SDR
+    /// (1 GB/s data rate), single-stream efficiency 0.8625.
+    pub fn infinihost3() -> Self {
+        NetworkParams::new(0.8625 * 1e9, 5e-6)
+    }
+
+    /// Idealised loss-free network for unit tests: 1 byte/s, no latency —
+    /// completion times equal transferred bytes × penalty.
+    pub fn unit() -> Self {
+        NetworkParams::new(1.0, 0.0)
+    }
+
+    /// Uncontended transfer time for `size` bytes (the paper's `Tref`).
+    pub fn reference_time(&self, size: u64) -> f64 {
+        self.latency + size as f64 / self.bandwidth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_time_is_linear() {
+        let p = NetworkParams::new(100.0, 0.5);
+        assert_eq!(p.reference_time(0), 0.5);
+        assert_eq!(p.reference_time(1000), 0.5 + 10.0);
+    }
+
+    #[test]
+    fn presets_are_sane() {
+        for p in [
+            NetworkParams::gige(),
+            NetworkParams::myrinet2000(),
+            NetworkParams::infinihost3(),
+            NetworkParams::unit(),
+        ] {
+            assert!(p.bandwidth > 0.0);
+            assert!(p.latency >= 0.0);
+        }
+        // Fig. 7 reference: 8 MB over Myrinet ≈ 0.0354 s.
+        let tref = NetworkParams::myrinet2000().reference_time(8_000_000);
+        assert!((tref - 0.0354).abs() < 4e-4, "tref {tref}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn rejects_zero_bandwidth() {
+        NetworkParams::new(0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "latency must be non-negative")]
+    fn rejects_negative_latency() {
+        NetworkParams::new(1.0, -1.0);
+    }
+}

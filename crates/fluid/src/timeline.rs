@@ -1,0 +1,136 @@
+//! Timelines derived from solved transfers: per-communication rate
+//! series and aggregate network utilization over time.
+//!
+//! The paper's simulator reports "the duration of all events and total
+//! time, the kind of conflicts, the average penality" (§VI.A); timelines
+//! make the *when* visible — which phase of an application saturates the
+//! fabric, and when the model predicts the penalty spikes.
+
+use crate::solver::TransferResult;
+
+/// A piecewise-constant series of `(t_start, t_end, value)` segments.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StepSeries {
+    /// Segments in increasing time order, non-overlapping.
+    pub segments: Vec<(f64, f64, f64)>,
+}
+
+impl StepSeries {
+    /// The value at time `t` (0 outside all segments; boundaries belong to
+    /// the later segment).
+    pub fn at(&self, t: f64) -> f64 {
+        for &(a, b, v) in &self.segments {
+            if t >= a && t < b {
+                return v;
+            }
+        }
+        0.0
+    }
+
+    /// Integral of the series over its whole span.
+    pub fn integral(&self) -> f64 {
+        self.segments.iter().map(|&(a, b, v)| (b - a) * v).sum()
+    }
+
+    /// Maximum value over all segments (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.segments.iter().map(|s| s.2).fold(0.0, f64::max)
+    }
+}
+
+/// The penalty of one transfer over time, from its recorded phases.
+pub fn penalty_series(result: &TransferResult) -> StepSeries {
+    StepSeries {
+        segments: result
+            .phases
+            .iter()
+            .map(|p| (p.t0, p.t1, p.penalty))
+            .collect(),
+    }
+}
+
+/// Aggregate network throughput over time, in units of the uncontended
+/// single-stream bandwidth: each active transfer contributes `1/penalty`.
+/// Breakpoints are the union of all phase boundaries.
+pub fn utilization(results: &[TransferResult]) -> StepSeries {
+    let mut cuts: Vec<f64> = results
+        .iter()
+        .flat_map(|r| r.phases.iter().flat_map(|p| [p.t0, p.t1]))
+        .collect();
+    cuts.sort_by(f64::total_cmp);
+    cuts.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+    let mut segments = Vec::new();
+    for w in cuts.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        if b - a < 1e-15 {
+            continue;
+        }
+        let mid = 0.5 * (a + b);
+        let value: f64 = results
+            .iter()
+            .flat_map(|r| &r.phases)
+            .filter(|p| p.t0 <= mid && mid < p.t1)
+            .map(|p| 1.0 / p.penalty)
+            .sum();
+        segments.push((a, b, value));
+    }
+    StepSeries { segments }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::NetworkParams;
+    use crate::solver::FluidSolver;
+    use netbw_core::MyrinetModel;
+    use netbw_graph::schemes;
+
+    #[test]
+    fn single_transfer_utilization_is_one() {
+        let solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
+        let g = schemes::single().with_uniform_size(100);
+        let res = solver.solve(&g);
+        let u = utilization(&res);
+        assert!((u.at(50.0) - 1.0).abs() < 1e-12);
+        assert!((u.integral() - 100.0).abs() < 1e-9); // bytes in bw units
+        assert_eq!(u.at(1000.0), 0.0);
+    }
+
+    #[test]
+    fn two_sharing_transfers_keep_aggregate_at_one() {
+        // two comms from one node under the Myrinet model: each rate 1/2
+        let solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
+        let g = schemes::outgoing_ladder(2).with_uniform_size(100);
+        let res = solver.solve(&g);
+        let u = utilization(&res);
+        assert!((u.at(10.0) - 1.0).abs() < 1e-12, "{}", u.at(10.0));
+        assert!((u.integral() - 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn penalty_series_tracks_phases() {
+        // MK1's `a` has two phases: penalty 3 then 2
+        let solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
+        let mk1 = schemes::mk1().with_uniform_size(1000);
+        let res = solver.solve(&mk1);
+        let a = mk1.by_label("a").unwrap();
+        let s = penalty_series(&res[a.idx()]);
+        assert_eq!(s.segments.len(), 2);
+        assert_eq!(s.at(0.0), 3.0);
+        assert!((s.max() - 3.0).abs() < 1e-12);
+        let t_mid = 0.5 * (s.segments[1].0 + s.segments[1].1);
+        assert_eq!(s.at(t_mid), 2.0);
+    }
+
+    #[test]
+    fn utilization_reflects_parallel_components() {
+        // MK1 starts with three independent components running at once:
+        // rates 1/3+1/3 (a,b) + 1/2+1/2 (c,g) + 1/1.5+1/1.5 (d,f) + 1 (e)
+        let solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
+        let mk1 = schemes::mk1().with_uniform_size(1000);
+        let res = solver.solve(&mk1);
+        let u = utilization(&res);
+        let expect = 2.0 / 3.0 + 1.0 + 2.0 / 1.5 + 1.0;
+        assert!((u.at(1.0) - expect).abs() < 1e-9, "{} vs {expect}", u.at(1.0));
+    }
+}

@@ -1,0 +1,169 @@
+//! Structural analysis of communication schemes.
+//!
+//! Degree distributions and conflict densities determine both how hard a
+//! scheme is for the state-set enumeration (exponential in conflict
+//! density) and how much sharing the models will predict. These helpers
+//! feed the experiment reports.
+
+use crate::conflict::{ConflictGraph, ConflictRule};
+use crate::graph::CommGraph;
+use std::collections::{BTreeMap, HashSet};
+
+/// Summary of a scheme's structure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SchemeAnalysis {
+    /// Number of communications.
+    pub comms: usize,
+    /// Number of distinct nodes touched.
+    pub nodes: usize,
+    /// Maximum outgoing degree Δo over nodes.
+    pub max_out_degree: usize,
+    /// Maximum incoming degree Δi over nodes.
+    pub max_in_degree: usize,
+    /// Number of strict conflict edges.
+    pub conflict_edges: usize,
+    /// Conflict density: edges / C(n, 2) (0 for fewer than 2 comms).
+    pub conflict_density: f64,
+    /// Sizes of the strict conflict components, descending.
+    pub component_sizes: Vec<usize>,
+    /// True when the node-level graph (ignoring direction) is a tree.
+    pub is_tree: bool,
+    /// Histogram of outgoing degrees: degree → node count (zero omitted).
+    pub out_degree_histogram: BTreeMap<usize, usize>,
+}
+
+/// Analyses a scheme under the strict conflict rule.
+pub fn analyse(graph: &CommGraph) -> SchemeAnalysis {
+    let comms = graph.len();
+    let nodes = graph.nodes();
+    let cg = ConflictGraph::build(graph.comms(), ConflictRule::Strict);
+    let mut component_sizes: Vec<usize> = cg.components().iter().map(Vec::len).collect();
+    component_sizes.sort_unstable_by(|a, b| b.cmp(a));
+
+    let max_out = nodes
+        .iter()
+        .map(|&n| graph.out_degree(n))
+        .max()
+        .unwrap_or(0);
+    let max_in = nodes
+        .iter()
+        .map(|&n| graph.in_degree(n))
+        .max()
+        .unwrap_or(0);
+    let mut hist = BTreeMap::new();
+    for &n in &nodes {
+        let d = graph.out_degree(n);
+        if d > 0 {
+            *hist.entry(d).or_insert(0) += 1;
+        }
+    }
+
+    // tree test on the undirected node graph (unique undirected edges)
+    let mut edges: HashSet<(u32, u32)> = HashSet::new();
+    for c in graph.comms() {
+        let (a, b) = (c.src.0.min(c.dst.0), c.src.0.max(c.dst.0));
+        if a != b {
+            edges.insert((a, b));
+        }
+    }
+    let is_tree = !nodes.is_empty()
+        && edges.len() == nodes.len().saturating_sub(1)
+        && node_graph_connected(&nodes, &edges);
+
+    let pairs = comms * comms.saturating_sub(1) / 2;
+    SchemeAnalysis {
+        comms,
+        nodes: nodes.len(),
+        max_out_degree: max_out,
+        max_in_degree: max_in,
+        conflict_edges: cg.edge_count(),
+        conflict_density: if pairs == 0 {
+            0.0
+        } else {
+            cg.edge_count() as f64 / pairs as f64
+        },
+        component_sizes,
+        is_tree,
+        out_degree_histogram: hist,
+    }
+}
+
+fn node_graph_connected(nodes: &[crate::ids::NodeId], edges: &HashSet<(u32, u32)>) -> bool {
+    if nodes.is_empty() {
+        return true;
+    }
+    let mut adj: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    for &(a, b) in edges {
+        adj.entry(a).or_default().push(b);
+        adj.entry(b).or_default().push(a);
+    }
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut stack = vec![nodes[0].0];
+    seen.insert(nodes[0].0);
+    while let Some(v) = stack.pop() {
+        for &w in adj.get(&v).map(Vec::as_slice).unwrap_or(&[]) {
+            if seen.insert(w) {
+                stack.push(w);
+            }
+        }
+    }
+    seen.len() == nodes.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes;
+
+    #[test]
+    fn mk1_is_recognised_as_tree() {
+        let a = analyse(&schemes::mk1());
+        assert!(a.is_tree);
+        assert_eq!(a.comms, 7);
+        assert_eq!(a.nodes, 8);
+        assert_eq!(a.component_sizes, vec![4, 2, 1]);
+        assert_eq!(a.max_out_degree, 2);
+    }
+
+    #[test]
+    fn mk2_is_dense_and_not_a_tree() {
+        let a = analyse(&schemes::mk2());
+        assert!(!a.is_tree);
+        assert_eq!(a.comms, 10);
+        assert_eq!(a.nodes, 5);
+        assert_eq!(a.component_sizes, vec![10]);
+        assert!(a.conflict_density > 0.3, "{}", a.conflict_density);
+        assert_eq!(a.max_out_degree, 4);
+        assert_eq!(a.max_in_degree, 3);
+    }
+
+    #[test]
+    fn ladder_histogram() {
+        let a = analyse(&schemes::outgoing_ladder(3));
+        assert_eq!(a.out_degree_histogram.get(&3), Some(&1));
+        assert_eq!(a.max_in_degree, 1);
+        assert!(a.is_tree); // a star is a tree
+        assert_eq!(a.conflict_edges, 3);
+        assert!((a.conflict_density - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_scheme_is_not_a_tree() {
+        let mut g = crate::graph::CommGraph::new();
+        g.add("a", 0u32, 1u32, 1);
+        g.add("b", 2u32, 3u32, 1);
+        let a = analyse(&g);
+        assert!(!a.is_tree);
+        assert_eq!(a.component_sizes, vec![1, 1]);
+        assert_eq!(a.conflict_edges, 0);
+        assert_eq!(a.conflict_density, 0.0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let a = analyse(&crate::graph::CommGraph::new());
+        assert_eq!(a.comms, 0);
+        assert_eq!(a.nodes, 0);
+        assert_eq!(a.conflict_density, 0.0);
+    }
+}

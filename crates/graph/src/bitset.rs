@@ -1,0 +1,242 @@
+//! A small dense bitset over `u64` words.
+//!
+//! Used by the conflict graph and by the Bron–Kerbosch state-set enumeration
+//! in `netbw-core`, where set intersection over candidate communications is
+//! the hot operation.
+
+/// Dense, growable bitset indexed by `usize`.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+    /// Number of addressable bits (fixed at construction; `insert` beyond
+    /// this capacity grows the set).
+    nbits: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set able to hold `nbits` elements without growing.
+    pub fn with_capacity(nbits: usize) -> Self {
+        BitSet {
+            words: vec![0; nbits.div_ceil(64)],
+            nbits,
+        }
+    }
+
+    /// Creates a set containing `0..nbits`.
+    pub fn full(nbits: usize) -> Self {
+        let mut s = Self::with_capacity(nbits);
+        for i in 0..nbits {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Number of addressable bits.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.nbits
+    }
+
+    /// Inserts `i`, growing if necessary. Returns `true` if newly inserted.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        let (w, b) = (i / 64, i % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        if i >= self.nbits {
+            self.nbits = i + 1;
+        }
+        let had = self.words[w] >> b & 1 == 1;
+        self.words[w] |= 1 << b;
+        !had
+    }
+
+    /// Removes `i`. Returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, i: usize) -> bool {
+        let (w, b) = (i / 64, i % 64);
+        if w >= self.words.len() {
+            return false;
+        }
+        let had = self.words[w] >> b & 1 == 1;
+        self.words[w] &= !(1 << b);
+        had
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        let (w, b) = (i / 64, i % 64);
+        w < self.words.len() && self.words[w] >> b & 1 == 1
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no element is present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes all elements, keeping capacity.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Iterates set elements in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// In-place intersection with `other`.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= *b;
+        }
+        if self.words.len() > other.words.len() {
+            for w in &mut self.words[other.words.len()..] {
+                *w = 0;
+            }
+        }
+    }
+
+    /// In-place union with `other`.
+    pub fn union_with(&mut self, other: &BitSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+            self.nbits = self.nbits.max(other.nbits);
+        }
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place difference (`self \ other`).
+    pub fn difference_with(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= !*b;
+        }
+    }
+
+    /// Size of the intersection without allocating.
+    pub fn intersection_len(&self, other: &BitSet) -> usize {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// True if the two sets share no element.
+    pub fn is_disjoint(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & b == 0)
+    }
+
+    /// First element, if any.
+    pub fn first(&self) -> Option<usize> {
+        self.iter().next()
+    }
+}
+
+impl std::fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = BitSet::default();
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::with_capacity(10);
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.contains(3));
+        assert!(!s.contains(4));
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn grows_beyond_capacity() {
+        let mut s = BitSet::with_capacity(1);
+        s.insert(200);
+        assert!(s.contains(200));
+        assert_eq!(s.len(), 1);
+        assert!(s.capacity() >= 201);
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let s: BitSet = [5usize, 1, 64, 63, 128].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 5, 63, 64, 128]);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: BitSet = [1usize, 2, 3, 64].into_iter().collect();
+        let b: BitSet = [2usize, 64, 65].into_iter().collect();
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![2, 64]);
+        assert_eq!(a.intersection_len(&b), 2);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 3, 64, 65]);
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1, 3]);
+        assert!(!a.is_disjoint(&b));
+        let c: BitSet = [100usize].into_iter().collect();
+        assert!(a.is_disjoint(&c));
+    }
+
+    #[test]
+    fn full_and_clear() {
+        let mut s = BitSet::full(130);
+        assert_eq!(s.len(), 130);
+        assert!(s.contains(129));
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn intersect_with_shorter_other_zeroes_tail() {
+        let mut a: BitSet = [1usize, 200].into_iter().collect();
+        let b: BitSet = [1usize].into_iter().collect();
+        a.intersect_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Graphviz (DOT) export of communication schemes.
+
+use crate::graph::CommGraph;
+use crate::units::format_size;
+use std::fmt::Write as _;
+
+/// Renders a scheme as a Graphviz digraph. Arrows carry their label and
+/// payload size; nodes are cluster nodes.
+///
+/// ```
+/// use netbw_graph::{schemes, dot::to_dot};
+/// let dot = to_dot(&schemes::fig5());
+/// assert!(dot.contains("digraph"));
+/// assert!(dot.contains("n0 -> n3"));
+/// ```
+pub fn to_dot(graph: &CommGraph) -> String {
+    let mut out = String::new();
+    let name = if graph.name().is_empty() {
+        "scheme"
+    } else {
+        graph.name()
+    };
+    let _ = writeln!(out, "digraph \"{}\" {{", name.replace('"', "'"));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=circle, fontsize=11];");
+    for node in graph.nodes() {
+        let _ = writeln!(out, "  n{} [label=\"{}\"];", node.0, node.0);
+    }
+    for (_, label, c) in graph.iter() {
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [label=\"{} ({})\"];",
+            c.src.0,
+            c.dst.0,
+            label,
+            format_size(c.size)
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes;
+
+    #[test]
+    fn dot_contains_all_edges_and_nodes() {
+        let g = schemes::mk1();
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph \"mk1\""));
+        for node in g.nodes() {
+            assert!(dot.contains(&format!("n{} [label", node.0)));
+        }
+        for (_, label, c) in g.iter() {
+            assert!(dot.contains(&format!("n{} -> n{}", c.src.0, c.dst.0)));
+            assert!(dot.contains(&format!("\"{label} (")));
+        }
+    }
+
+    #[test]
+    fn unnamed_graph_gets_default_title() {
+        let mut g = CommGraph::new();
+        g.add("a", 0u32, 1u32, 1);
+        assert!(to_dot(&g).contains("digraph \"scheme\""));
+    }
+
+    use crate::graph::CommGraph;
+}

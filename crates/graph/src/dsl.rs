@@ -1,0 +1,256 @@
+//! The scheme description language (§IV.B).
+//!
+//! The paper's measurement software takes a "description of the
+//! communication task scheme using a specific description language". The
+//! original language is not published; we define a small line-oriented
+//! format sufficient to express every scheme in the paper:
+//!
+//! ```text
+//! # Fig. 5 example — comments run to end of line
+//! scheme fig5
+//! node 6                  # optional: declare an extra, silent node
+//! a: 0 -> 3 20MB          # labelled communication
+//! b: 0 -> 2 size 20MB     # the `size` keyword is optional
+//! 0 -> 1 4MiB             # unlabelled: auto label (next free letter)
+//! ```
+//!
+//! Sizes use [`crate::units::parse_size`]. Parsing is strict: unknown
+//! directives, bad arrows and duplicate labels are reported with line
+//! numbers. [`emit`] writes the canonical form; `parse(emit(g))`
+//! round-trips.
+
+use crate::graph::CommGraph;
+use crate::units::{format_size, parse_size};
+use std::fmt;
+
+/// Parse error with 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line where the error occurred.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a scheme description into a [`CommGraph`].
+pub fn parse(input: &str) -> Result<CommGraph, ParseError> {
+    let mut g = CommGraph::new();
+    let mut used_labels: Vec<String> = Vec::new();
+
+    for (i, raw) in input.lines().enumerate() {
+        let lineno = i + 1;
+        let err = |message: String| ParseError {
+            line: lineno,
+            message,
+        };
+        let line = match raw.find('#') {
+            Some(p) => &raw[..p],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+
+        if line == "scheme" || line.starts_with("scheme ") {
+            let name = line["scheme".len()..].trim();
+            if name.is_empty() {
+                return Err(err("scheme directive needs a name".into()));
+            }
+            g.set_name(name);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("node ") {
+            let id: u32 = rest
+                .trim()
+                .parse()
+                .map_err(|_| err(format!("bad node id {:?}", rest.trim())))?;
+            g.declare_node(id);
+            continue;
+        }
+
+        // [label:] src -> dst [size] <bytes>
+        let (label, body) = match line.split_once(':') {
+            Some((l, b)) => {
+                let l = l.trim();
+                if l.is_empty() || !l.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                    return Err(err(format!("bad label {l:?}")));
+                }
+                (Some(l.to_string()), b.trim())
+            }
+            None => (None, line),
+        };
+
+        let (src_s, rest) = body
+            .split_once("->")
+            .ok_or_else(|| err(format!("expected `src -> dst size`, got {body:?}")))?;
+        let src: u32 = src_s
+            .trim()
+            .parse()
+            .map_err(|_| err(format!("bad source node {:?}", src_s.trim())))?;
+
+        let rest = rest.trim();
+        let (dst_s, size_s) = match rest.split_once(char::is_whitespace) {
+            Some((d, s)) => (d, s.trim()),
+            None => return Err(err(format!("missing size after destination in {rest:?}"))),
+        };
+        let dst: u32 = dst_s
+            .trim()
+            .parse()
+            .map_err(|_| err(format!("bad destination node {:?}", dst_s.trim())))?;
+        let size_s = size_s.strip_prefix("size").unwrap_or(size_s).trim();
+        let size = parse_size(size_s).map_err(|e| err(e.to_string()))?;
+
+        if src == dst {
+            return Err(err(format!("self-loop {src} -> {dst} is not a network communication")));
+        }
+
+        let label = match label {
+            Some(l) => {
+                if used_labels.contains(&l) {
+                    return Err(err(format!("duplicate label {l:?}")));
+                }
+                l
+            }
+            None => {
+                // first free auto label
+                let mut k = 0;
+                loop {
+                    let cand = auto(k);
+                    if !used_labels.contains(&cand) {
+                        break cand;
+                    }
+                    k += 1;
+                }
+            }
+        };
+        used_labels.push(label.clone());
+        g.add(label, src, dst, size);
+    }
+    Ok(g)
+}
+
+fn auto(mut i: usize) -> String {
+    let mut out = Vec::new();
+    loop {
+        out.push(b'a' + (i % 26) as u8);
+        i /= 26;
+        if i == 0 {
+            break;
+        }
+        i -= 1;
+    }
+    out.reverse();
+    String::from_utf8(out).expect("ascii")
+}
+
+/// Emits the canonical textual form of a graph. `parse(emit(g))`
+/// reconstructs an equal graph (modulo declared-but-unused nodes that are
+/// also referenced by communications).
+pub fn emit(graph: &CommGraph) -> String {
+    let mut out = String::new();
+    if !graph.name().is_empty() {
+        out.push_str(&format!("scheme {}\n", graph.name()));
+    }
+    for (_, label, c) in graph.iter() {
+        out.push_str(&format!(
+            "{label}: {} -> {} {}\n",
+            c.src.0,
+            c.dst.0,
+            format_size(c.size)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+    use crate::schemes;
+    use crate::units::{MB, MIB};
+
+    #[test]
+    fn parses_paper_style_scheme() {
+        let g = parse(
+            "# Fig. 5\n\
+             scheme fig5\n\
+             a: 0 -> 3 20MB\n\
+             b: 0 -> 2 size 20MB\n\
+             c: 0 -> 1 20MB\n\
+             d: 4 -> 3 20MB\n\
+             e: 2 -> 3 20MB\n\
+             f: 2 -> 5 20MB\n",
+        )
+        .unwrap();
+        assert_eq!(g, schemes::fig5());
+    }
+
+    #[test]
+    fn auto_labels_skip_used() {
+        let g = parse("b: 0 -> 1 1KB\n0 -> 2 1KB\n0 -> 3 1KB\n").unwrap();
+        // auto labels must not collide with the explicit `b`
+        assert_eq!(g.labels(), &["b".to_string(), "a".into(), "c".into()]);
+    }
+
+    #[test]
+    fn accepts_units_and_comments() {
+        let g = parse("a: 0 -> 1 4MiB # inline comment\n").unwrap();
+        assert_eq!(g.comms()[0].size, 4 * MIB);
+    }
+
+    #[test]
+    fn node_declarations() {
+        let g = parse("node 9\na: 0 -> 1 1MB\n").unwrap();
+        assert!(g.nodes().contains(&NodeId(9)));
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let e = parse("a: 0 -> 1 1MB\nb: 0 => 2 1MB\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("line 2"));
+
+        let e = parse("a: 0 -> 0 1MB\n").unwrap_err();
+        assert!(e.message.contains("self-loop"));
+
+        let e = parse("a: 0 -> 1 1XB\n").unwrap_err();
+        assert!(e.message.contains("invalid size"));
+
+        let e = parse("a: 0 -> 1 1MB\na: 2 -> 3 1MB\n").unwrap_err();
+        assert!(e.message.contains("duplicate label"));
+
+        let e = parse("scheme \n").unwrap_err();
+        assert!(e.message.contains("needs a name"));
+
+        let e = parse("node x\n").unwrap_err();
+        assert!(e.message.contains("bad node id"));
+
+        let e = parse("a: 0 -> 1\n").unwrap_err();
+        assert!(e.message.contains("missing size"));
+    }
+
+    #[test]
+    fn round_trips_every_paper_scheme() {
+        for g in [
+            schemes::fig1(),
+            schemes::fig4(4 * MB),
+            schemes::fig5(),
+            schemes::mk1(),
+            schemes::mk2(),
+            schemes::fig2_scheme(6),
+        ] {
+            let text = emit(&g);
+            let back = parse(&text).unwrap();
+            assert_eq!(back, g, "round-trip failed for {}", g.name());
+        }
+    }
+}

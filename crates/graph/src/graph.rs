@@ -1,0 +1,273 @@
+//! The communication graph (the paper's "communication scheme").
+
+use crate::comm::Communication;
+use crate::ids::{CommId, NodeId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A labelled multigraph of point-to-point communications.
+///
+/// Nodes are cluster nodes, arcs are concurrent [`Communication`]s. This is
+/// the object the paper calls a *communication scheme* (Figs. 1, 2, 4, 5, 7):
+/// all communications in a graph are assumed to start at the same instant
+/// (enforced in the measurement software with an MPI barrier, §IV.B).
+///
+/// Labels (`a`, `b`, `c`, …) follow the paper's figures and are unique.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CommGraph {
+    comms: Vec<Communication>,
+    labels: Vec<String>,
+    /// Nodes explicitly declared (e.g. via the DSL); nodes referenced by
+    /// communications are always implicitly present.
+    declared_nodes: BTreeSet<NodeId>,
+    name: String,
+}
+
+impl CommGraph {
+    /// Creates an empty, unnamed graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty graph with a scheme name (used in reports and DSL).
+    pub fn named(name: impl Into<String>) -> Self {
+        CommGraph {
+            name: name.into(),
+            ..Self::default()
+        }
+    }
+
+    /// The scheme name (may be empty).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sets the scheme name.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Adds a labelled communication. Panics if the label is already used —
+    /// schemes are tiny and a duplicate label is always a construction bug.
+    pub fn add(
+        &mut self,
+        label: impl Into<String>,
+        src: impl Into<NodeId>,
+        dst: impl Into<NodeId>,
+        size: u64,
+    ) -> CommId {
+        let label = label.into();
+        assert!(
+            !self.labels.contains(&label),
+            "duplicate communication label {label:?}"
+        );
+        let id = CommId(self.comms.len() as u32);
+        self.comms.push(Communication::new(src, dst, size));
+        self.labels.push(label);
+        id
+    }
+
+    /// Adds a communication with an automatic label (`a`, `b`, …, `z`,
+    /// `aa`, `ab`, …).
+    pub fn add_auto(&mut self, src: impl Into<NodeId>, dst: impl Into<NodeId>, size: u64) -> CommId {
+        let label = auto_label(self.comms.len());
+        self.add(label, src, dst, size)
+    }
+
+    /// Declares a node so it appears in exports even without communications.
+    pub fn declare_node(&mut self, node: impl Into<NodeId>) {
+        self.declared_nodes.insert(node.into());
+    }
+
+    /// All communications, indexed by [`CommId`].
+    pub fn comms(&self) -> &[Communication] {
+        &self.comms
+    }
+
+    /// The communication with the given id.
+    pub fn comm(&self, id: CommId) -> &Communication {
+        &self.comms[id.idx()]
+    }
+
+    /// The label of a communication.
+    pub fn label(&self, id: CommId) -> &str {
+        &self.labels[id.idx()]
+    }
+
+    /// All labels, indexed by [`CommId`].
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Looks a communication up by label.
+    pub fn by_label(&self, label: &str) -> Option<CommId> {
+        self.labels
+            .iter()
+            .position(|l| l == label)
+            .map(|i| CommId(i as u32))
+    }
+
+    /// Number of communications.
+    pub fn len(&self) -> usize {
+        self.comms.len()
+    }
+
+    /// True when the graph holds no communication.
+    pub fn is_empty(&self) -> bool {
+        self.comms.is_empty()
+    }
+
+    /// Iterates `(id, label, comm)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (CommId, &str, &Communication)> + '_ {
+        self.comms
+            .iter()
+            .zip(self.labels.iter())
+            .enumerate()
+            .map(|(i, (c, l))| (CommId(i as u32), l.as_str(), c))
+    }
+
+    /// The set of nodes present (declared or referenced), sorted.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let mut set = self.declared_nodes.clone();
+        for c in &self.comms {
+            set.insert(c.src);
+            set.insert(c.dst);
+        }
+        set.into_iter().collect()
+    }
+
+    /// Outgoing degree Δo(v): number of communications with source `v`.
+    pub fn out_degree(&self, node: NodeId) -> usize {
+        self.comms.iter().filter(|c| c.src == node).count()
+    }
+
+    /// Incoming degree Δi(v): number of communications with destination `v`.
+    pub fn in_degree(&self, node: NodeId) -> usize {
+        self.comms.iter().filter(|c| c.dst == node).count()
+    }
+
+    /// Ids of communications leaving `node`.
+    pub fn outgoing(&self, node: NodeId) -> Vec<CommId> {
+        self.iter()
+            .filter(|(_, _, c)| c.src == node)
+            .map(|(id, _, _)| id)
+            .collect()
+    }
+
+    /// Ids of communications entering `node`.
+    pub fn incoming(&self, node: NodeId) -> Vec<CommId> {
+        self.iter()
+            .filter(|(_, _, c)| c.dst == node)
+            .map(|(id, _, _)| id)
+            .collect()
+    }
+
+    /// Total payload bytes over all communications.
+    pub fn total_bytes(&self) -> u64 {
+        self.comms.iter().map(|c| c.size).sum()
+    }
+
+    /// Rescales every communication to `size` bytes (the paper's schemes
+    /// always use equal sizes; MK1/MK2 are evaluated at several sizes).
+    pub fn with_uniform_size(mut self, size: u64) -> Self {
+        for c in &mut self.comms {
+            c.size = size;
+        }
+        self
+    }
+}
+
+impl fmt::Display for CommGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.name.is_empty() {
+            writeln!(f, "scheme {}", self.name)?;
+        }
+        for (_, label, c) in self.iter() {
+            writeln!(f, "  {label}: {c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Spreadsheet-style label for index `i`: a..z, aa..az, ba..
+fn auto_label(mut i: usize) -> String {
+    let mut out = Vec::new();
+    loop {
+        out.push(b'a' + (i % 26) as u8);
+        i /= 26;
+        if i == 0 {
+            break;
+        }
+        i -= 1;
+    }
+    out.reverse();
+    String::from_utf8(out).expect("ascii labels")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::MB;
+
+    #[test]
+    fn auto_labels_follow_spreadsheet_order() {
+        assert_eq!(auto_label(0), "a");
+        assert_eq!(auto_label(25), "z");
+        assert_eq!(auto_label(26), "aa");
+        assert_eq!(auto_label(27), "ab");
+        assert_eq!(auto_label(26 + 26 * 26 - 1), "zz");
+        assert_eq!(auto_label(26 + 26 * 26), "aaa");
+    }
+
+    #[test]
+    fn add_and_query() {
+        let mut g = CommGraph::named("demo");
+        let a = g.add("a", 0u32, 1u32, 20 * MB);
+        let b = g.add_auto(0u32, 2u32, 20 * MB);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.label(a), "a");
+        assert_eq!(g.label(b), "b");
+        assert_eq!(g.by_label("b"), Some(b));
+        assert_eq!(g.by_label("zz"), None);
+        assert_eq!(g.out_degree(NodeId(0)), 2);
+        assert_eq!(g.in_degree(NodeId(1)), 1);
+        assert_eq!(g.outgoing(NodeId(0)), vec![a, b]);
+        assert_eq!(g.incoming(NodeId(2)), vec![b]);
+        assert_eq!(g.nodes(), vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(g.total_bytes(), 40 * MB);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate communication label")]
+    fn duplicate_label_panics() {
+        let mut g = CommGraph::new();
+        g.add("a", 0u32, 1u32, 1);
+        g.add("a", 0u32, 2u32, 1);
+    }
+
+    #[test]
+    fn declared_nodes_appear() {
+        let mut g = CommGraph::new();
+        g.declare_node(9u32);
+        g.add("a", 0u32, 1u32, 1);
+        assert_eq!(g.nodes(), vec![NodeId(0), NodeId(1), NodeId(9)]);
+    }
+
+    #[test]
+    fn uniform_resize() {
+        let mut g = CommGraph::new();
+        g.add("a", 0u32, 1u32, 5);
+        g.add("b", 0u32, 2u32, 7);
+        let g = g.with_uniform_size(42);
+        assert!(g.comms().iter().all(|c| c.size == 42));
+    }
+
+    #[test]
+    fn display_lists_comms() {
+        let mut g = CommGraph::named("x");
+        g.add("a", 0u32, 1u32, MB);
+        let s = g.to_string();
+        assert!(s.contains("scheme x"));
+        assert!(s.contains("a: n0 -> n1 (1MB)"));
+    }
+}

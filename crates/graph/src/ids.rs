@@ -1,0 +1,104 @@
+//! Typed identifiers for cluster nodes, MPI tasks and communications.
+//!
+//! Using newtypes rather than bare integers prevents the classic confusion
+//! between *node* indices (physical machines) and *task* indices (MPI ranks)
+//! that the paper's scheduling experiments (§VI.D: RRN/RRP/Random) revolve
+//! around.
+
+use std::fmt;
+
+/// A physical cluster node (one machine, one NIC per fabric).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct NodeId(pub u32);
+
+/// An MPI task (rank). Several tasks may be placed on one [`NodeId`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct TaskId(pub u32);
+
+/// Index of a communication within a [`crate::CommGraph`] (dense, 0-based).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct CommId(pub u32);
+
+impl NodeId {
+    /// The index as a `usize`, for slice access.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl TaskId {
+    /// The rank as a `usize`, for slice access.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl CommId {
+    /// The index as a `usize`, for slice access.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for CommId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<u32> for TaskId {
+    fn from(v: u32) -> Self {
+        TaskId(v)
+    }
+}
+
+impl From<u32> for CommId {
+    fn from(v: u32) -> Self {
+        CommId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(TaskId(7).to_string(), "t7");
+        assert_eq!(CommId(0).to_string(), "c0");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(CommId(0) < CommId(10));
+    }
+
+    #[test]
+    fn idx_round_trips() {
+        assert_eq!(NodeId(42).idx(), 42);
+        assert_eq!(NodeId::from(42u32), NodeId(42));
+    }
+}

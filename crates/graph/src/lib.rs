@@ -1,0 +1,54 @@
+//! Communication graphs and conflict structure for bandwidth-sharing analysis.
+//!
+//! This crate is the lowest-level substrate of the `netbw` workspace, the
+//! reproduction of *Vienne, Martinasso, Vincent, Méhaut — "Predictive models
+//! for bandwidth sharing in high performance clusters" (IEEE Cluster 2008)*.
+//!
+//! It provides:
+//!
+//! * typed identifiers for cluster nodes, MPI tasks and communications
+//!   ([`NodeId`], [`TaskId`], [`CommId`]),
+//! * the [`Communication`] record (source node, destination node, payload),
+//! * [`CommGraph`] — a labelled multigraph of point-to-point communications,
+//!   the paper's "communication scheme",
+//! * the conflict taxonomy of §IV.A ([`conflict`]) and the *conflict graph*
+//!   used by the Myrinet state-set model,
+//! * the scheme description language of §IV.B ([`dsl`]),
+//! * every communication scheme appearing in the paper plus synthetic
+//!   generators ([`schemes`]),
+//! * [Graphviz export](dot) for visual inspection.
+//!
+//! # Example
+//!
+//! ```
+//! use netbw_graph::{schemes, conflict::{ConflictRule, ConflictGraph}};
+//!
+//! let g = schemes::fig5();
+//! let cg = ConflictGraph::build(g.comms(), ConflictRule::Strict);
+//! assert_eq!(cg.edge_count(), 7);
+//! ```
+
+pub mod analysis;
+pub mod bitset;
+pub mod comm;
+pub mod conflict;
+pub mod dot;
+pub mod dsl;
+pub mod graph;
+pub mod ids;
+pub mod schemes;
+pub mod units;
+
+pub use bitset::BitSet;
+pub use comm::Communication;
+pub use graph::CommGraph;
+pub use ids::{CommId, NodeId, TaskId};
+
+/// Convenient glob-import of the most used items.
+pub mod prelude {
+    pub use crate::comm::Communication;
+    pub use crate::conflict::{ConflictGraph, ConflictKind, ConflictRule};
+    pub use crate::graph::CommGraph;
+    pub use crate::ids::{CommId, NodeId, TaskId};
+    pub use crate::units::{GB, GIB, KB, KIB, MB, MIB};
+}

@@ -1,0 +1,161 @@
+//! Byte-size constants, parsing and formatting.
+//!
+//! The paper's reference measurement is "the time of a `MPI_Send` of 20 MB";
+//! we follow the decimal convention (1 MB = 10^6 B) used by network vendors
+//! and also accept binary units (`MiB`) in the scheme DSL.
+
+use std::fmt;
+
+/// 1 kilobyte (10^3 bytes).
+pub const KB: u64 = 1_000;
+/// 1 megabyte (10^6 bytes).
+pub const MB: u64 = 1_000_000;
+/// 1 gigabyte (10^9 bytes).
+pub const GB: u64 = 1_000_000_000;
+/// 1 kibibyte (2^10 bytes).
+pub const KIB: u64 = 1 << 10;
+/// 1 mebibyte (2^20 bytes).
+pub const MIB: u64 = 1 << 20;
+/// 1 gibibyte (2^30 bytes).
+pub const GIB: u64 = 1 << 30;
+
+/// Error produced by [`parse_size`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSizeError {
+    input: String,
+    reason: &'static str,
+}
+
+impl fmt::Display for ParseSizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid size {:?}: {}", self.input, self.reason)
+    }
+}
+
+impl std::error::Error for ParseSizeError {}
+
+/// Parses a human byte size such as `"20MB"`, `"4 MiB"`, `"512"` or `"1.5GB"`.
+///
+/// Accepted suffixes (case-insensitive): `B`, `KB`, `MB`, `GB`, `KiB`,
+/// `MiB`, `GiB`. A bare number means bytes. Fractional values are allowed
+/// and rounded to the nearest byte.
+///
+/// ```
+/// use netbw_graph::units::{parse_size, MB};
+/// assert_eq!(parse_size("20MB").unwrap(), 20 * MB);
+/// assert_eq!(parse_size("1.5 kb").unwrap(), 1500);
+/// ```
+pub fn parse_size(s: &str) -> Result<u64, ParseSizeError> {
+    let err = |reason| ParseSizeError {
+        input: s.to_string(),
+        reason,
+    };
+    let t = s.trim();
+    if t.is_empty() {
+        return Err(err("empty string"));
+    }
+    let split = t
+        .find(|c: char| c.is_ascii_alphabetic())
+        .unwrap_or(t.len());
+    let (num, suffix) = t.split_at(split);
+    let num = num.trim();
+    let value: f64 = num.parse().map_err(|_| err("not a number"))?;
+    if !value.is_finite() || value < 0.0 {
+        return Err(err("must be a finite non-negative number"));
+    }
+    let unit = match suffix.trim().to_ascii_lowercase().as_str() {
+        "" | "b" => 1,
+        "kb" | "k" => KB,
+        "mb" | "m" => MB,
+        "gb" | "g" => GB,
+        "kib" => KIB,
+        "mib" => MIB,
+        "gib" => GIB,
+        _ => return Err(err("unknown unit suffix")),
+    };
+    let bytes = value * unit as f64;
+    if bytes > u64::MAX as f64 {
+        return Err(err("overflows u64 bytes"));
+    }
+    Ok(bytes.round() as u64)
+}
+
+/// Formats a byte count with the largest exact-ish decimal unit.
+///
+/// ```
+/// use netbw_graph::units::format_size;
+/// assert_eq!(format_size(20_000_000), "20MB");
+/// assert_eq!(format_size(1_500), "1.5KB");
+/// assert_eq!(format_size(999), "999B");
+/// ```
+pub fn format_size(bytes: u64) -> String {
+    fn fmt_scaled(bytes: u64, unit: u64, suffix: &str) -> String {
+        let v = bytes as f64 / unit as f64;
+        if (v - v.round()).abs() < 1e-9 {
+            format!("{}{}", v.round() as u64, suffix)
+        } else {
+            // trim trailing zeros from 3-decimal rendering
+            let s = format!("{v:.3}");
+            let s = s.trim_end_matches('0').trim_end_matches('.');
+            format!("{s}{suffix}")
+        }
+    }
+    if bytes >= GB {
+        fmt_scaled(bytes, GB, "GB")
+    } else if bytes >= MB {
+        fmt_scaled(bytes, MB, "MB")
+    } else if bytes >= KB {
+        fmt_scaled(bytes, KB, "KB")
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_bytes() {
+        assert_eq!(parse_size("0").unwrap(), 0);
+        assert_eq!(parse_size("512").unwrap(), 512);
+        assert_eq!(parse_size("512B").unwrap(), 512);
+    }
+
+    #[test]
+    fn parses_decimal_units() {
+        assert_eq!(parse_size("20MB").unwrap(), 20 * MB);
+        assert_eq!(parse_size("4 mb").unwrap(), 4 * MB);
+        assert_eq!(parse_size("2GB").unwrap(), 2 * GB);
+        assert_eq!(parse_size("3k").unwrap(), 3 * KB);
+    }
+
+    #[test]
+    fn parses_binary_units() {
+        assert_eq!(parse_size("1KiB").unwrap(), 1024);
+        assert_eq!(parse_size("4MiB").unwrap(), 4 << 20);
+        assert_eq!(parse_size("1gib").unwrap(), 1 << 30);
+    }
+
+    #[test]
+    fn parses_fractions() {
+        assert_eq!(parse_size("1.5KB").unwrap(), 1500);
+        assert_eq!(parse_size("0.5MB").unwrap(), 500_000);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_size("").is_err());
+        assert!(parse_size("MB").is_err());
+        assert!(parse_size("-4MB").is_err());
+        assert!(parse_size("4XB").is_err());
+        assert!(parse_size("nan MB").is_err());
+    }
+
+    #[test]
+    fn format_round_trips_common_sizes() {
+        for &s in &[1u64, 999, 1_000, 20 * MB, 4 * MB, 3 * GB, 1_500] {
+            assert_eq!(parse_size(&format_size(s)).unwrap(), s, "size {s}");
+        }
+    }
+}

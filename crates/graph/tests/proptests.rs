@@ -1,0 +1,142 @@
+//! Property-based tests for the graph substrate.
+
+use netbw_graph::bitset::BitSet;
+use netbw_graph::conflict::{ConflictGraph, ConflictRule};
+use netbw_graph::units::{format_size, parse_size};
+use netbw_graph::{dsl, CommGraph, Communication};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    /// BitSet agrees with a HashSet model under arbitrary operation mixes.
+    #[test]
+    fn bitset_matches_hashset_model(ops in proptest::collection::vec((0u8..5, 0usize..200), 0..200)) {
+        let mut bs = BitSet::with_capacity(64);
+        let mut hs: HashSet<usize> = HashSet::new();
+        for (op, v) in ops {
+            match op {
+                0 => {
+                    prop_assert_eq!(bs.insert(v), hs.insert(v));
+                }
+                1 => {
+                    prop_assert_eq!(bs.remove(v), hs.remove(&v));
+                }
+                2 => {
+                    prop_assert_eq!(bs.contains(v), hs.contains(&v));
+                }
+                3 => {
+                    prop_assert_eq!(bs.len(), hs.len());
+                }
+                _ => {
+                    let mut sorted: Vec<usize> = hs.iter().copied().collect();
+                    sorted.sort_unstable();
+                    prop_assert_eq!(bs.iter().collect::<Vec<_>>(), sorted);
+                }
+            }
+        }
+        prop_assert_eq!(bs.is_empty(), hs.is_empty());
+    }
+
+    /// Set algebra agrees with the HashSet model.
+    #[test]
+    fn bitset_algebra_matches_model(
+        a in proptest::collection::hash_set(0usize..150, 0..40),
+        b in proptest::collection::hash_set(0usize..150, 0..40),
+    ) {
+        let ba: BitSet = a.iter().copied().collect();
+        let bb: BitSet = b.iter().copied().collect();
+        let mut i = ba.clone();
+        i.intersect_with(&bb);
+        let want: HashSet<usize> = a.intersection(&b).copied().collect();
+        prop_assert_eq!(i.iter().collect::<HashSet<_>>(), want.clone());
+        prop_assert_eq!(ba.intersection_len(&bb), want.len());
+        prop_assert_eq!(ba.is_disjoint(&bb), want.is_empty());
+        let mut u = ba.clone();
+        u.union_with(&bb);
+        prop_assert_eq!(u.len(), a.union(&b).count());
+        let mut d = ba.clone();
+        d.difference_with(&bb);
+        prop_assert_eq!(d.iter().collect::<HashSet<_>>(),
+            a.difference(&b).copied().collect::<HashSet<_>>());
+    }
+
+    /// format_size / parse_size round-trips for every u64 the formatter
+    /// renders exactly.
+    #[test]
+    fn size_format_round_trips(bytes in 0u64..10_000_000_000_000) {
+        let s = format_size(bytes);
+        let back = parse_size(&s).unwrap();
+        // formatting truncates to 3 decimals: allow that quantisation
+        let unit: u64 = if bytes >= 1_000_000_000 { 1_000_000_000 }
+            else if bytes >= 1_000_000 { 1_000_000 }
+            else if bytes >= 1_000 { 1_000 } else { 1 };
+        let tol = unit / 1000 + 1;
+        prop_assert!(back.abs_diff(bytes) <= tol, "{bytes} -> {s} -> {back}");
+    }
+
+    /// The conflict graph is symmetric and loop-free under both rules.
+    #[test]
+    fn conflict_graph_symmetric(comms in proptest::collection::vec((0u32..6, 0u32..5, 1u64..100), 1..10)) {
+        let comms: Vec<Communication> = comms
+            .into_iter()
+            .map(|(s, d_raw, size)| {
+                let d = if d_raw >= s { d_raw + 1 } else { d_raw };
+                Communication::new(s, d, size)
+            })
+            .collect();
+        for rule in [ConflictRule::Strict, ConflictRule::SharedNode] {
+            let cg = ConflictGraph::build(&comms, rule);
+            for i in 0..cg.len() {
+                prop_assert!(!cg.conflicts(i, i));
+                for j in 0..cg.len() {
+                    prop_assert_eq!(cg.conflicts(i, j), cg.conflicts(j, i));
+                }
+            }
+            // strict edges are a subset of shared-node edges
+        }
+        let strict = ConflictGraph::build(&comms, ConflictRule::Strict);
+        let shared = ConflictGraph::build(&comms, ConflictRule::SharedNode);
+        for i in 0..strict.len() {
+            for j in 0..strict.len() {
+                if strict.conflicts(i, j) {
+                    prop_assert!(shared.conflicts(i, j));
+                }
+            }
+        }
+    }
+
+    /// Components partition the vertex set.
+    #[test]
+    fn components_partition(comms in proptest::collection::vec((0u32..6, 0u32..5), 1..12)) {
+        let comms: Vec<Communication> = comms
+            .into_iter()
+            .map(|(s, d_raw)| {
+                let d = if d_raw >= s { d_raw + 1 } else { d_raw };
+                Communication::new(s, d, 1)
+            })
+            .collect();
+        let cg = ConflictGraph::build(&comms, ConflictRule::Strict);
+        let comps = cg.components();
+        let mut seen = vec![false; cg.len()];
+        for comp in &comps {
+            for &v in comp {
+                prop_assert!(!seen[v], "vertex {} in two components", v);
+                seen[v] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// DSL emit/parse round-trips arbitrary auto-labelled graphs.
+    #[test]
+    fn dsl_round_trip(comms in proptest::collection::vec((0u32..9, 0u32..8, 1u64..1_000_000), 0..15)) {
+        let mut g = CommGraph::named("prop");
+        for (s, d_raw, size) in comms {
+            let d = if d_raw >= s { d_raw + 1 } else { d_raw };
+            g.add_auto(s, d, size);
+        }
+        let text = dsl::emit(&g);
+        let back = dsl::parse(&text).unwrap();
+        prop_assert_eq!(back, g);
+    }
+}

@@ -1,0 +1,45 @@
+//! Packet-level flow-control simulators — the stand-in for the paper's
+//! three physical clusters.
+//!
+//! The paper measures bandwidth-sharing penalties on an IBM e326 Gigabit
+//! Ethernet cluster, an IBM e325 Myrinet 2000 cluster, and a BULL Novascale
+//! InfiniHost III cluster. We have none of them, so this crate implements a
+//! segment-level discrete-event simulation of each fabric's *flow-control
+//! mechanism* (the paper's §III identifies flow control as the causal
+//! mechanism behind the sharing behaviour):
+//!
+//! * **Gigabit Ethernet / TCP** — a per-flow window ceiling (the TCP
+//!   window/RTT limit that caps one stream at β ≈ 0.75 of the line) with
+//!   deep network queueing; 802.3x pause semantics appear as lossless
+//!   backpressure.
+//! * **Myrinet 2000** — wormhole cut-through with Stop & Go: at most a
+//!   path-depth worth of packets outstanding (window 3), so a busy receiver
+//!   immediately stalls the sender; inter-packet gaps cap a single flow at
+//!   ≈ 0.95 of the link.
+//! * **InfiniBand (InfiniHost III)** — credit-based flow control (moderate
+//!   outstanding window) plus static rate control capping one stream at
+//!   ≈ 0.8625 of the link.
+//!
+//! All three share a receiver-side *host budget*: while a node is also
+//! transmitting, its reception path (DMA/memory) is limited to
+//! `host_budget − link_rate`, which reproduces the paper's income/outgo
+//! measurements (Fig. 2 schemes 4–6: an incoming flow pays 1.14–1.45
+//! depending on fabric). See `DESIGN.md §3` for the calibration and
+//! `EXPERIMENTS.md` for simulated-vs-paper tables including known
+//! deviations (the paper's scheme 5/6 rows contain strong TCP-unfairness
+//! outliers that a mean-behaviour simulator does not produce).
+//!
+//! The crate exposes both a batch API ([`PacketFabric::run_scheme`]) and an
+//! incremental API ([`PacketNetwork`]) that `netbw-sim` uses as its
+//! "measured hardware" backend.
+
+pub mod config;
+pub mod des;
+pub mod fabric;
+pub mod measure;
+pub mod topology;
+
+pub use config::FabricConfig;
+pub use fabric::{PacketFabric, PacketNetwork};
+pub use measure::{measure_penalties, PenaltyMeasurement, SchemeMeasurer};
+pub use topology::Topology;

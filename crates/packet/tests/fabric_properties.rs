@@ -1,0 +1,103 @@
+//! Property-based tests for the packet-level fabrics.
+
+use netbw_graph::Communication;
+use netbw_packet::{FabricConfig, PacketFabric, PacketNetwork};
+use proptest::prelude::*;
+
+fn arb_scheme() -> impl Strategy<Value = Vec<Communication>> {
+    proptest::collection::vec((0u32..6, 0u32..5, 1u64..4_000_000), 1..7).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(s, d_raw, size)| {
+                let d = if d_raw >= s { d_raw + 1 } else { d_raw };
+                Communication::new(s, d, size)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every transfer completes, no earlier than its injection floor and
+    /// no later than total-serialization time.
+    #[test]
+    fn completion_bounds(comms in arb_scheme()) {
+        for cfg in [FabricConfig::gige(), FabricConfig::myrinet2000(), FabricConfig::infinihost3()] {
+            let fab = PacketFabric::new(cfg, 8);
+            let times = fab.run_with_starts(&comms, &vec![0.0; comms.len()]);
+            let total_bytes: u64 = comms.iter().map(|c| c.size).sum();
+            for (t, c) in times.iter().zip(&comms) {
+                let floor = c.size as f64 / cfg.flow_cap;
+                prop_assert!(*t >= floor - 1e-9, "{}: {t} < {floor}", cfg.name);
+                // generous ceiling: whole workload serialized on one link
+                // through the slowest stage, plus per-message startup
+                let ceil = total_bytes as f64 / cfg.rx_budget_busy()
+                    + comms.len() as f64 * (cfg.startup + 1e-3) + 1.0;
+                prop_assert!(*t <= ceil, "{}: {t} > {ceil}", cfg.name);
+            }
+        }
+    }
+
+    /// Determinism: identical runs produce identical times.
+    #[test]
+    fn deterministic(comms in arb_scheme()) {
+        let cfg = FabricConfig::myrinet2000();
+        let fab = PacketFabric::new(cfg, 8);
+        let a = fab.run_with_starts(&comms, &vec![0.0; comms.len()]);
+        let b = fab.run_with_starts(&comms, &vec![0.0; comms.len()]);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Incremental advancement with arbitrary step sizes equals batch.
+    #[test]
+    fn incremental_equals_batch(comms in arb_scheme(), step_ms in 1u64..500) {
+        let cfg = FabricConfig::gige();
+        let fab = PacketFabric::new(cfg, 8);
+        let batch = fab.run_with_starts(&comms, &vec![0.0; comms.len()]);
+
+        let mut net = PacketNetwork::new(cfg, 8);
+        for (i, c) in comms.iter().enumerate() {
+            net.add(i as u64, *c, 0.0);
+        }
+        let mut done = vec![f64::NAN; comms.len()];
+        let mut t = 0.0;
+        while net.in_flight() > 0 {
+            t += step_ms as f64 * 1e-3;
+            for (k, at) in net.advance_to(t) {
+                done[k as usize] = at;
+            }
+        }
+        for (i, (&d, &b)) in done.iter().zip(&batch).enumerate() {
+            prop_assert!((d - b).abs() < 1e-9, "flow {i}: {d} vs {b}");
+        }
+    }
+
+    /// Adding an unrelated flow between two fresh nodes never speeds up an
+    /// existing flow.
+    #[test]
+    fn adding_disjoint_flow_never_helps(comms in arb_scheme()) {
+        let cfg = FabricConfig::infinihost3();
+        let fab = PacketFabric::new(cfg, 12);
+        let base = fab.run_with_starts(&comms, &vec![0.0; comms.len()]);
+        let mut more = comms.clone();
+        more.push(Communication::new(10u32, 11u32, 1_000_000));
+        let with = fab.run_with_starts(&more, &vec![0.0; more.len()]);
+        for i in 0..comms.len() {
+            prop_assert!(with[i] >= base[i] - 1e-9, "flow {i} sped up");
+        }
+    }
+}
+
+/// Reference time grows monotonically with size (non-property sanity).
+#[test]
+fn tref_monotone_in_size() {
+    for cfg in FabricConfig::paper_fabrics() {
+        let fab = PacketFabric::new(cfg, 2);
+        let mut last = 0.0;
+        for size in [1_000u64, 100_000, 1_000_000, 10_000_000] {
+            let t = fab.reference_time(size);
+            assert!(t > last, "{}: {t} at {size}", cfg.name);
+            last = t;
+        }
+    }
+}

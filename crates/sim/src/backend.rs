@@ -1,0 +1,87 @@
+//! The network abstraction the engine replays traces against.
+//!
+//! Two implementations ship with the workspace:
+//!
+//! * [`netbw_fluid::FluidNetwork`] over a penalty model — the **predicted**
+//!   side of the paper's evaluation;
+//! * [`netbw_packet::PacketNetwork`] — the simulated hardware, the
+//!   **measured** side.
+
+use netbw_graph::Communication;
+
+/// An inter-node transfer service: transfers are keyed, started at given
+/// times, and complete asynchronously.
+pub trait NetworkBackend {
+    /// Starts transfer `key` at absolute time `start`.
+    fn add(&mut self, key: u64, comm: Communication, start: f64);
+    /// The next instant at which the backend's state changes, if any.
+    fn next_event_time(&self) -> Option<f64>;
+    /// Advances to `t`, returning `(key, completion_time)` for transfers
+    /// completing in `(previous, t]`.
+    fn advance_to(&mut self, t: f64) -> Vec<(u64, f64)>;
+}
+
+impl<M: netbw_core::PenaltyModel> NetworkBackend for netbw_fluid::FluidNetwork<M> {
+    fn add(&mut self, key: u64, comm: Communication, start: f64) {
+        netbw_fluid::FluidNetwork::add(self, key, comm, start);
+    }
+
+    fn next_event_time(&self) -> Option<f64> {
+        netbw_fluid::FluidNetwork::next_event_time(self)
+    }
+
+    fn advance_to(&mut self, t: f64) -> Vec<(u64, f64)> {
+        netbw_fluid::FluidNetwork::advance_to(self, t)
+            .into_iter()
+            .map(|c| (c.key, c.completion))
+            .collect()
+    }
+}
+
+impl NetworkBackend for netbw_packet::PacketNetwork {
+    fn add(&mut self, key: u64, comm: Communication, start: f64) {
+        netbw_packet::PacketNetwork::add(self, key, comm, start);
+    }
+
+    fn next_event_time(&self) -> Option<f64> {
+        netbw_packet::PacketNetwork::next_event_time(self)
+    }
+
+    fn advance_to(&mut self, t: f64) -> Vec<(u64, f64)> {
+        netbw_packet::PacketNetwork::advance_to(self, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netbw_core::baseline::LinearModel;
+    use netbw_fluid::{FluidNetwork, NetworkParams};
+    use netbw_packet::{FabricConfig, PacketNetwork};
+
+    #[test]
+    fn fluid_backend_round_trips() {
+        let mut b: Box<dyn NetworkBackend> =
+            Box::new(FluidNetwork::new(LinearModel, NetworkParams::unit()));
+        b.add(7, Communication::new(0u32, 1u32, 100), 0.0);
+        assert!(b.next_event_time().is_some());
+        let done = b.advance_to(200.0);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].0, 7);
+        assert!((done[0].1 - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn packet_backend_round_trips() {
+        let mut b: Box<dyn NetworkBackend> =
+            Box::new(PacketNetwork::new(FabricConfig::gige(), 2));
+        b.add(3, Communication::new(0u32, 1u32, 1_000_000), 0.0);
+        let mut done = Vec::new();
+        while let Some(t) = b.next_event_time() {
+            done.extend(b.advance_to(t));
+        }
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].0, 3);
+        assert!(done[0].1 > 0.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Cluster definition.
+
+/// A homogeneous cluster of SMP nodes (the paper's three test clusters are
+/// all 2-processor nodes; §VII mentions 8- and 16-core extensions, which
+/// [`ClusterSpec::cores_per_node`] covers).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClusterSpec {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Cores (task slots) per node.
+    pub cores_per_node: usize,
+    /// Intra-node (shared-memory) transfer bandwidth, bytes/second.
+    pub mem_bandwidth: f64,
+    /// Messages at or below this size use the eager protocol: the sender
+    /// does not wait for the receiver; larger messages rendezvous.
+    pub eager_threshold: u64,
+}
+
+impl ClusterSpec {
+    /// A cluster like the paper's: `nodes` 2-core nodes, 1.5 GB/s memory
+    /// copies, 64 KiB eager threshold (MPICH default era).
+    pub fn smp(nodes: usize) -> Self {
+        ClusterSpec {
+            nodes,
+            cores_per_node: 2,
+            mem_bandwidth: 1.5e9,
+            eager_threshold: 64 * 1024,
+        }
+    }
+
+    /// Total task capacity.
+    pub fn capacity(&self) -> usize {
+        self.nodes * self.cores_per_node
+    }
+
+    /// Validates the specification.
+    ///
+    /// # Panics
+    /// On degenerate values.
+    pub fn validate(&self) {
+        assert!(self.nodes >= 1, "need at least one node");
+        assert!(self.cores_per_node >= 1, "need at least one core per node");
+        assert!(self.mem_bandwidth > 0.0, "memory bandwidth must be positive");
+    }
+
+    /// With a different core count (the §VII extension studies).
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        self.cores_per_node = cores;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_and_validation() {
+        let c = ClusterSpec::smp(8);
+        c.validate();
+        assert_eq!(c.capacity(), 16);
+        assert_eq!(c.with_cores(8).capacity(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn rejects_zero_nodes() {
+        ClusterSpec {
+            nodes: 0,
+            ..ClusterSpec::smp(1)
+        }
+        .validate();
+    }
+}

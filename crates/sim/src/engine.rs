@@ -1,0 +1,647 @@
+//! The trace-replay engine: MPI blocking semantics over a network backend.
+
+use crate::backend::NetworkBackend;
+use crate::cluster::ClusterSpec;
+use crate::placement::Placement;
+use crate::report::{MessageRecord, SimReport, TaskReport};
+use netbw_graph::Communication;
+use netbw_trace::{Event, Trace};
+
+/// Engine failure modes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// No task can make progress but the application has not finished.
+    Deadlock {
+        /// Time at which progress stopped.
+        at: f64,
+        /// Human-readable blocked-task descriptions.
+        blocked: Vec<String>,
+    },
+    /// The trace is inconsistent with the cluster or itself.
+    InvalidTrace(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { at, blocked } => {
+                write!(f, "deadlock at t={at}: {}", blocked.join("; "))
+            }
+            SimError::InvalidTrace(m) => write!(f, "invalid trace: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum TaskState {
+    Running,
+    BlockedSend(usize),
+    BlockedRecv,
+    InBarrier,
+    Done,
+}
+
+#[derive(Debug)]
+struct Msg {
+    src_task: usize,
+    dst_task: usize,
+    bytes: u64,
+    post_send: f64,
+    post_recv: f64,
+    start: f64,
+    end: f64,
+    intra: bool,
+    eager: bool,
+    /// Transfer finished (payload delivered).
+    arrived: bool,
+    /// A receive has been bound to this message.
+    bound: bool,
+}
+
+#[derive(Debug)]
+struct PendingRecv {
+    src: Option<usize>,
+    bytes: u64,
+    posted: f64,
+}
+
+/// The trace-driven simulator. Replays a [`Trace`] over a cluster,
+/// placement and network backend, producing per-task timings.
+pub struct Simulator<'a, B> {
+    trace: &'a Trace,
+    cluster: ClusterSpec,
+    placement: Placement,
+    backend: B,
+}
+
+impl<'a, B: NetworkBackend> Simulator<'a, B> {
+    /// Builds a simulator.
+    ///
+    /// # Panics
+    /// If the placement does not cover the trace's tasks.
+    pub fn new(trace: &'a Trace, cluster: ClusterSpec, placement: Placement, backend: B) -> Self {
+        assert_eq!(
+            placement.len(),
+            trace.len(),
+            "placement must map every task"
+        );
+        Simulator {
+            trace,
+            cluster,
+            placement,
+            backend,
+        }
+    }
+
+    /// Replays the trace to completion.
+    pub fn run(mut self) -> Result<SimReport, SimError> {
+        self.trace
+            .validate()
+            .map_err(SimError::InvalidTrace)?;
+        let n = self.trace.len();
+        let mut pc = vec![0usize; n];
+        let mut clock = vec![0.0f64; n];
+        let mut state = vec![TaskState::Running; n];
+        let mut report = SimReport {
+            tasks: vec![TaskReport::default(); n],
+            messages: Vec::new(),
+        };
+        if n == 0 {
+            return Ok(report);
+        }
+
+        let mut msgs: Vec<Msg> = Vec::new();
+        // unmatched (unbound) messages per destination task, in post order
+        let mut unbound: Vec<Vec<usize>> = vec![Vec::new(); n];
+        // pending (unbound) receives per task, in post order
+        let mut pending_recv: Vec<Vec<PendingRecv>> =
+            (0..n).map(|_| Vec::new()).collect();
+        // which message a blocked receiver is waiting on
+        let mut waiting_on: Vec<Option<usize>> = vec![None; n];
+        // intra-node completions: (time, msg id), scanned for the minimum
+        let mut local: Vec<(f64, usize)> = Vec::new();
+        // barrier bookkeeping
+        let mut barrier_arrivals: usize = 0;
+        let mut barrier_block_start = vec![0.0f64; n];
+
+        loop {
+            // ---- choose the next instant ----
+            let t_task = (0..n)
+                .filter(|&r| state[r] == TaskState::Running)
+                .map(|r| clock[r])
+                .min_by(f64::total_cmp);
+            let t_local = local.iter().map(|&(t, _)| t).min_by(f64::total_cmp);
+            let t_net = self.backend.next_event_time();
+            let t = [t_task, t_local, t_net]
+                .into_iter()
+                .flatten()
+                .min_by(f64::total_cmp);
+            let Some(t) = t else {
+                if state.iter().all(|s| *s == TaskState::Done) {
+                    break;
+                }
+                return Err(self.deadlock(&state, &clock, &report));
+            };
+
+            // ---- deliver network completions at exactly t ----
+            for (key, ct) in self.backend.advance_to(t) {
+                Self::deliver(
+                    key as usize,
+                    ct,
+                    &mut msgs,
+                    &mut state,
+                    &mut clock,
+                    &mut waiting_on,
+                    &mut report,
+                );
+            }
+            // ---- deliver intra-node completions at ≤ t ----
+            while let Some(pos) = local
+                .iter()
+                .position(|&(lt, _)| lt <= t + 1e-15)
+            {
+                let (lt, mid) = local.swap_remove(pos);
+                Self::deliver(
+                    mid,
+                    lt,
+                    &mut msgs,
+                    &mut state,
+                    &mut clock,
+                    &mut waiting_on,
+                    &mut report,
+                );
+            }
+
+            // ---- run one task step at t ----
+            let next_task = (0..n)
+                .filter(|&r| state[r] == TaskState::Running && clock[r] <= t + 1e-15)
+                .min_by(|&a, &b| clock[a].total_cmp(&clock[b]).then(a.cmp(&b)));
+            let Some(r) = next_task else {
+                continue;
+            };
+            let now = clock[r];
+
+            let Some(ev) = self.trace.tasks[r].events.get(pc[r]).copied() else {
+                state[r] = TaskState::Done;
+                report.tasks[r].finish = now;
+                continue;
+            };
+            pc[r] += 1;
+
+            match ev {
+                Event::Compute { duration } => {
+                    clock[r] += duration;
+                    report.tasks[r].compute_time += duration;
+                }
+                Event::Send { dst, bytes } => {
+                    let d = dst.idx();
+                    let intra = self.placement.node_of(r) == self.placement.node_of(d);
+                    let eager = bytes <= self.cluster.eager_threshold;
+                    let mid = msgs.len();
+                    msgs.push(Msg {
+                        src_task: r,
+                        dst_task: d,
+                        bytes,
+                        post_send: now,
+                        post_recv: f64::NAN,
+                        start: f64::NAN,
+                        end: f64::NAN,
+                        intra,
+                        eager,
+                        arrived: false,
+                        bound: false,
+                    });
+                    report.tasks[r].bytes_sent += bytes;
+
+                    // bind to an already-posted receive?
+                    if let Some(pos) = pending_recv[d]
+                        .iter()
+                        .position(|pr| pr.src.is_none_or(|s| s == r))
+                    {
+                        let pr = pending_recv[d].remove(pos);
+                        if pr.bytes != bytes {
+                            return Err(SimError::InvalidTrace(format!(
+                                "task {d} expected {} bytes from {r}, got {bytes}",
+                                pr.bytes
+                            )));
+                        }
+                        msgs[mid].bound = true;
+                        msgs[mid].post_recv = pr.posted;
+                        waiting_on[d] = Some(mid);
+                    } else {
+                        unbound[d].push(mid);
+                    }
+
+                    if eager {
+                        // transfer begins immediately; sender pays a local
+                        // copy and continues
+                        let copy = bytes as f64 / self.cluster.mem_bandwidth;
+                        clock[r] += copy;
+                        report.tasks[r].send_time += copy;
+                        self.start_transfer(mid, now, &mut msgs, &mut local);
+                    } else if msgs[mid].bound {
+                        // rendezvous with the receiver already waiting
+                        self.start_transfer(mid, now, &mut msgs, &mut local);
+                        state[r] = TaskState::BlockedSend(mid);
+                    } else {
+                        state[r] = TaskState::BlockedSend(mid);
+                    }
+                }
+                Event::Recv { src, bytes } => {
+                    let want: Option<usize> = src.map(|s| s.idx());
+                    // oldest matching unbound message
+                    if let Some(pos) = unbound[r].iter().position(|&mid| {
+                        let m = &msgs[mid];
+                        want.is_none_or(|s| s == m.src_task)
+                    }) {
+                        let mid = unbound[r].remove(pos);
+                        if msgs[mid].bytes != bytes {
+                            return Err(SimError::InvalidTrace(format!(
+                                "task {r} expected {bytes} bytes, sender {} sent {}",
+                                msgs[mid].src_task, msgs[mid].bytes
+                            )));
+                        }
+                        msgs[mid].bound = true;
+                        msgs[mid].post_recv = now;
+                        if msgs[mid].arrived {
+                            // eager message already delivered
+                            report.tasks[r].recv_time += (msgs[mid].end - now).max(0.0);
+                            clock[r] = now.max(msgs[mid].end);
+                        } else {
+                            if !msgs[mid].eager && msgs[mid].start.is_nan() {
+                                // rendezvous starts now that both sides are in
+                                self.start_transfer(mid, now, &mut msgs, &mut local);
+                            }
+                            waiting_on[r] = Some(mid);
+                            state[r] = TaskState::BlockedRecv;
+                        }
+                    } else {
+                        pending_recv[r].push(PendingRecv {
+                            src: want,
+                            bytes,
+                            posted: now,
+                        });
+                        state[r] = TaskState::BlockedRecv;
+                    }
+                }
+                Event::Barrier => {
+                    state[r] = TaskState::InBarrier;
+                    barrier_block_start[r] = now;
+                    barrier_arrivals += 1;
+                    if barrier_arrivals == n {
+                        barrier_arrivals = 0;
+                        let release = (0..n)
+                            .filter(|&x| state[x] == TaskState::InBarrier)
+                            .map(|x| clock[x])
+                            .fold(now, f64::max);
+                        for x in 0..n {
+                            if state[x] == TaskState::InBarrier {
+                                report.tasks[x].barrier_time +=
+                                    release - barrier_block_start[x];
+                                clock[x] = release;
+                                state[x] = TaskState::Running;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // finalize message records
+        report.messages = msgs
+            .iter()
+            .map(|m| MessageRecord {
+                src_task: m.src_task,
+                dst_task: m.dst_task,
+                bytes: m.bytes,
+                post_send: m.post_send,
+                post_recv: m.post_recv,
+                start: m.start,
+                end: m.end,
+                intra_node: m.intra,
+                eager: m.eager,
+            })
+            .collect();
+        Ok(report)
+    }
+
+    /// Starts the payload transfer of message `mid` at time `now`.
+    fn start_transfer(
+        &mut self,
+        mid: usize,
+        now: f64,
+        msgs: &mut [Msg],
+        local: &mut Vec<(f64, usize)>,
+    ) {
+        let m = &mut msgs[mid];
+        debug_assert!(m.start.is_nan(), "transfer started twice");
+        m.start = now;
+        if m.intra {
+            let end = now + m.bytes as f64 / self.cluster.mem_bandwidth;
+            local.push((end, mid));
+        } else {
+            let comm = Communication::new(
+                self.placement.node_of(m.src_task),
+                self.placement.node_of(m.dst_task),
+                m.bytes,
+            );
+            self.backend.add(mid as u64, comm, now);
+        }
+    }
+
+    /// Handles a delivered payload: unblocks the sender (rendezvous) and
+    /// the bound receiver.
+    fn deliver(
+        mid: usize,
+        at: f64,
+        msgs: &mut [Msg],
+        state: &mut [TaskState],
+        clock: &mut [f64],
+        waiting_on: &mut [Option<usize>],
+        report: &mut SimReport,
+    ) {
+        let m = &mut msgs[mid];
+        m.arrived = true;
+        m.end = at;
+        let (s, d) = (m.src_task, m.dst_task);
+        if !m.eager {
+            if let TaskState::BlockedSend(b) = state[s] {
+                if b == mid {
+                    report.tasks[s].send_time += at - m.post_send;
+                    clock[s] = at;
+                    state[s] = TaskState::Running;
+                }
+            }
+        }
+        if m.bound && state[d] == TaskState::BlockedRecv && waiting_on[d] == Some(mid) {
+            report.tasks[d].recv_time += at - m.post_recv;
+            clock[d] = at;
+            state[d] = TaskState::Running;
+            waiting_on[d] = None;
+        }
+    }
+
+    fn deadlock(&self, state: &[TaskState], clock: &[f64], report: &SimReport) -> SimError {
+        let at = clock.iter().copied().fold(0.0, f64::max);
+        let blocked = state
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s != TaskState::Done)
+            .map(|(r, s)| format!("task {r} is {s:?}"))
+            .collect();
+        let _ = report;
+        SimError::Deadlock { at, blocked }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::PlacementPolicy;
+    use netbw_core::baseline::LinearModel;
+    use netbw_core::MyrinetModel;
+    use netbw_fluid::{FluidNetwork, NetworkParams};
+    use netbw_trace::Trace;
+
+    fn fluid_backend() -> FluidNetwork<LinearModel> {
+        FluidNetwork::new(LinearModel, NetworkParams::unit())
+    }
+
+    fn run(
+        trace: &Trace,
+        cluster: ClusterSpec,
+        policy: &PlacementPolicy,
+    ) -> Result<SimReport, SimError> {
+        let placement = Placement::assign(policy, trace.len(), &cluster);
+        Simulator::new(trace, cluster, placement, fluid_backend()).run()
+    }
+
+    fn big_cluster() -> ClusterSpec {
+        ClusterSpec {
+            nodes: 8,
+            cores_per_node: 1,
+            mem_bandwidth: 1e9,
+            eager_threshold: 0, // force rendezvous in unit tests
+        }
+    }
+
+    #[test]
+    fn pure_compute_trace() {
+        let mut tr = Trace::with_tasks(2);
+        tr.task_mut(0).compute(2.0);
+        tr.task_mut(1).compute(3.0);
+        let r = run(&tr, big_cluster(), &PlacementPolicy::RoundRobinNode).unwrap();
+        assert_eq!(r.tasks[0].finish, 2.0);
+        assert_eq!(r.tasks[1].finish, 3.0);
+        assert_eq!(r.makespan(), 3.0);
+    }
+
+    #[test]
+    fn rendezvous_send_blocks_until_delivery() {
+        // task1 computes 5 s before posting its receive; 100-byte message
+        // at unit bandwidth takes 100 s; sender blocked 0 → 105.
+        let mut tr = Trace::with_tasks(2);
+        tr.task_mut(0).send(1u32, 100);
+        tr.task_mut(1).compute(5.0).recv(0u32, 100);
+        let r = run(&tr, big_cluster(), &PlacementPolicy::RoundRobinNode).unwrap();
+        assert!((r.tasks[0].finish - 105.0).abs() < 1e-9, "{:?}", r.tasks[0]);
+        assert!((r.tasks[0].send_time - 105.0).abs() < 1e-9);
+        assert!((r.tasks[1].finish - 105.0).abs() < 1e-9);
+        assert!((r.tasks[1].recv_time - 100.0).abs() < 1e-9);
+        let m = &r.messages[0];
+        assert_eq!(m.start, 5.0);
+        assert_eq!(m.end, 105.0);
+        assert!(!m.eager && !m.intra_node);
+    }
+
+    #[test]
+    fn eager_send_does_not_block() {
+        let mut cluster = big_cluster();
+        cluster.eager_threshold = 1024;
+        let mut tr = Trace::with_tasks(2);
+        tr.task_mut(0).send(1u32, 100).compute(1.0);
+        tr.task_mut(1).compute(500.0).recv(0u32, 100);
+        let r = run(&tr, cluster, &PlacementPolicy::RoundRobinNode).unwrap();
+        // sender finished after copy (100/1e9 ≈ 0) + compute 1.0
+        assert!(r.tasks[0].finish < 2.0, "{:?}", r.tasks[0]);
+        // message arrived at ≈100 s; receiver posted at 500 → no wait
+        assert!((r.tasks[1].finish - 500.0).abs() < 1e-6);
+        assert!(r.tasks[1].recv_time < 1e-6);
+    }
+
+    #[test]
+    fn intra_node_messages_use_memory_bandwidth() {
+        let cluster = ClusterSpec {
+            nodes: 1,
+            cores_per_node: 2,
+            mem_bandwidth: 10.0,
+            eager_threshold: 0,
+        };
+        let mut tr = Trace::with_tasks(2);
+        tr.task_mut(0).send(1u32, 100);
+        tr.task_mut(1).recv(0u32, 100);
+        let r = run(&tr, cluster, &PlacementPolicy::RoundRobinProcessor).unwrap();
+        assert!((r.tasks[0].finish - 10.0).abs() < 1e-9);
+        assert!(r.messages[0].intra_node);
+    }
+
+    #[test]
+    fn any_source_matches_in_arrival_order() {
+        let mut tr = Trace::with_tasks(3);
+        tr.task_mut(0).compute(1.0).send(2u32, 100);
+        tr.task_mut(1).compute(2.0).send(2u32, 100);
+        tr.task_mut(2).recv_any(100).recv_any(100);
+        let r = run(&tr, big_cluster(), &PlacementPolicy::RoundRobinNode).unwrap();
+        // first recv binds task 0's (earlier) send
+        let m0 = r.messages.iter().find(|m| m.src_task == 0).unwrap();
+        let m1 = r.messages.iter().find(|m| m.src_task == 1).unwrap();
+        assert!(m0.start < m1.start);
+        assert_eq!(r.tasks[2].finish, r.messages.iter().map(|m| m.end).fold(0.0, f64::max));
+    }
+
+    #[test]
+    fn barrier_synchronizes_all() {
+        let mut tr = Trace::with_tasks(3);
+        tr.task_mut(0).compute(1.0).barrier().compute(1.0);
+        tr.task_mut(1).compute(5.0).barrier().compute(1.0);
+        tr.task_mut(2).barrier().compute(1.0);
+        let r = run(&tr, big_cluster(), &PlacementPolicy::RoundRobinNode).unwrap();
+        for t in &r.tasks {
+            assert!((t.finish - 6.0).abs() < 1e-9, "{t:?}");
+        }
+        assert!((r.tasks[2].barrier_time - 5.0).abs() < 1e-9);
+        assert!(r.tasks[1].barrier_time.abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_sends_share_bandwidth_under_model() {
+        // two tasks on one node send 100 bytes each to distinct nodes:
+        // Myrinet model penalty 2 → both complete at 200.
+        let cluster = ClusterSpec {
+            nodes: 3,
+            cores_per_node: 2,
+            mem_bandwidth: 1e12,
+            eager_threshold: 0,
+        };
+        let mut tr = Trace::with_tasks(4);
+        tr.task_mut(0).send(2u32, 100);
+        tr.task_mut(1).send(3u32, 100);
+        tr.task_mut(2).recv(0u32, 100);
+        tr.task_mut(3).recv(1u32, 100);
+        let placement = Placement::assign(
+            &PlacementPolicy::Explicit(vec![
+                netbw_graph::NodeId(0),
+                netbw_graph::NodeId(0),
+                netbw_graph::NodeId(1),
+                netbw_graph::NodeId(2),
+            ]),
+            4,
+            &cluster,
+        );
+        let backend = FluidNetwork::new(MyrinetModel::default(), NetworkParams::unit());
+        let r = Simulator::new(&tr, cluster, placement, backend).run().unwrap();
+        assert!((r.tasks[0].finish - 200.0).abs() < 1e-9, "{:?}", r.tasks[0]);
+        assert!((r.tasks[1].finish - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deadlock_is_reported_not_hung() {
+        let mut tr = Trace::with_tasks(2);
+        // both receive first: classic deadlock — but validate() rejects it
+        // statically, so bypass validation by making counts match:
+        // 0 waits for 1 who waits for 0.
+        tr.task_mut(0).recv(1u32, 10).send(1u32, 10);
+        tr.task_mut(1).recv(0u32, 10).send(0u32, 10);
+        let e = run(&tr, big_cluster(), &PlacementPolicy::RoundRobinNode).unwrap_err();
+        match e {
+            SimError::Deadlock { blocked, .. } => {
+                assert_eq!(blocked.len(), 2);
+            }
+            other => panic!("expected deadlock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn specific_recv_waits_for_its_source() {
+        // task 2 asks for task 1's message first even though task 0's is
+        // available earlier.
+        let mut tr = Trace::with_tasks(3);
+        tr.task_mut(0).send(2u32, 50);
+        tr.task_mut(1).compute(500.0).send(2u32, 50);
+        tr.task_mut(2).recv(1u32, 50).recv(0u32, 50);
+        let r = run(&tr, big_cluster(), &PlacementPolicy::RoundRobinNode).unwrap();
+        // recv(1) satisfied at ≈550; then task0's rendezvous can only start
+        // once bound... task0 blocked from t=0 until its transfer completes.
+        assert!(r.tasks[2].finish > 550.0, "{:?}", r.tasks[2]);
+        let m0 = r.messages.iter().find(|m| m.src_task == 0).unwrap();
+        assert!(m0.start >= 550.0, "rendezvous waits for the bind: {m0:?}");
+    }
+
+    #[test]
+    fn zero_byte_message_synchronizes_without_transfer_time() {
+        let mut tr = Trace::with_tasks(2);
+        tr.task_mut(0).compute(3.0).send(1u32, 0);
+        tr.task_mut(1).recv(0u32, 0).compute(1.0);
+        let r = run(&tr, big_cluster(), &PlacementPolicy::RoundRobinNode).unwrap();
+        // receiver waits for the (empty) message at t=3, then computes
+        assert!((r.tasks[1].finish - 4.0).abs() < 1e-9, "{:?}", r.tasks[1]);
+        assert!((r.tasks[1].recv_time - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_and_empty_tasks() {
+        let tr = Trace::with_tasks(0);
+        let cluster = big_cluster();
+        let placement = Placement::assign(&PlacementPolicy::RoundRobinNode, 0, &cluster);
+        let r = Simulator::new(&tr, cluster, placement, fluid_backend()).run().unwrap();
+        assert!(r.tasks.is_empty());
+
+        let tr = Trace::with_tasks(3); // tasks with no events at all
+        let r = run(&tr, big_cluster(), &PlacementPolicy::RoundRobinNode).unwrap();
+        assert!(r.tasks.iter().all(|t| t.finish == 0.0));
+    }
+
+    #[test]
+    fn repeated_barriers_keep_tasks_in_lockstep() {
+        let mut tr = Trace::with_tasks(2);
+        for k in 0..3 {
+            tr.task_mut(0).compute(1.0 + k as f64).barrier();
+            tr.task_mut(1).compute(2.0).barrier();
+        }
+        let r = run(&tr, big_cluster(), &PlacementPolicy::RoundRobinNode).unwrap();
+        // epochs release at max(cumulative) each round:
+        // round 0: max(1,2)=2; round 1: max(2+2, 2+2)=4; round 2: max(4+3, 4+2)=7
+        assert!((r.tasks[0].finish - 7.0).abs() < 1e-9, "{:?}", r.tasks[0]);
+        assert!((r.tasks[1].finish - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eager_any_source_matches_on_arrival_order() {
+        let mut cluster = big_cluster();
+        cluster.eager_threshold = 1 << 20;
+        cluster.mem_bandwidth = 1e15; // negligible copy cost
+        let mut tr = Trace::with_tasks(3);
+        tr.task_mut(0).compute(10.0).send(2u32, 100);
+        tr.task_mut(1).send(2u32, 200);
+        tr.task_mut(2).compute(500.0).recv_any(200).recv_any(100);
+        let r = run(&tr, cluster, &PlacementPolicy::RoundRobinNode).unwrap();
+        // both messages arrived long before the receives: matching must
+        // bind the earliest-posted message (task 1's) to the first recv
+        assert_eq!(r.tasks[2].recv_time, 0.0);
+        assert!((r.tasks[2].finish - 500.0).abs() < 1e-6, "{:?}", r.tasks[2]);
+    }
+
+    #[test]
+    fn report_message_records_are_complete() {
+        let mut tr = Trace::with_tasks(2);
+        tr.task_mut(0).send(1u32, 100);
+        tr.task_mut(1).recv_any(100);
+        let r = run(&tr, big_cluster(), &PlacementPolicy::RoundRobinNode).unwrap();
+        assert_eq!(r.messages.len(), 1);
+        let m = &r.messages[0];
+        assert!(m.end >= m.start && m.start >= m.post_send);
+        assert_eq!(r.task_send_sums()[0], m.send_duration());
+    }
+}

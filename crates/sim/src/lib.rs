@@ -1,0 +1,31 @@
+//! Trace-driven cluster simulator (the paper's §VI.A simulator).
+//!
+//! Inputs:
+//!
+//! * one or more applications as event traces (`netbw-trace`): compute and
+//!   communication events per MPI task;
+//! * a cluster definition ([`ClusterSpec`]): node count, cores per node,
+//!   base network parameters;
+//! * a task-to-node scheduling policy ([`PlacementPolicy`]): Round-Robin
+//!   per Node (RRN), Round-Robin per Processor (RRP), Random, or explicit;
+//! * a network backend: either a predictive penalty model over the fluid
+//!   solver (**predicted** times) or a packet-level fabric (**measured**
+//!   times) — the same engine replays the trace against both, which is how
+//!   Figs. 8 and 9 compare `Sp` against `Sm` per task.
+//!
+//! The engine replays MPI semantics: blocking sends (rendezvous above the
+//! eager threshold), source-specific or `MPI_ANY_SOURCE` receives matched
+//! in posted order, and barriers. Intra-node messages use the node's
+//! memory bandwidth and never touch the NIC.
+
+pub mod backend;
+pub mod cluster;
+pub mod engine;
+pub mod placement;
+pub mod report;
+
+pub use backend::NetworkBackend;
+pub use cluster::ClusterSpec;
+pub use engine::{SimError, Simulator};
+pub use placement::{Placement, PlacementPolicy};
+pub use report::{MessageRecord, SimReport, TaskReport};

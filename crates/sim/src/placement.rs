@@ -1,0 +1,175 @@
+//! Task-to-node scheduling policies (§VI.D).
+
+use crate::cluster::ClusterSpec;
+use netbw_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// How MPI tasks are assigned to cluster nodes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlacementPolicy {
+    /// RRN — Round-Robin per Node: "MPI tasks are assigned cyclically
+    /// between each nodes" (task `i` → node `i mod nodes`).
+    RoundRobinNode,
+    /// RRP — Round-Robin per Processor: "MPI tasks are assigned filling
+    /// first the nodes" (task `i` → node `i / cores`).
+    RoundRobinProcessor,
+    /// Random: a seeded random assignment of tasks to free core slots.
+    Random(u64),
+    /// Explicit node per task.
+    Explicit(Vec<NodeId>),
+}
+
+impl std::fmt::Display for PlacementPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementPolicy::RoundRobinNode => f.write_str("RRN"),
+            PlacementPolicy::RoundRobinProcessor => f.write_str("RRP"),
+            PlacementPolicy::Random(seed) => write!(f, "Random({seed})"),
+            PlacementPolicy::Explicit(_) => f.write_str("Explicit"),
+        }
+    }
+}
+
+/// A concrete task → node mapping.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Placement {
+    task_to_node: Vec<NodeId>,
+}
+
+impl Placement {
+    /// Assigns `tasks` tasks onto `cluster` using `policy`.
+    ///
+    /// # Panics
+    /// If the cluster has insufficient capacity, or an explicit placement
+    /// has the wrong length / exceeds a node's core count.
+    pub fn assign(policy: &PlacementPolicy, tasks: usize, cluster: &ClusterSpec) -> Placement {
+        cluster.validate();
+        assert!(
+            tasks <= cluster.capacity(),
+            "{tasks} tasks exceed cluster capacity {}",
+            cluster.capacity()
+        );
+        let map: Vec<NodeId> = match policy {
+            PlacementPolicy::RoundRobinNode => (0..tasks)
+                .map(|i| NodeId((i % cluster.nodes) as u32))
+                .collect(),
+            PlacementPolicy::RoundRobinProcessor => (0..tasks)
+                .map(|i| NodeId((i / cluster.cores_per_node) as u32))
+                .collect(),
+            PlacementPolicy::Random(seed) => {
+                let mut rng = StdRng::seed_from_u64(*seed);
+                // shuffle all (node, core) slots, take the first `tasks`
+                let mut slots: Vec<u32> = (0..cluster.capacity())
+                    .map(|s| (s / cluster.cores_per_node) as u32)
+                    .collect();
+                for i in (1..slots.len()).rev() {
+                    let j = rng.random_range(0..=i);
+                    slots.swap(i, j);
+                }
+                slots.truncate(tasks);
+                slots.into_iter().map(NodeId).collect()
+            }
+            PlacementPolicy::Explicit(map) => {
+                assert_eq!(map.len(), tasks, "explicit placement length mismatch");
+                map.clone()
+            }
+        };
+        // capacity check per node
+        let mut load = vec![0usize; cluster.nodes];
+        for n in &map {
+            assert!(n.idx() < cluster.nodes, "placement references node {n} out of range");
+            load[n.idx()] += 1;
+            assert!(
+                load[n.idx()] <= cluster.cores_per_node,
+                "node {n} oversubscribed by placement"
+            );
+        }
+        Placement { task_to_node: map }
+    }
+
+    /// The node hosting task `rank`.
+    pub fn node_of(&self, rank: usize) -> NodeId {
+        self.task_to_node[rank]
+    }
+
+    /// Number of placed tasks.
+    pub fn len(&self) -> usize {
+        self.task_to_node.len()
+    }
+
+    /// True when no task is placed.
+    pub fn is_empty(&self) -> bool {
+        self.task_to_node.is_empty()
+    }
+
+    /// The full mapping.
+    pub fn as_slice(&self) -> &[NodeId] {
+        &self.task_to_node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rrn_cycles_nodes() {
+        let c = ClusterSpec::smp(4);
+        let p = Placement::assign(&PlacementPolicy::RoundRobinNode, 8, &c);
+        assert_eq!(
+            p.as_slice().iter().map(|n| n.0).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn rrp_fills_nodes_first() {
+        let c = ClusterSpec::smp(4);
+        let p = Placement::assign(&PlacementPolicy::RoundRobinProcessor, 8, &c);
+        assert_eq!(
+            p.as_slice().iter().map(|n| n.0).collect::<Vec<_>>(),
+            vec![0, 0, 1, 1, 2, 2, 3, 3]
+        );
+    }
+
+    #[test]
+    fn random_is_reproducible_and_capacity_safe() {
+        let c = ClusterSpec::smp(4);
+        let a = Placement::assign(&PlacementPolicy::Random(1), 8, &c);
+        let b = Placement::assign(&PlacementPolicy::Random(1), 8, &c);
+        assert_eq!(a, b);
+        let other = Placement::assign(&PlacementPolicy::Random(2), 8, &c);
+        assert_ne!(a, other);
+        // all 8 slots used, 2 per node
+        let mut load = [0usize; 4];
+        for n in a.as_slice() {
+            load[n.idx()] += 1;
+        }
+        assert_eq!(load, [2, 2, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed cluster capacity")]
+    fn rejects_overflow() {
+        Placement::assign(&PlacementPolicy::RoundRobinNode, 9, &ClusterSpec::smp(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "oversubscribed")]
+    fn rejects_oversubscribed_explicit() {
+        let c = ClusterSpec::smp(2);
+        Placement::assign(
+            &PlacementPolicy::Explicit(vec![NodeId(0), NodeId(0), NodeId(0)]),
+            3,
+            &c,
+        );
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PlacementPolicy::RoundRobinNode.to_string(), "RRN");
+        assert_eq!(PlacementPolicy::RoundRobinProcessor.to_string(), "RRP");
+        assert_eq!(PlacementPolicy::Random(3).to_string(), "Random(3)");
+    }
+}

@@ -1,0 +1,299 @@
+//! Trace event model.
+
+use netbw_graph::TaskId;
+
+/// One event in a task's sequential execution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Event {
+    /// Local computation for `duration` seconds.
+    Compute {
+        /// Wall-clock seconds of pure computation.
+        duration: f64,
+    },
+    /// Blocking `MPI_Send` of `bytes` to task `dst`.
+    Send {
+        /// Destination rank.
+        dst: TaskId,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// Blocking receive of `bytes`; `src == None` is `MPI_ANY_SOURCE`
+    /// (the paper uses ANY_SOURCE to avoid imposing a receive order,
+    /// §IV.B).
+    Recv {
+        /// Source rank, or `None` for `MPI_ANY_SOURCE`.
+        src: Option<TaskId>,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// Synchronization barrier over all tasks.
+    Barrier,
+}
+
+/// The ordered events of one MPI task.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TaskTrace {
+    /// The task's events, in program order.
+    pub events: Vec<Event>,
+}
+
+impl TaskTrace {
+    /// Appends a compute event (no-op when `duration` is zero).
+    pub fn compute(&mut self, duration: f64) -> &mut Self {
+        assert!(
+            duration.is_finite() && duration >= 0.0,
+            "compute duration must be finite and non-negative"
+        );
+        if duration > 0.0 {
+            self.events.push(Event::Compute { duration });
+        }
+        self
+    }
+
+    /// Appends a blocking send.
+    pub fn send(&mut self, dst: impl Into<TaskId>, bytes: u64) -> &mut Self {
+        self.events.push(Event::Send {
+            dst: dst.into(),
+            bytes,
+        });
+        self
+    }
+
+    /// Appends a blocking receive from a specific source.
+    pub fn recv(&mut self, src: impl Into<TaskId>, bytes: u64) -> &mut Self {
+        self.events.push(Event::Recv {
+            src: Some(src.into()),
+            bytes,
+        });
+        self
+    }
+
+    /// Appends a blocking receive from `MPI_ANY_SOURCE`.
+    pub fn recv_any(&mut self, bytes: u64) -> &mut Self {
+        self.events.push(Event::Recv { src: None, bytes });
+        self
+    }
+
+    /// Appends a barrier.
+    pub fn barrier(&mut self) -> &mut Self {
+        self.events.push(Event::Barrier);
+        self
+    }
+}
+
+/// A whole application trace: one event sequence per rank, rank = index.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Trace {
+    /// Per-task event sequences; `tasks[r]` is rank `r`.
+    pub tasks: Vec<TaskTrace>,
+}
+
+impl Trace {
+    /// An empty trace with `n` tasks.
+    pub fn with_tasks(n: usize) -> Self {
+        Trace {
+            tasks: vec![TaskTrace::default(); n],
+        }
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when the trace has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Mutable access to a task's event list.
+    pub fn task_mut(&mut self, rank: usize) -> &mut TaskTrace {
+        &mut self.tasks[rank]
+    }
+
+    /// Consistency check: every send must have a plausible matching
+    /// receive. Verified per (src → dst) channel: the multiset of sent
+    /// sizes must equal the multiset of sizes the destination expects from
+    /// that source, with ANY_SOURCE receives usable by any sender (matched
+    /// by size). Barrier counts must agree across tasks.
+    pub fn validate(&self) -> Result<(), String> {
+        use std::collections::HashMap;
+        let n = self.tasks.len();
+        // sends[(src,dst)] -> sizes; recvs_specific[(src,dst)] -> sizes;
+        // recvs_any[dst] -> sizes
+        let mut sends: HashMap<(usize, usize), Vec<u64>> = HashMap::new();
+        let mut recvs: HashMap<(usize, usize), Vec<u64>> = HashMap::new();
+        let mut recvs_any: HashMap<usize, Vec<u64>> = HashMap::new();
+        let mut barriers = vec![0usize; n];
+        for (rank, t) in self.tasks.iter().enumerate() {
+            for e in &t.events {
+                match *e {
+                    Event::Send { dst, bytes } => {
+                        if dst.idx() >= n {
+                            return Err(format!("task {rank} sends to out-of-range {dst}"));
+                        }
+                        if dst.idx() == rank {
+                            // self-sends are legal MPI but degenerate here
+                            return Err(format!("task {rank} sends to itself"));
+                        }
+                        sends.entry((rank, dst.idx())).or_default().push(bytes);
+                    }
+                    Event::Recv { src: Some(s), bytes } => {
+                        if s.idx() >= n {
+                            return Err(format!("task {rank} receives from out-of-range {s}"));
+                        }
+                        recvs.entry((s.idx(), rank)).or_default().push(bytes);
+                    }
+                    Event::Recv { src: None, bytes } => {
+                        recvs_any.entry(rank).or_default().push(bytes);
+                    }
+                    Event::Barrier => barriers[rank] += 1,
+                    Event::Compute { .. } => {}
+                }
+            }
+        }
+        if n > 0 && barriers.iter().any(|&b| b != barriers[0]) {
+            return Err(format!("unbalanced barrier counts: {barriers:?}"));
+        }
+        // match specific receives first
+        for ((s, d), mut sent) in sends {
+            sent.sort_unstable();
+            let mut expect = recvs.remove(&(s, d)).unwrap_or_default();
+            expect.sort_unstable();
+            // remove matched prefix pairs
+            let mut si = 0;
+            let mut leftovers = Vec::new();
+            for &r in &expect {
+                // find r in sent[si..]
+                match sent[si..].binary_search(&r) {
+                    Ok(pos) => {
+                        sent.remove(si + pos);
+                    }
+                    Err(_) => {
+                        return Err(format!(
+                            "task {d} expects {r} bytes from task {s}, never sent"
+                        ))
+                    }
+                }
+                si = 0;
+            }
+            leftovers.append(&mut sent);
+            // leftovers must be absorbed by ANY_SOURCE receives at d
+            if !leftovers.is_empty() {
+                let any = recvs_any.entry(d).or_default();
+                for bytes in leftovers {
+                    match any.iter().position(|&b| b == bytes) {
+                        Some(p) => {
+                            any.remove(p);
+                        }
+                        None => {
+                            return Err(format!(
+                                "send {s}->{d} of {bytes} bytes has no matching receive"
+                            ))
+                        }
+                    }
+                }
+            }
+        }
+        for ((s, d), expect) in recvs {
+            if !expect.is_empty() {
+                return Err(format!(
+                    "task {d} expects {} message(s) from task {s} that are never sent",
+                    expect.len()
+                ));
+            }
+        }
+        for (d, any) in recvs_any {
+            if !any.is_empty() {
+                return Err(format!(
+                    "task {d} has {} ANY_SOURCE receive(s) with no matching send",
+                    any.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_composes_events() {
+        let mut t = TaskTrace::default();
+        t.compute(1.0).send(1u32, 100).recv(2u32, 50).recv_any(7).barrier();
+        assert_eq!(t.events.len(), 5);
+        t.compute(0.0); // zero compute elided
+        assert_eq!(t.events.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_compute_rejected() {
+        TaskTrace::default().compute(-1.0);
+    }
+
+    #[test]
+    fn validate_accepts_matched_ring() {
+        let mut tr = Trace::with_tasks(3);
+        for r in 0..3usize {
+            let next = ((r + 1) % 3) as u32;
+            tr.task_mut(r).send(next, 10);
+            tr.task_mut(r).recv(((r + 2) % 3) as u32, 10);
+        }
+        assert_eq!(tr.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_accepts_any_source() {
+        let mut tr = Trace::with_tasks(3);
+        tr.task_mut(0).send(2u32, 10);
+        tr.task_mut(1).send(2u32, 20);
+        tr.task_mut(2).recv_any(20);
+        tr.task_mut(2).recv_any(10);
+        assert_eq!(tr.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_unmatched_send() {
+        let mut tr = Trace::with_tasks(2);
+        tr.task_mut(0).send(1u32, 10);
+        assert!(tr.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_unmatched_recv() {
+        let mut tr = Trace::with_tasks(2);
+        tr.task_mut(1).recv(0u32, 10);
+        assert!(tr.validate().unwrap_err().contains("never sent"));
+        let mut tr = Trace::with_tasks(2);
+        tr.task_mut(1).recv_any(10);
+        assert!(tr.validate().unwrap_err().contains("ANY_SOURCE"));
+    }
+
+    #[test]
+    fn validate_rejects_self_send_and_bad_ranks() {
+        let mut tr = Trace::with_tasks(2);
+        tr.task_mut(0).send(0u32, 10);
+        assert!(tr.validate().unwrap_err().contains("itself"));
+        let mut tr = Trace::with_tasks(2);
+        tr.task_mut(0).send(5u32, 10);
+        assert!(tr.validate().unwrap_err().contains("out-of-range"));
+    }
+
+    #[test]
+    fn validate_rejects_unbalanced_barriers() {
+        let mut tr = Trace::with_tasks(2);
+        tr.task_mut(0).barrier();
+        assert!(tr.validate().unwrap_err().contains("barrier"));
+    }
+
+    #[test]
+    fn validate_size_mismatch() {
+        let mut tr = Trace::with_tasks(2);
+        tr.task_mut(0).send(1u32, 10);
+        tr.task_mut(1).recv(0u32, 11);
+        assert!(tr.validate().is_err());
+    }
+}

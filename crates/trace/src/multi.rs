@@ -1,0 +1,169 @@
+//! Multi-application composition.
+//!
+//! The paper's simulator takes "one or more applications" (§VI.A):
+//! independent MPI jobs co-scheduled on one cluster interfere through the
+//! network even though they never exchange messages. [`merge`] rebases
+//! each application's ranks into one global trace so the simulator can
+//! replay them together; [`AppSpan`] maps global ranks back to
+//! applications for per-job reporting.
+
+use crate::event::{Event, Trace};
+
+/// The global-rank range one application occupies after merging.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AppSpan {
+    /// Index of the application in the merge input.
+    pub app: usize,
+    /// First global rank (inclusive).
+    pub start: usize,
+    /// One past the last global rank.
+    pub end: usize,
+}
+
+impl AppSpan {
+    /// Number of tasks in the application.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the application has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// True when a global rank belongs to this application.
+    pub fn contains(&self, rank: usize) -> bool {
+        (self.start..self.end).contains(&rank)
+    }
+}
+
+/// Merges independent application traces into a single global trace,
+/// rebasing every rank reference. Barriers stay application-local in MPI;
+/// since the merged trace has a single barrier space, merging is rejected
+/// if more than one application uses barriers (a cross-app barrier would
+/// deadlock the replay).
+pub fn merge(apps: &[Trace]) -> Result<(Trace, Vec<AppSpan>), String> {
+    let barrier_users = apps
+        .iter()
+        .filter(|a| {
+            a.tasks
+                .iter()
+                .any(|t| t.events.iter().any(|e| matches!(e, Event::Barrier)))
+        })
+        .count();
+    if barrier_users > 1 {
+        return Err(format!(
+            "{barrier_users} applications use barriers; barriers are global in the merged trace"
+        ));
+    }
+    let total: usize = apps.iter().map(Trace::len).sum();
+    let mut out = Trace::with_tasks(total);
+    let mut spans = Vec::with_capacity(apps.len());
+    let mut base = 0usize;
+    for (ai, app) in apps.iter().enumerate() {
+        for (r, task) in app.tasks.iter().enumerate() {
+            let global = base + r;
+            for e in &task.events {
+                match *e {
+                    Event::Compute { duration } => {
+                        out.task_mut(global).compute(duration);
+                    }
+                    Event::Send { dst, bytes } => {
+                        out.task_mut(global).send((base + dst.idx()) as u32, bytes);
+                    }
+                    Event::Recv { src: Some(s), bytes } => {
+                        out.task_mut(global).recv((base + s.idx()) as u32, bytes);
+                    }
+                    Event::Recv { src: None, bytes } => {
+                        // ANY_SOURCE stays safe: only this app sends to
+                        // this rank, because rank spaces are disjoint.
+                        out.task_mut(global).recv_any(bytes);
+                    }
+                    Event::Barrier => {
+                        out.task_mut(global).barrier();
+                    }
+                }
+            }
+        }
+        spans.push(AppSpan {
+            app: ai,
+            start: base,
+            end: base + app.len(),
+        });
+        base += app.len();
+    }
+    // barrier balance: if one app barriers, every *other* task needs the
+    // same count for the global barrier to release. Reject that case too
+    // unless the barrier app is alone.
+    if barrier_users == 1 && apps.len() > 1 {
+        return Err(
+            "an application uses barriers but is co-scheduled; strip barriers first".into(),
+        );
+    }
+    Ok((out, spans))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize, bytes: u64) -> Trace {
+        let mut tr = Trace::with_tasks(n);
+        for r in 0..n {
+            tr.task_mut(r).send(((r + 1) % n) as u32, bytes);
+            tr.task_mut(r).recv(((r + n - 1) % n) as u32, bytes);
+        }
+        tr
+    }
+
+    #[test]
+    fn merge_rebases_ranks() {
+        let (merged, spans) = merge(&[ring(3, 10), ring(2, 20)]).unwrap();
+        assert_eq!(merged.len(), 5);
+        assert_eq!(spans[0], AppSpan { app: 0, start: 0, end: 3 });
+        assert_eq!(spans[1], AppSpan { app: 1, start: 3, end: 5 });
+        assert!(spans[1].contains(4));
+        assert!(!spans[1].contains(2));
+        assert_eq!(spans[1].len(), 2);
+        // app 1's ring sends go 3→4, 4→3
+        match merged.tasks[3].events[0] {
+            Event::Send { dst, bytes } => {
+                assert_eq!(dst.idx(), 4);
+                assert_eq!(bytes, 20);
+            }
+            ref other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(merged.validate(), Ok(()));
+    }
+
+    #[test]
+    fn merged_traffic_stays_within_apps() {
+        let (merged, spans) = merge(&[ring(3, 10), ring(3, 10)]).unwrap();
+        for (rank, task) in merged.tasks.iter().enumerate() {
+            let span = spans.iter().find(|s| s.contains(rank)).unwrap();
+            for e in &task.events {
+                if let Event::Send { dst, .. } = e {
+                    assert!(span.contains(dst.idx()), "cross-app message");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn barriers_in_coscheduled_apps_rejected() {
+        let mut a = ring(2, 10);
+        a.task_mut(0).barrier();
+        a.task_mut(1).barrier();
+        let b = ring(2, 10);
+        assert!(merge(&[a.clone(), b]).is_err());
+        // alone it is fine
+        assert!(merge(&[a]).is_ok());
+    }
+
+    #[test]
+    fn empty_input() {
+        let (merged, spans) = merge(&[]).unwrap();
+        assert!(merged.is_empty());
+        assert!(spans.is_empty());
+    }
+}

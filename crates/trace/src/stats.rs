@@ -1,0 +1,100 @@
+//! Static trace statistics (event counts, byte volumes, compute time).
+
+use crate::event::{Event, Trace};
+
+/// Static statistics of one task's trace.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TaskStats {
+    /// Number of send events.
+    pub sends: usize,
+    /// Number of receive events.
+    pub recvs: usize,
+    /// Number of barrier events.
+    pub barriers: usize,
+    /// Total bytes sent.
+    pub bytes_sent: u64,
+    /// Total bytes received (as declared by receive events).
+    pub bytes_received: u64,
+    /// Total declared compute time in seconds.
+    pub compute_time: f64,
+}
+
+/// Aggregate statistics over a whole trace.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceStats {
+    /// Per-task statistics, indexed by rank.
+    pub per_task: Vec<TaskStats>,
+}
+
+impl TraceStats {
+    /// Computes statistics for a trace.
+    pub fn of(trace: &Trace) -> Self {
+        let per_task = trace
+            .tasks
+            .iter()
+            .map(|t| {
+                let mut s = TaskStats::default();
+                for e in &t.events {
+                    match *e {
+                        Event::Compute { duration } => s.compute_time += duration,
+                        Event::Send { bytes, .. } => {
+                            s.sends += 1;
+                            s.bytes_sent += bytes;
+                        }
+                        Event::Recv { bytes, .. } => {
+                            s.recvs += 1;
+                            s.bytes_received += bytes;
+                        }
+                        Event::Barrier => s.barriers += 1,
+                    }
+                }
+                s
+            })
+            .collect();
+        TraceStats { per_task }
+    }
+
+    /// Total bytes sent across all tasks.
+    pub fn total_bytes(&self) -> u64 {
+        self.per_task.iter().map(|t| t.bytes_sent).sum()
+    }
+
+    /// Total number of messages.
+    pub fn total_messages(&self) -> usize {
+        self.per_task.iter().map(|t| t.sends).sum()
+    }
+
+    /// Total declared compute seconds across tasks.
+    pub fn total_compute(&self) -> f64 {
+        self.per_task.iter().map(|t| t.compute_time).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_count_everything() {
+        let mut tr = Trace::with_tasks(2);
+        tr.task_mut(0).compute(1.0).send(1u32, 100).send(1u32, 50).barrier();
+        tr.task_mut(1).recv(0u32, 100).recv_any(50).barrier();
+        let s = TraceStats::of(&tr);
+        assert_eq!(s.per_task[0].sends, 2);
+        assert_eq!(s.per_task[0].bytes_sent, 150);
+        assert_eq!(s.per_task[0].compute_time, 1.0);
+        assert_eq!(s.per_task[0].barriers, 1);
+        assert_eq!(s.per_task[1].recvs, 2);
+        assert_eq!(s.per_task[1].bytes_received, 150);
+        assert_eq!(s.total_bytes(), 150);
+        assert_eq!(s.total_messages(), 2);
+        assert_eq!(s.total_compute(), 1.0);
+    }
+
+    #[test]
+    fn empty_trace_stats() {
+        let s = TraceStats::of(&Trace::default());
+        assert!(s.per_task.is_empty());
+        assert_eq!(s.total_bytes(), 0);
+    }
+}

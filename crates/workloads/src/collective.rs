@@ -1,0 +1,134 @@
+//! Collective-communication workloads: ring all-to-all and binary-tree
+//! broadcast/reduction phases, expressed as point-to-point traces (the
+//! way MPI implementations of the era lowered them).
+
+use netbw_trace::Trace;
+
+/// Ring-algorithm `MPI_Alltoall`: in step `s` (1 ≤ s < P), task `r` sends
+/// a block to `(r+s) mod P` and receives one from `(r−s) mod P`, flooding
+/// every NIC in both directions simultaneously — the heaviest sharing
+/// pattern a cluster sees.
+///
+/// The shift-by-`s` permutation decomposes into `gcd(P, s)` cycles; with
+/// blocking rendezvous sends a cycle of simultaneous sends deadlocks, so
+/// (as real implementations do with `MPI_Sendrecv` ordering) one
+/// designated rank per cycle (`r < gcd(P, s)`) posts its receive first.
+pub fn alltoall(tasks: usize, block_bytes: u64, rounds: usize) -> Trace {
+    assert!(tasks >= 2, "alltoall needs at least two tasks");
+    assert!(rounds >= 1);
+    let mut tr = Trace::with_tasks(tasks);
+    for _ in 0..rounds {
+        for s in 1..tasks {
+            let g = gcd(tasks, s);
+            for r in 0..tasks {
+                let dst = ((r + s) % tasks) as u32;
+                let src = ((r + tasks - s) % tasks) as u32;
+                let task = tr.task_mut(r);
+                if r < g {
+                    task.recv(src, block_bytes);
+                    task.send(dst, block_bytes);
+                } else {
+                    task.send(dst, block_bytes);
+                    task.recv(src, block_bytes);
+                }
+            }
+        }
+        for r in 0..tasks {
+            tr.task_mut(r).barrier();
+        }
+    }
+    tr
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Binomial-tree broadcast from rank 0: in round `k`, ranks below `2^k`
+/// send to their partner at distance `2^k`. Log-depth, outgoing conflicts
+/// concentrate at the root's node early on.
+pub fn tree_broadcast(tasks: usize, bytes: u64) -> Trace {
+    assert!(tasks >= 2, "broadcast needs at least two tasks");
+    let mut tr = Trace::with_tasks(tasks);
+    let mut span = 1usize;
+    while span < tasks {
+        for r in 0..span.min(tasks) {
+            let partner = r + span;
+            if partner < tasks {
+                tr.task_mut(r).send(partner as u32, bytes);
+                tr.task_mut(partner).recv(r as u32, bytes);
+            }
+        }
+        span *= 2;
+    }
+    tr
+}
+
+/// A software pipeline: `stages` tasks, each receiving a work unit from
+/// its predecessor, computing on it, and forwarding to its successor;
+/// `units` work units stream through. Models producer/consumer codes.
+pub fn pipeline(stages: usize, units: usize, bytes: u64, compute_per_unit: f64) -> Trace {
+    assert!(stages >= 2, "pipeline needs at least two stages");
+    assert!(units >= 1);
+    let mut tr = Trace::with_tasks(stages);
+    for _ in 0..units {
+        for r in 0..stages {
+            let task = tr.task_mut(r);
+            if r > 0 {
+                task.recv((r - 1) as u32, bytes);
+            }
+            task.compute(compute_per_unit);
+            if r + 1 < stages {
+                task.send((r + 1) as u32, bytes);
+            }
+        }
+    }
+    tr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netbw_trace::TraceStats;
+
+    #[test]
+    fn alltoall_validates_and_counts() {
+        let tr = alltoall(4, 1000, 2);
+        assert_eq!(tr.validate(), Ok(()));
+        let s = TraceStats::of(&tr);
+        // per round: P·(P−1) messages
+        assert_eq!(s.total_messages(), 2 * 4 * 3);
+        assert_eq!(s.total_bytes(), (2 * 4 * 3) as u64 * 1000);
+    }
+
+    #[test]
+    fn tree_broadcast_reaches_everyone() {
+        for p in [2usize, 3, 4, 7, 8, 16] {
+            let tr = tree_broadcast(p, 100);
+            assert_eq!(tr.validate(), Ok(()), "P = {p}");
+            let s = TraceStats::of(&tr);
+            // exactly P−1 messages deliver the payload to P−1 ranks
+            assert_eq!(s.total_messages(), p - 1, "P = {p}");
+        }
+    }
+
+    #[test]
+    fn pipeline_conserves_units() {
+        let tr = pipeline(4, 5, 256, 0.001);
+        assert_eq!(tr.validate(), Ok(()));
+        let s = TraceStats::of(&tr);
+        // each unit crosses stages−1 links
+        assert_eq!(s.total_messages(), 5 * 3);
+        assert!(s.total_compute() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn degenerate_sizes_rejected() {
+        alltoall(1, 10, 1);
+    }
+}

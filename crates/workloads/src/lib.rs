@@ -1,0 +1,18 @@
+//! Workload generators: HPL/Linpack traces and synthetic scheme batteries.
+//!
+//! The paper's application evaluation (§VI.D) runs Linpack (HPL) at problem
+//! size 20500 with a ring communication scheme — "each task n send message
+//! to the task n + 1" — and extracts events with an instrumented MPE. This
+//! crate generates equivalent traces analytically from the HPL algorithm
+//! structure (block-cyclic LU with ring panel pipelining), plus batteries
+//! of synthetic schemes used by the evaluation harness.
+
+pub mod collective;
+pub mod hpl;
+pub mod stencil;
+pub mod synthetic;
+
+pub use collective::{alltoall, pipeline, tree_broadcast};
+pub use hpl::{HplConfig, HplTraceStats};
+pub use stencil::StencilConfig;
+pub use synthetic::{paper_battery, random_battery};

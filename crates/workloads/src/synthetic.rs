@@ -1,0 +1,59 @@
+//! Synthetic scheme batteries for systematic model evaluation.
+
+use netbw_graph::{schemes, CommGraph};
+
+/// Every scheme the paper evaluates, with its figure name: the Fig. 2
+/// ladder/income schemes, the Fig. 4 calibration graph, the Fig. 5 Myrinet
+/// example and the Fig. 7 synthetic graphs, all at `size` bytes.
+pub fn paper_battery(size: u64) -> Vec<CommGraph> {
+    let mut out: Vec<CommGraph> = (1..=6).map(schemes::fig2_scheme).collect();
+    out.push(schemes::fig4(size));
+    out.push(schemes::fig5());
+    out.push(schemes::mk1());
+    out.push(schemes::mk2());
+    out.into_iter().map(|g| g.with_uniform_size(size)).collect()
+}
+
+/// A reproducible battery of random schemes with bounded degrees (so the
+/// Myrinet enumeration stays fast): `count` graphs over `nodes` nodes with
+/// `comms` communications each.
+pub fn random_battery(
+    count: usize,
+    nodes: usize,
+    comms: usize,
+    size: u64,
+    seed: u64,
+) -> Vec<CommGraph> {
+    (0..count)
+        .map(|i| schemes::random_bounded(nodes, comms, 3, 3, size, seed ^ (i as u64).wrapping_mul(0x9e3779b97f4a7c15)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netbw_graph::units::MB;
+
+    #[test]
+    fn paper_battery_contains_all_figures() {
+        let b = paper_battery(8 * MB);
+        assert_eq!(b.len(), 10);
+        let names: Vec<&str> = b.iter().map(|g| g.name()).collect();
+        assert!(names.contains(&"fig2-1"));
+        assert!(names.contains(&"fig2-6"));
+        assert!(names.contains(&"fig4"));
+        assert!(names.contains(&"fig5"));
+        assert!(names.contains(&"mk1"));
+        assert!(names.contains(&"mk2"));
+        assert!(b.iter().all(|g| g.comms().iter().all(|c| c.size == 8 * MB)));
+    }
+
+    #[test]
+    fn random_battery_is_reproducible_and_distinct() {
+        let a = random_battery(4, 8, 10, MB, 7);
+        let b = random_battery(4, 8, 10, MB, 7);
+        assert_eq!(a, b);
+        assert_ne!(a[0], a[1]);
+        assert_eq!(a.len(), 4);
+    }
+}

@@ -1,0 +1,55 @@
+//! Capacity planning with predictive models: how many concurrent senders
+//! can share a node before communication time doubles, and what placement
+//! buys on a many-core node — the §VII outlook quantified.
+//!
+//! Run with: `cargo run --release --example capacity_planning`
+
+use netbw::graph::schemes;
+use netbw::prelude::*;
+
+fn main() {
+    println!("Penalty growth with concurrent senders per NIC\n");
+    let mut t = Table::new(["senders", "gige model", "myrinet model", "ib model"]);
+    let gige = GigabitEthernetModel::default();
+    let myri = MyrinetModel::default();
+    let ib = InfinibandModel::default();
+    for k in 1..=16 {
+        let g = schemes::outgoing_ladder(k);
+        t.push([
+            k.to_string(),
+            gige.penalties(g.comms())[0].to_string(),
+            myri.penalties(g.comms())[0].to_string(),
+            ib.penalties(g.comms())[0].to_string(),
+        ]);
+    }
+    print!("{}", t.to_markdown());
+
+    // Where does each fabric cross "communication time doubles"?
+    println!("\nsenders until penalty ≥ 2 (sharing budget of one NIC):");
+    for (name, model) in [
+        ("gige", Box::new(gige) as Box<dyn PenaltyModel>),
+        ("myrinet", Box::new(myri)),
+        ("infiniband", Box::new(ib)),
+    ] {
+        let k = (1..=32)
+            .find(|&k| {
+                let g = schemes::outgoing_ladder(k);
+                model.penalties(g.comms())[0].value() >= 2.0
+            })
+            .unwrap();
+        println!("  {name:<11} {k} concurrent senders");
+    }
+
+    // Effect of keeping ring neighbours on-node as core counts grow.
+    println!("\nring of 16 tasks: fraction of traffic leaving the node, by cores/node:");
+    for cores in [1usize, 2, 4, 8] {
+        let nodes = 16 / cores;
+        let crossing = (0..16)
+            .filter(|i| (i / cores) != (((i + 1) % 16) / cores))
+            .count();
+        println!(
+            "  {cores:>2} cores × {nodes:>2} nodes: {crossing}/16 messages cross the fabric"
+        );
+    }
+    println!("\n(The RRP policy exploits exactly this: §VI.D.)");
+}

@@ -1,0 +1,50 @@
+//! The paper's motivating use case for HPC integrators: given a set of
+//! communication patterns, compare how the candidate interconnects share
+//! bandwidth — both in penalties (sharing behaviour) and absolute time
+//! (sharing behaviour × raw speed).
+//!
+//! Run with: `cargo run --release --example compare_networks`
+
+use netbw::graph::schemes;
+use netbw::packet::measure_penalties;
+use netbw::prelude::*;
+
+fn main() {
+    let patterns = [
+        ("pair", schemes::single()),
+        ("outcast-3", schemes::outgoing_ladder(3)),
+        ("incast-3", schemes::incoming_ladder(3)),
+        ("mixed (fig2-6)", schemes::fig2_scheme(6)),
+        ("tree (mk1)", schemes::mk1()),
+        ("all-pairs (mk2)", schemes::mk2()),
+    ];
+
+    println!("Worst-case penalty and completion time per pattern (20 MB messages)\n");
+    let mut table = Table::new([
+        "pattern",
+        "gige worst P",
+        "gige worst T[s]",
+        "myrinet worst P",
+        "myrinet worst T[s]",
+        "ib worst P",
+        "ib worst T[s]",
+    ]);
+    for (name, scheme) in patterns {
+        let mut row = vec![name.to_string()];
+        for cfg in FabricConfig::paper_fabrics() {
+            let m = measure_penalties(cfg, &scheme);
+            let worst_p = m.penalties.iter().cloned().fold(0.0, f64::max);
+            let worst_t = m.times.iter().cloned().fold(0.0, f64::max);
+            row.push(format!("{worst_p:.2}"));
+            row.push(format!("{worst_t:.3}"));
+        }
+        table.push(row);
+    }
+    print!("{}", table.to_markdown());
+
+    println!(
+        "\nReading: Gigabit Ethernet shares most gracefully (TCP absorbs new flows),\n\
+         but InfiniBand's raw bandwidth keeps it fastest in absolute time on every\n\
+         pattern — the paper's §IV.C conclusion."
+    );
+}

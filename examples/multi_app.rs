@@ -1,0 +1,75 @@
+//! Co-scheduling two applications on one cluster: a latency-sensitive
+//! pipeline and a bandwidth-hungry all-to-all interfere through the
+//! network alone (the paper's "one or several applications", §VI.A).
+//!
+//! Run with: `cargo run --release --example multi_app`
+
+use netbw::graph::NodeId;
+use netbw::prelude::*;
+use netbw::trace::merge;
+use netbw::workloads::{alltoall, pipeline};
+
+fn main() {
+    let pipe = pipeline(4, 32, 2_000_000, 0.002);
+    let heavy = alltoall(4, 8_000_000, 1);
+    // strip the all-to-all's trailing barrier so the jobs can merge
+    let mut heavy_nb = heavy.clone();
+    for t in &mut heavy_nb.tasks {
+        t.events.retain(|e| !matches!(e, Event::Barrier));
+    }
+
+    let (merged, spans) = merge(&[pipe.clone(), heavy_nb]).unwrap();
+    println!(
+        "merged {} apps into {} tasks (pipeline ranks {}..{}, alltoall {}..{})\n",
+        spans.len(),
+        merged.len(),
+        spans[0].start,
+        spans[0].end,
+        spans[1].start,
+        spans[1].end
+    );
+
+    let cluster = ClusterSpec::smp(4);
+    let run = |nodes: Vec<u32>, label: &str| {
+        let policy =
+            PlacementPolicy::Explicit(nodes.into_iter().map(NodeId).collect());
+        let placement = Placement::assign(&policy, merged.len(), &cluster);
+        let backend = FluidNetwork::new(
+            MyrinetModel::default(),
+            NetworkParams::myrinet2000(),
+        );
+        let report = Simulator::new(&merged, cluster, placement, backend)
+            .run()
+            .expect("replays");
+        let pipe_finish = (spans[0].start..spans[0].end)
+            .map(|r| report.tasks[r].finish)
+            .fold(0.0, f64::max);
+        let heavy_finish = (spans[1].start..spans[1].end)
+            .map(|r| report.tasks[r].finish)
+            .fold(0.0, f64::max);
+        println!(
+            "{label:<28} pipeline done {pipe_finish:>7.3} s | alltoall done {heavy_finish:>7.3} s"
+        );
+        let p = report.task_mean_penalties(NetworkParams::myrinet2000().bandwidth);
+        println!(
+            "{:>28} pipeline mean penalties: {:?}",
+            "",
+            p[spans[0].start..spans[0].end]
+                .iter()
+                .map(|x| (x * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
+        );
+    };
+
+    // overlapped: each node hosts one pipeline task and one alltoall task
+    run(vec![0, 1, 2, 3, 0, 1, 2, 3], "overlapped placement:");
+    // partitioned: pipeline on nodes 0-1, alltoall on nodes 2-3
+    run(vec![0, 0, 1, 1, 2, 2, 3, 3], "partitioned placement:");
+
+    println!(
+        "\nOverlapping the jobs puts every pipeline hop in conflict with the\n\
+         all-to-all's NIC traffic; partitioning isolates the pipeline at the\n\
+         cost of denser alltoall conflicts inside its half of the cluster —\n\
+         the models price both options before anything runs."
+    );
+}

@@ -1,0 +1,51 @@
+//! Quickstart: predict bandwidth-sharing penalties for a communication
+//! scheme on the paper's two modelled fabrics.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use netbw::graph::schemes;
+use netbw::prelude::*;
+
+fn main() {
+    // Three concurrent 20 MB sends leave node 0 while a fourth message
+    // flows into it — Fig. 2 scheme 4.
+    let scheme = schemes::fig2_scheme(4);
+    println!("scheme:\n{scheme}");
+
+    // Instantaneous penalties under each model.
+    for (name, model) in [
+        ("Gigabit Ethernet", Box::new(GigabitEthernetModel::default()) as Box<dyn PenaltyModel>),
+        ("Myrinet 2000", Box::new(MyrinetModel::default())),
+        ("InfiniBand (extension)", Box::new(InfinibandModel::default())),
+    ] {
+        let penalties = model.penalties(scheme.comms());
+        let rendered: Vec<String> = scheme
+            .labels()
+            .iter()
+            .zip(&penalties)
+            .map(|(l, p)| format!("{l}={p}"))
+            .collect();
+        println!("{name:<24} {}", rendered.join("  "));
+    }
+
+    // Completion times: the fluid solver integrates penalties over time,
+    // re-evaluating the model as communications finish.
+    let solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::myrinet2000());
+    println!("\npredicted completion times on Myrinet 2000:");
+    for (r, (_, label, c)) in solver.solve(&scheme).iter().zip(scheme.iter()) {
+        println!(
+            "  {label}: {:.4} s (effective penalty {:.2})",
+            r.completion,
+            r.effective_penalty(solver.params(), c.size)
+        );
+    }
+
+    // And the "measured" counterpart from the packet-level fabric.
+    let fabric = PacketFabric::new(FabricConfig::myrinet2000(), 8);
+    let times = fabric.run_scheme(&scheme);
+    let tref = fabric.reference_time(scheme.comms()[0].size);
+    println!("\nsimulated Myrinet fabric (packet level):");
+    for (label, t) in scheme.labels().iter().zip(&times) {
+        println!("  {label}: {t:.4} s (measured penalty {:.2})", t / tref);
+    }
+}

@@ -1,0 +1,49 @@
+//! The scheme description language (§IV.B): parse a scheme, analyse its
+//! conflicts, predict penalties, and emit DOT for visualization.
+//!
+//! Run with: `cargo run --release --example scheme_dsl`
+
+use netbw::graph::conflict::census;
+use netbw::graph::{dot, dsl};
+use netbw::prelude::*;
+
+const SCHEME: &str = "
+# A hot aggregation pattern: two reducers pull from four producers while
+# a checkpoint stream leaves reducer r0's node.
+scheme hotspot
+a: 0 -> 4 size 16MB    # producer 0 -> reducer r0
+b: 1 -> 4 size 16MB    # producer 1 -> reducer r0
+c: 2 -> 5 size 16MB    # producer 2 -> reducer r1
+d: 3 -> 5 size 16MB    # producer 3 -> reducer r1
+e: 4 -> 6 size 32MB    # checkpoint leaves r0 while it aggregates
+";
+
+fn main() {
+    let scheme = dsl::parse(SCHEME).expect("scheme parses");
+    println!("parsed:\n{scheme}");
+
+    println!("conflict census:");
+    for ((_, label, _), c) in scheme.iter().zip(census(&scheme)) {
+        println!(
+            "  {label}: {} outgoing peer(s), {} income peer(s), {} income/outgo peer(s)",
+            c.outgoing_peers, c.income_peers, c.income_outgo_peers
+        );
+    }
+
+    for model in [
+        Box::new(GigabitEthernetModel::default()) as Box<dyn PenaltyModel>,
+        Box::new(MyrinetModel::default()),
+    ] {
+        let p = model.penalties(scheme.comms());
+        let rendered: Vec<String> = scheme
+            .labels()
+            .iter()
+            .zip(&p)
+            .map(|(l, p)| format!("{l}={p}"))
+            .collect();
+        println!("{:<8} penalties: {}", model.name(), rendered.join("  "));
+    }
+
+    println!("\ncanonical DSL round-trip:\n{}", dsl::emit(&scheme));
+    println!("graphviz:\n{}", dot::to_dot(&scheme));
+}

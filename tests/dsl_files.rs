@@ -1,0 +1,69 @@
+//! The shipped `.scheme` files parse, analyse and predict correctly —
+//! they double as DSL documentation and as end-to-end fixtures.
+
+use netbw::graph::{analysis, dsl};
+use netbw::prelude::*;
+use std::fs;
+use std::path::Path;
+
+fn load(name: &str) -> CommGraph {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("examples/schemes")
+        .join(name);
+    let text = fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path:?}: {e}"));
+    dsl::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+#[test]
+fn all_shipped_schemes_parse() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/schemes");
+    let mut found = 0;
+    for entry in fs::read_dir(&dir).expect("schemes directory exists") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) == Some("scheme") {
+            let text = fs::read_to_string(&path).expect("readable");
+            let g = dsl::parse(&text).unwrap_or_else(|e| panic!("{path:?}: {e}"));
+            assert!(!g.is_empty(), "{path:?} is empty");
+            assert!(!g.name().is_empty(), "{path:?} has no scheme name");
+            // round-trip through the canonical form
+            assert_eq!(dsl::parse(&dsl::emit(&g)).unwrap(), g);
+            found += 1;
+        }
+    }
+    assert!(found >= 3, "expected at least three scheme files, found {found}");
+}
+
+#[test]
+fn fig5_file_matches_builtin() {
+    assert_eq!(load("fig5.scheme"), netbw::graph::schemes::fig5());
+}
+
+#[test]
+fn shift8_is_conflict_free_everywhere() {
+    let g = load("shift8.scheme");
+    let a = analysis::analyse(&g);
+    assert_eq!(a.conflict_edges, 0);
+    for kind in netbw::core::ModelKind::ALL {
+        let model = kind.build();
+        for p in model.penalties(g.comms()) {
+            assert_eq!(p.value(), 1.0, "{kind}");
+        }
+    }
+}
+
+#[test]
+fn hotspot_predictions_are_sensible() {
+    let g = load("hotspot.scheme");
+    let model = GigabitEthernetModel::default();
+    let p = model.penalties(g.comms());
+    let by = |l: &str| p[g.by_label(l).unwrap().idx()].value();
+    // two incomes per reducer: pi = 2β(1±γi) ≈ 1.5
+    assert!((by("a") - 1.5).abs() < 0.12, "a = {}", by("a"));
+    assert!((by("c") - 1.5).abs() < 0.12, "c = {}", by("c"));
+    // the checkpoint leaves node 4 alone on the egress side: penalty 1
+    // under the GigE model (duplex-blind), but the Myrinet/IB views differ
+    assert_eq!(by("e"), 1.0);
+    let ib = InfinibandModel::default().penalties(g.comms());
+    let e_ib = ib[g.by_label("e").unwrap().idx()].value();
+    assert!(e_ib >= 1.3, "IB sees the duplex coupling: {e_ib}");
+}

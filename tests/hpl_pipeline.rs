@@ -1,0 +1,115 @@
+//! End-to-end HPL pipeline tests: trace generation → placement → replay
+//! against both backends → per-task comparison (the Fig. 8/9 machinery).
+
+use netbw::eval::compare_hpl;
+use netbw::prelude::*;
+
+fn small_hpl() -> HplConfig {
+    HplConfig {
+        n: 2048,
+        nb: 128,
+        tasks: 8,
+        ..HplConfig::paper()
+    }
+}
+
+#[test]
+fn hpl_replays_on_all_policies_and_models() {
+    let hpl = small_hpl();
+    let cluster = ClusterSpec::smp(4);
+    for policy in [
+        PlacementPolicy::RoundRobinNode,
+        PlacementPolicy::RoundRobinProcessor,
+        PlacementPolicy::Random(7),
+    ] {
+        let cmp = compare_hpl(
+            &hpl,
+            &cluster,
+            &policy,
+            MyrinetModel::default(),
+            FabricConfig::myrinet2000(),
+        )
+        .unwrap_or_else(|e| panic!("{policy}: {e}"));
+        assert_eq!(cmp.sm.len(), 8);
+        assert!(cmp.makespan_measured > 0.0);
+        // prediction within 35 % of the packet-simulated measurement
+        let ratio = cmp.makespan_predicted / cmp.makespan_measured;
+        assert!(
+            (0.65..1.35).contains(&ratio),
+            "{policy}: makespan ratio {ratio:.2}"
+        );
+    }
+}
+
+#[test]
+fn rrp_reduces_network_traffic_versus_rrn() {
+    // with 2 cores per node, RRP makes every other ring message intra-node
+    let hpl = small_hpl();
+    let cluster = ClusterSpec::smp(4);
+    let trace = hpl.trace();
+
+    let count_inter = |policy: &PlacementPolicy| {
+        let placement = Placement::assign(policy, trace.len(), &cluster);
+        let backend = FluidNetwork::new(MyrinetModel::default(), NetworkParams::myrinet2000());
+        let report = Simulator::new(&trace, cluster, placement, backend)
+            .run()
+            .unwrap();
+        report
+            .messages
+            .iter()
+            .filter(|m| !m.intra_node)
+            .count()
+    };
+    let rrn = count_inter(&PlacementPolicy::RoundRobinNode);
+    let rrp = count_inter(&PlacementPolicy::RoundRobinProcessor);
+    assert!(
+        rrp * 2 <= rrn + 1,
+        "RRP ({rrp} inter-node msgs) should halve RRN's ({rrn})"
+    );
+}
+
+#[test]
+fn rrp_outperforms_rrn_on_makespan() {
+    let hpl = small_hpl();
+    let cluster = ClusterSpec::smp(4);
+    let trace = hpl.trace();
+    let makespan = |policy: &PlacementPolicy| {
+        let placement = Placement::assign(policy, trace.len(), &cluster);
+        let backend = FluidNetwork::new(MyrinetModel::default(), NetworkParams::myrinet2000());
+        Simulator::new(&trace, cluster, placement, backend)
+            .run()
+            .unwrap()
+            .makespan()
+    };
+    let rrn = makespan(&PlacementPolicy::RoundRobinNode);
+    let rrp = makespan(&PlacementPolicy::RoundRobinProcessor);
+    assert!(
+        rrp < rrn,
+        "keeping ring neighbours on-node must help: RRP {rrp:.3} vs RRN {rrn:.3}"
+    );
+}
+
+#[test]
+fn trace_round_trips_through_text_format() {
+    let trace = small_hpl().trace();
+    let text = netbw::trace::write_trace(&trace);
+    let back = netbw::trace::parse_trace(&text).unwrap();
+    assert_eq!(back, trace);
+}
+
+#[test]
+fn per_task_sums_are_consistent_with_message_records() {
+    let hpl = small_hpl();
+    let cluster = ClusterSpec::smp(4);
+    let trace = hpl.trace();
+    let placement = Placement::assign(&PlacementPolicy::RoundRobinNode, trace.len(), &cluster);
+    let backend = FluidNetwork::new(MyrinetModel::default(), NetworkParams::myrinet2000());
+    let report = Simulator::new(&trace, cluster, placement, backend)
+        .run()
+        .unwrap();
+    let sums = report.task_send_sums();
+    assert_eq!(sums.len(), 8);
+    let total: f64 = sums.iter().sum();
+    let from_messages: f64 = report.messages.iter().map(|m| m.send_duration()).sum();
+    assert!((total - from_messages).abs() < 1e-9);
+}

@@ -1,0 +1,116 @@
+//! Cross-crate tolerance tests: each paper model against its simulated
+//! fabric, over the full synthetic battery.
+
+use netbw::eval::{compare_scheme, parallel_map};
+use netbw::graph::schemes;
+use netbw::graph::units::MB;
+use netbw::prelude::*;
+use netbw::workloads::random_battery;
+
+#[test]
+fn gige_model_tracks_gige_fabric_on_ladders() {
+    let model = GigabitEthernetModel::default();
+    for k in 1..=5 {
+        let g = schemes::outgoing_ladder(k).with_uniform_size(8 * MB);
+        let cmp = compare_scheme(&model, FabricConfig::gige(), &g);
+        assert!(cmp.eabs < 4.0, "ladder {k}: Eabs {:.1}%", cmp.eabs);
+    }
+}
+
+#[test]
+fn myrinet_model_tracks_myrinet_fabric_on_paper_graphs() {
+    let model = MyrinetModel::default();
+    // MK1 (paper Eabs 2.6 % on real hardware; our fabric is a simulator):
+    let mk1 = compare_scheme(
+        &model,
+        FabricConfig::myrinet2000(),
+        &schemes::mk1().with_uniform_size(8 * MB),
+    );
+    assert!(mk1.eabs < 20.0, "MK1 Eabs {:.1}%", mk1.eabs);
+    // MK2: the paper itself reports the model pessimistic on complete
+    // graphs (+23.7 % worst case); our fabric shares more efficiently than
+    // the 2008 hardware, so the gap is wider but bounded:
+    let mk2 = compare_scheme(
+        &model,
+        FabricConfig::myrinet2000(),
+        &schemes::mk2().with_uniform_size(8 * MB),
+    );
+    assert!(mk2.eabs < 45.0, "MK2 Eabs {:.1}%", mk2.eabs);
+    // direction check: on the hub flows (a–d) the model must be
+    // pessimistic (positive Erel), as the paper observes
+    for i in 0..4 {
+        assert!(
+            mk2.erel[i] > 0.0,
+            "comm {i} should be over-predicted, Erel = {:.1}",
+            mk2.erel[i]
+        );
+    }
+}
+
+#[test]
+fn paper_models_beat_baselines_on_random_battery() {
+    use netbw::core::baseline::{LinearModel, MaxConflictModel};
+    let battery = random_battery(8, 8, 9, 4 * MB, 20080 /* seed */);
+    let results = parallel_map(&battery, 0, |g| {
+        let own = compare_scheme(&MyrinetModel::default(), FabricConfig::myrinet2000(), g).eabs;
+        let lin = compare_scheme(&LinearModel, FabricConfig::myrinet2000(), g).eabs;
+        let max = compare_scheme(&MaxConflictModel, FabricConfig::myrinet2000(), g).eabs;
+        (own, lin, max)
+    });
+    let mean = |f: fn(&(f64, f64, f64)) -> f64| {
+        results.iter().map(f).sum::<f64>() / results.len() as f64
+    };
+    let own = mean(|r| r.0);
+    let lin = mean(|r| r.1);
+    let max = mean(|r| r.2);
+    assert!(
+        own < lin,
+        "state-set model ({own:.1}%) must beat the contention-blind baseline ({lin:.1}%)"
+    );
+    // Reproduction finding (see EXPERIMENTS.md): against our simulated
+    // fabric the Kim & Lee max-conflict baseline is *competitive* with the
+    // state-set model on random graphs — the paper's decisive advantage
+    // was measured against real Myrinet hardware, whose Stop & Go blocking
+    // is stronger than our store-and-forward approximation. We only
+    // guard that the state-set model stays in the same accuracy class.
+    assert!(
+        own < 1.6 * max + 5.0,
+        "state-set model ({own:.1}%) left the accuracy class of the max-conflict baseline ({max:.1}%)"
+    );
+}
+
+#[test]
+fn infiniband_extension_tracks_ib_fabric() {
+    let model = InfinibandModel::default();
+    for scheme in [
+        schemes::outgoing_ladder(2),
+        schemes::outgoing_ladder(3),
+        schemes::fig2_scheme(4),
+    ] {
+        let cmp = compare_scheme(
+            &model,
+            FabricConfig::infinihost3(),
+            &scheme.with_uniform_size(8 * MB),
+        );
+        assert!(cmp.eabs < 8.0, "{}: Eabs {:.1}%", cmp.scheme, cmp.eabs);
+    }
+}
+
+#[test]
+fn calibrating_on_the_fabric_does_not_degrade_default_parameters() {
+    // A model calibrated against the simulated fabric should predict that
+    // fabric at least as well as the paper's parameters predict it, on the
+    // calibration schemes themselves.
+    use netbw::core::calibrate::calibrate_gige;
+    use netbw::packet::SchemeMeasurer;
+    let mut measurer = SchemeMeasurer::new(FabricConfig::gige(), 8);
+    let fitted = calibrate_gige(&mut measurer, 20 * MB, 4 * MB).unwrap();
+    let default = GigabitEthernetModel::default();
+    let g = schemes::outgoing_ladder(3).with_uniform_size(8 * MB);
+    let e_fit = compare_scheme(&fitted, FabricConfig::gige(), &g).eabs;
+    let e_def = compare_scheme(&default, FabricConfig::gige(), &g).eabs;
+    assert!(
+        e_fit <= e_def + 1.0,
+        "fitted {e_fit:.2}% should not be worse than default {e_def:.2}%"
+    );
+}

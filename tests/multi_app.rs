@@ -1,0 +1,108 @@
+//! Multi-application co-scheduling (§VI.A: "one or more application"):
+//! independent jobs interfere through the network only.
+
+use netbw::prelude::*;
+use netbw::trace::merge;
+use netbw::workloads::pipeline;
+
+/// Two independent 2-task transfer jobs placed so their sends leave the
+/// same node: each must slow the other (outgoing conflict), even though
+/// they never exchange messages.
+#[test]
+fn coscheduled_apps_interfere_through_shared_nics() {
+    let job = || {
+        let mut tr = Trace::with_tasks(2);
+        tr.task_mut(0).send(1u32, 1_000_000);
+        tr.task_mut(1).recv(0u32, 1_000_000);
+        tr
+    };
+    let (merged, spans) = merge(&[job(), job()]).unwrap();
+    assert_eq!(merged.len(), 4);
+    assert_eq!(spans.len(), 2);
+
+    let cluster = ClusterSpec {
+        nodes: 4,
+        cores_per_node: 2,
+        mem_bandwidth: 1e12,
+        eager_threshold: 0,
+    };
+    // both senders (global ranks 0 and 2) on node 0; receivers elsewhere
+    let shared = PlacementPolicy::Explicit(vec![
+        netbw::graph::NodeId(0),
+        netbw::graph::NodeId(1),
+        netbw::graph::NodeId(0),
+        netbw::graph::NodeId(2),
+    ]);
+    // fully disjoint: no shared sources, no shared destinations
+    let apart = PlacementPolicy::Explicit(vec![
+        netbw::graph::NodeId(0),
+        netbw::graph::NodeId(1),
+        netbw::graph::NodeId(2),
+        netbw::graph::NodeId(3),
+    ]);
+
+    let run = |policy: &PlacementPolicy| {
+        let placement = Placement::assign(policy, 4, &cluster);
+        let backend = FluidNetwork::new(MyrinetModel::default(), NetworkParams::unit());
+        Simulator::new(&merged, cluster, placement, backend)
+            .run()
+            .unwrap()
+    };
+
+    let shared_run = run(&shared);
+    let apart_run = run(&apart);
+    // sharing the sender NIC doubles both jobs' transfer times
+    assert!(
+        shared_run.makespan() > 1.9 * apart_run.makespan() / 1.03,
+        "shared {:.0} vs apart {:.0}",
+        shared_run.makespan(),
+        apart_run.makespan()
+    );
+    // and the per-task mean penalties expose it
+    let p = shared_run.task_mean_penalties(1.0);
+    assert!(p[0] > 1.9 && p[2] > 1.9, "penalties {p:?}");
+    let q = apart_run.task_mean_penalties(1.0);
+    assert!(q[0] < 1.01 && q[2] < 1.01, "penalties {q:?}");
+}
+
+/// A pipeline job co-scheduled with a bulk transfer: the bulk job stretches
+/// the pipeline's forwarding stage that shares its NIC.
+#[test]
+fn pipeline_slowed_by_bulk_neighbour() {
+    let pipe = pipeline(3, 4, 2_000_000, 0.0);
+    let mut bulk = Trace::with_tasks(2);
+    bulk.task_mut(0).send(1u32, 32_000_000);
+    bulk.task_mut(1).recv(0u32, 32_000_000);
+    let (merged, _) = merge(&[pipe.clone(), bulk]).unwrap();
+
+    let cluster = ClusterSpec {
+        nodes: 5,
+        cores_per_node: 2,
+        mem_bandwidth: 1e12,
+        eager_threshold: 0,
+    };
+    // pipeline stage 1 (global rank 1) shares node with bulk sender (rank 3)
+    let mk_placement = |shared: bool| {
+        let nodes = if shared {
+            vec![0u32, 1, 2, 1, 4]
+        } else {
+            vec![0u32, 1, 2, 3, 4]
+        };
+        PlacementPolicy::Explicit(nodes.into_iter().map(netbw::graph::NodeId).collect())
+    };
+    let run = |policy: PlacementPolicy| {
+        let placement = Placement::assign(&policy, 5, &cluster);
+        let backend = FluidNetwork::new(MyrinetModel::default(), NetworkParams::unit());
+        Simulator::new(&merged, cluster, placement, backend)
+            .run()
+            .unwrap()
+            .tasks[2]
+            .finish
+    };
+    let slow = run(mk_placement(true));
+    let fast = run(mk_placement(false));
+    assert!(
+        slow > fast * 1.05,
+        "pipeline sink should finish later when stage 1 shares a NIC: {slow:.0} vs {fast:.0}"
+    );
+}

@@ -1,0 +1,152 @@
+//! Regression tests pinning every number the paper prints that our
+//! reproduction commits to (see DESIGN.md §1 for provenance).
+
+use netbw::graph::schemes;
+use netbw::prelude::*;
+
+/// Fig. 6: the Myrinet penalty table, exactly.
+#[test]
+fn fig6_exact() {
+    let model = MyrinetModel::default();
+    let analysis = model.analyse(schemes::fig5().comms());
+    assert_eq!(analysis.emission, vec![1, 2, 2, 2, 2, 3]);
+    assert_eq!(analysis.coefficient, vec![1, 1, 1, 2, 2, 2]);
+    let p: Vec<f64> = analysis.penalties.iter().map(|p| p.value()).collect();
+    assert_eq!(p, vec![5.0, 5.0, 5.0, 2.5, 2.5, 2.5]);
+    // and there are exactly 5 state sets in one component
+    assert_eq!(analysis.components.len(), 1);
+    assert_eq!(analysis.components[0].count(), 5);
+}
+
+/// Fig. 7 MK1 predicted column: completion times at tref = 0.0354 s match
+/// the paper to its printed 3-decimal precision.
+#[test]
+fn fig7_mk1_predicted_column() {
+    let solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
+    let mk1 = schemes::mk1().with_uniform_size(1_000_000);
+    let res = solver.solve(&mk1);
+    let tref_units = 1_000_000.0;
+    let paper = [
+        ("a", 0.089),
+        ("b", 0.089),
+        ("c", 0.071),
+        ("d", 0.053),
+        ("e", 0.035),
+        ("f", 0.053),
+        ("g", 0.071),
+    ];
+    for (label, tp) in paper {
+        let id = mk1.by_label(label).unwrap();
+        let got = res[id.idx()].completion / tref_units * 0.0354;
+        // the paper prints 3 decimals: our value must round to it
+        assert!(
+            (got - tp).abs() <= 5.5e-4,
+            "{label}: fluid gives {got:.4}, paper prints {tp}"
+        );
+    }
+}
+
+/// Fig. 7 MK2 predicted column, same convention.
+#[test]
+fn fig7_mk2_predicted_column() {
+    let solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
+    let mk2 = schemes::mk2().with_uniform_size(1_000_000);
+    let res = solver.solve(&mk2);
+    let tref_units = 1_000_000.0;
+    let paper = [
+        ("a", 0.177),
+        ("b", 0.177),
+        ("c", 0.177),
+        ("d", 0.177),
+        ("e", 0.053),
+        ("f", 0.085),
+        ("g", 0.085),
+        ("h", 0.101),
+        ("i", 0.101),
+        ("j", 0.073),
+    ];
+    for (label, tp) in paper {
+        let id = mk2.by_label(label).unwrap();
+        let got = res[id.idx()].completion / tref_units * 0.0354;
+        assert!(
+            (got - tp).abs() < 1.5e-3,
+            "{label}: fluid gives {got:.4}, paper prints {tp}"
+        );
+    }
+}
+
+/// Fig. 4 predicted column: GigE model penalties × the paper's
+/// tref = 0.0477 s reproduce the printed times.
+#[test]
+fn fig4_predicted_column() {
+    let model = GigabitEthernetModel::default();
+    let g = schemes::fig4(4_000_000);
+    let p = model.penalties(g.comms());
+    let tref = 0.0477;
+    // a, b, d, e, f match the printed values; c is discussed in DESIGN.md
+    let paper = [
+        ("a", 0.095),
+        ("b", 0.095),
+        ("d", 0.069),
+        ("e", 0.103),
+        ("f", 0.103),
+    ];
+    for (label, tp) in paper {
+        let id = g.by_label(label).unwrap();
+        let got = p[id.idx()].value() * tref;
+        assert!(
+            (got - tp).abs() < 1.5e-3,
+            "{label}: model gives {got:.4}, paper prints {tp}"
+        );
+    }
+    // c: the reception-side term 3β(1+2γi)·tref = 0.115 ≈ printed 0.113
+    let c = g.by_label("c").unwrap();
+    let pi_c = model.pi(g.comms(), c.idx()) * tref;
+    assert!((pi_c - 0.113).abs() < 3e-3, "c: pi gives {pi_c:.4}");
+}
+
+/// §V.A: β estimated from the Fig. 2 ladder penalties is 0.75.
+#[test]
+fn beta_estimation_from_paper_numbers() {
+    let beta = netbw::core::calibrate::estimate_beta(&[(2, 1.5), (3, 2.25)]).unwrap();
+    assert!((beta - 0.75).abs() < 1e-12);
+}
+
+/// §V.A: γ estimators recover the paper's parameters from its Fig. 4
+/// measured times (ta = 0.095, tf = 0.103, tref = 0.0477).
+#[test]
+fn gamma_estimation_from_paper_numbers() {
+    let (go, gi) =
+        netbw::core::calibrate::estimate_gammas(0.75, 0.0477, 0.095, 0.103).unwrap();
+    assert!((go - 0.115).abs() < 0.008, "gamma_o = {go:.4}");
+    assert!((gi - 0.036).abs() < 0.012, "gamma_i = {gi:.4}");
+}
+
+/// Fig. 2, simulated fabrics: schemes 1–4 reproduce the paper's clean rows.
+#[test]
+fn fig2_schemes_1_to_4_on_simulated_fabrics() {
+    use netbw::packet::measure_penalties;
+    // (scheme, fabric index, comm index, paper value, tolerance)
+    let cases = [
+        (2usize, 0usize, 0usize, 1.5, 0.06),
+        (3, 0, 0, 2.25, 0.09),
+        (4, 0, 3, 1.15, 0.08),
+        (2, 1, 0, 1.9, 0.1),
+        (3, 1, 0, 2.8, 0.15),
+        (4, 1, 3, 1.45, 0.12),
+        (2, 2, 0, 1.725, 0.09),
+        (3, 2, 0, 2.61, 0.13),
+        (4, 2, 3, 1.14, 0.06),
+    ];
+    let fabrics = FabricConfig::paper_fabrics();
+    for (scheme, fi, ci, want, tol) in cases {
+        let g = schemes::fig2_scheme(scheme);
+        let m = measure_penalties(fabrics[fi], &g);
+        assert!(
+            (m.penalties[ci] - want).abs() < tol,
+            "scheme {scheme} fabric {} comm {ci}: {} vs paper {want}",
+            fabrics[fi].name,
+            m.penalties[ci]
+        );
+    }
+}

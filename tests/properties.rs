@@ -1,0 +1,155 @@
+//! Property-based tests over the core invariants (proptest).
+
+use netbw::core::states::{enumerate_components, DEFAULT_STATE_SET_BUDGET};
+use netbw::graph::conflict::{ConflictGraph, ConflictRule};
+use netbw::graph::{schemes, Communication};
+use netbw::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a random scheme of up to 9 comms over up to 7 nodes with
+/// bounded degrees (keeps enumeration small), no self-loops.
+fn arb_scheme() -> impl Strategy<Value = Vec<Communication>> {
+    proptest::collection::vec((0u32..7, 0u32..6, 1u64..1000), 1..9).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(s, d_raw, size)| {
+                let d = if d_raw >= s { d_raw + 1 } else { d_raw };
+                Communication::new(s, d, size)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Every model returns one penalty per communication, each ≥ 1 and finite.
+    #[test]
+    fn penalties_are_aligned_finite_and_at_least_one(comms in arb_scheme()) {
+        for kind in netbw::core::ModelKind::ALL {
+            let model = kind.build();
+            let p = model.penalties(&comms);
+            prop_assert_eq!(p.len(), comms.len());
+            for x in &p {
+                prop_assert!(x.value().is_finite());
+                prop_assert!(x.value() >= 1.0);
+            }
+        }
+    }
+
+    /// State sets are independent, maximal within their component, and
+    /// every communication sends in at least one set of its component.
+    #[test]
+    fn state_sets_are_maximal_independent(comms in arb_scheme()) {
+        let cg = ConflictGraph::build(&comms, ConflictRule::Strict);
+        let comps = enumerate_components(&cg, DEFAULT_STATE_SET_BUDGET).unwrap();
+        for e in &comps {
+            prop_assert!(e.count() >= 1);
+            for set in &e.sets {
+                prop_assert!(cg.is_independent(set));
+                // maximal within the component: every non-member vertex of
+                // this component conflicts with some member
+                for &v in &e.vertices {
+                    if !set.contains(v) {
+                        prop_assert!(!cg.neighbours(v).is_disjoint(set),
+                            "vertex {} could still send", v);
+                    }
+                }
+            }
+            for &v in &e.vertices {
+                prop_assert!(e.emission(v) >= 1);
+            }
+        }
+        // global enumeration produces globally maximal sets
+        let global = netbw::core::states::enumerate_global(&cg, DEFAULT_STATE_SET_BUDGET).unwrap();
+        for set in &global.sets {
+            prop_assert!(cg.is_maximal_independent(set));
+        }
+    }
+
+    /// Myrinet penalty lower bound: every comm's penalty is at least the
+    /// number of outgoing comms sharing its source (NIC serialization),
+    /// because κ ≤ σ and the source's comms partition the state sets.
+    #[test]
+    fn myrinet_penalty_at_least_source_degree_over_sigma(comms in arb_scheme()) {
+        let model = MyrinetModel::default();
+        let analysis = model.analyse(&comms);
+        for (i, c) in comms.iter().enumerate() {
+            if c.is_intra_node() { continue; }
+            let k = analysis.network_indices.iter().position(|&x| x == i).unwrap();
+            let sigma = analysis.emission[k];
+            let s = analysis.state_count[k];
+            // σ(c) ≤ S always; penalties = S/κ ≥ S/σ ≥ 1
+            prop_assert!(sigma <= s);
+            prop_assert!(analysis.penalties[i].value() >= s as f64 / sigma.max(1) as f64 - 1e-12);
+        }
+    }
+
+    /// Fluid conservation: completion − start ≥ size/bandwidth (penalties
+    /// never accelerate), and phases integrate to exactly the message size.
+    #[test]
+    fn fluid_conserves_bytes(comms in arb_scheme()) {
+        let solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
+        let results = solver.solve_with_starts(&comms, &vec![0.0; comms.len()]);
+        for (r, c) in results.iter().zip(&comms) {
+            prop_assert!(r.elapsed() >= c.size as f64 - 1e-6);
+            let moved: f64 = r.phases.iter().map(|p| p.duration() / p.penalty).sum();
+            prop_assert!((moved - c.size as f64).abs() < 1e-4,
+                "moved {} vs size {}", moved, c.size);
+        }
+    }
+
+    /// Monotonicity: adding an outgoing conflict never speeds anyone up
+    /// under the GigE model (ladder case).
+    #[test]
+    fn gige_ladder_monotone(k in 1usize..8) {
+        let model = GigabitEthernetModel::default();
+        let a = model.penalties(schemes::outgoing_ladder(k).comms())[0].value();
+        let b = model.penalties(schemes::outgoing_ladder(k + 1).comms())[0].value();
+        prop_assert!(b >= a - 1e-12, "ladder {k}: {a} -> {b}");
+    }
+
+    /// The DSL round-trips arbitrary schemes.
+    #[test]
+    fn dsl_round_trips(comms in arb_scheme()) {
+        let mut g = netbw::graph::CommGraph::named("prop");
+        for c in &comms {
+            g.add_auto(c.src, c.dst, c.size);
+        }
+        let text = netbw::graph::dsl::emit(&g);
+        let back = netbw::graph::dsl::parse(&text).unwrap();
+        prop_assert_eq!(back, g);
+    }
+
+    /// The trace text format round-trips arbitrary small traces.
+    #[test]
+    fn trace_text_round_trips(
+        events in proptest::collection::vec((0usize..4, 0u32..4, 1u64..10_000), 0..40)
+    ) {
+        let mut tr = netbw::trace::Trace::with_tasks(4);
+        for (kind, peer, bytes) in events {
+            match kind {
+                0 => { tr.task_mut(peer as usize % 4).compute(bytes as f64 * 1e-3); }
+                1 => { tr.task_mut(0).send(peer.clamp(1, 3), bytes); }
+                2 => { tr.task_mut(peer as usize % 4).recv_any(bytes); }
+                _ => { tr.task_mut(peer as usize % 4).barrier(); }
+            }
+        }
+        let text = netbw::trace::write_trace(&tr);
+        let back = netbw::trace::parse_trace(&text).unwrap();
+        prop_assert_eq!(back, tr);
+    }
+
+    /// Packet fabrics conserve work: completion time of any flow is at
+    /// least size/flow_cap and the run terminates (tested implicitly).
+    #[test]
+    fn packet_fabric_lower_bound(seed in 0u64..20) {
+        let g = schemes::random_bounded(6, 6, 2, 2, 500_000, seed);
+        if g.is_empty() { return Ok(()); }
+        for cfg in [FabricConfig::gige(), FabricConfig::infinihost3()] {
+            let fab = PacketFabric::new(cfg, 8);
+            let times = fab.run_scheme(&g);
+            for (t, c) in times.iter().zip(g.comms()) {
+                let floor = c.size as f64 / cfg.flow_cap;
+                prop_assert!(*t >= floor - 1e-9, "{}: {} < floor {}", cfg.name, t, floor);
+            }
+        }
+    }
+}

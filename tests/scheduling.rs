@@ -1,0 +1,109 @@
+//! Scheduling-policy invariants (§VI.D) across cluster shapes.
+
+use netbw::graph::NodeId;
+use netbw::prelude::*;
+
+fn loads(p: &Placement, nodes: usize) -> Vec<usize> {
+    let mut l = vec![0usize; nodes];
+    for n in p.as_slice() {
+        l[n.idx()] += 1;
+    }
+    l
+}
+
+#[test]
+fn every_policy_respects_capacity_across_shapes() {
+    for nodes in [1usize, 2, 3, 8, 16] {
+        for cores in [1usize, 2, 4] {
+            let cluster = ClusterSpec::smp(nodes).with_cores(cores);
+            for tasks in [1usize, nodes, nodes * cores] {
+                for policy in [
+                    PlacementPolicy::RoundRobinNode,
+                    PlacementPolicy::RoundRobinProcessor,
+                    PlacementPolicy::Random(99),
+                ] {
+                    if tasks > cluster.capacity() {
+                        continue;
+                    }
+                    let p = Placement::assign(&policy, tasks, &cluster);
+                    assert_eq!(p.len(), tasks);
+                    for (node, load) in loads(&p, nodes).iter().enumerate() {
+                        assert!(
+                            *load <= cores,
+                            "{policy}: node {node} holds {load} > {cores} tasks \
+                             ({nodes}n x {cores}c, {tasks}t)"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn rrn_spreads_maximally_and_rrp_packs_maximally() {
+    let cluster = ClusterSpec::smp(8); // 8 × 2 cores
+    let rrn = Placement::assign(&PlacementPolicy::RoundRobinNode, 8, &cluster);
+    // 8 tasks on 8 nodes: RRN gives one task per node
+    assert!(loads(&rrn, 8).iter().all(|&l| l == 1));
+    let rrp = Placement::assign(&PlacementPolicy::RoundRobinProcessor, 8, &cluster);
+    // RRP fills 4 nodes completely, leaves 4 empty
+    let l = loads(&rrp, 8);
+    assert_eq!(l.iter().filter(|&&x| x == 2).count(), 4);
+    assert_eq!(l.iter().filter(|&&x| x == 0).count(), 4);
+}
+
+#[test]
+fn random_placements_differ_across_seeds_but_not_runs() {
+    let cluster = ClusterSpec::smp(8);
+    let a = Placement::assign(&PlacementPolicy::Random(1), 16, &cluster);
+    let b = Placement::assign(&PlacementPolicy::Random(1), 16, &cluster);
+    assert_eq!(a, b);
+    let distinct = (2u64..12)
+        .map(|s| Placement::assign(&PlacementPolicy::Random(s), 16, &cluster))
+        .filter(|p| *p != a)
+        .count();
+    assert!(distinct >= 8, "only {distinct} of 10 seeds differed");
+}
+
+#[test]
+fn placement_changes_predicted_comm_time_on_a_ring() {
+    // a ring of 8 tasks over 4 two-core nodes: RRP halves network traffic
+    let mut trace = Trace::with_tasks(8);
+    for r in 0..8usize {
+        // cycle-breaking rendezvous order (rank 0 receives first)
+        if r == 0 {
+            trace.task_mut(r).recv(7u32, 4_000_000);
+            trace.task_mut(r).send(1u32, 4_000_000);
+        } else {
+            trace.task_mut(r).send(((r + 1) % 8) as u32, 4_000_000);
+            trace.task_mut(r).recv((r - 1) as u32, 4_000_000);
+        }
+    }
+    let cluster = ClusterSpec::smp(4);
+    let run = |policy: &PlacementPolicy| {
+        let placement = Placement::assign(policy, 8, &cluster);
+        let backend =
+            FluidNetwork::new(MyrinetModel::default(), NetworkParams::myrinet2000());
+        Simulator::new(&trace, cluster, placement, backend)
+            .run()
+            .unwrap()
+    };
+    let rrn = run(&PlacementPolicy::RoundRobinNode);
+    let rrp = run(&PlacementPolicy::RoundRobinProcessor);
+    let inter = |r: &netbw::sim::SimReport| {
+        r.messages.iter().filter(|m| !m.intra_node).count()
+    };
+    assert_eq!(inter(&rrn), 8);
+    assert_eq!(inter(&rrp), 4);
+    assert!(rrp.makespan() <= rrn.makespan() + 1e-9);
+}
+
+#[test]
+fn explicit_placement_round_trips() {
+    let cluster = ClusterSpec::smp(3);
+    let map = vec![NodeId(2), NodeId(0), NodeId(2), NodeId(1)];
+    let p = Placement::assign(&PlacementPolicy::Explicit(map.clone()), 4, &cluster);
+    assert_eq!(p.as_slice(), map.as_slice());
+    assert_eq!(p.node_of(2), NodeId(2));
+}

@@ -18,8 +18,7 @@ fn bench_fluid(c: &mut Criterion) {
             b.iter(|| black_box(solver.solve(black_box(g))))
         });
         group.bench_with_input(BenchmarkId::new("gige", g.name()), &g, |b, g| {
-            let solver =
-                FluidSolver::new(GigabitEthernetModel::default(), NetworkParams::unit());
+            let solver = FluidSolver::new(GigabitEthernetModel::default(), NetworkParams::unit());
             b.iter(|| black_box(solver.solve(black_box(g))))
         });
     }

@@ -22,15 +22,10 @@ fn bench_hpl(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("predict-myrinet", name), &hpl, |b, hpl| {
             let trace = hpl.trace();
             b.iter(|| {
-                let placement = Placement::assign(
-                    &PlacementPolicy::RoundRobinNode,
-                    trace.len(),
-                    &cluster,
-                );
-                let backend = FluidNetwork::new(
-                    MyrinetModel::default(),
-                    NetworkParams::myrinet2000(),
-                );
+                let placement =
+                    Placement::assign(&PlacementPolicy::RoundRobinNode, trace.len(), &cluster);
+                let backend =
+                    FluidNetwork::new(MyrinetModel::default(), NetworkParams::myrinet2000());
                 black_box(
                     Simulator::new(&trace, cluster, placement, backend)
                         .run()

@@ -11,16 +11,17 @@ fn bench_packet(c: &mut Criterion) {
     group.sample_size(20);
     for cfg in FabricConfig::paper_fabrics() {
         for (name, g) in [
-            ("ladder3", schemes::outgoing_ladder(3).with_uniform_size(4 * MB)),
+            (
+                "ladder3",
+                schemes::outgoing_ladder(3).with_uniform_size(4 * MB),
+            ),
             ("fig5", schemes::fig5().with_uniform_size(4 * MB)),
             ("mk2", schemes::mk2().with_uniform_size(4 * MB)),
         ] {
             let fab = PacketFabric::new(cfg, 8);
-            group.bench_with_input(
-                BenchmarkId::new(cfg.name, name),
-                &g,
-                |b, g| b.iter(|| black_box(fab.run_scheme(black_box(g)))),
-            );
+            group.bench_with_input(BenchmarkId::new(cfg.name, name), &g, |b, g| {
+                b.iter(|| black_box(fab.run_scheme(black_box(g))))
+            });
         }
     }
     group.finish();

@@ -15,23 +15,17 @@ fn bench_enumeration(c: &mut Criterion) {
         let g = schemes::random_bounded(comms, comms, 3, 3, 1, 42);
         let cg = ConflictGraph::build(g.comms(), ConflictRule::Strict);
         group.bench_with_input(BenchmarkId::new("pivot", comms), &cg, |b, cg| {
-            b.iter(|| {
-                black_box(enumerate_components(cg, DEFAULT_STATE_SET_BUDGET).unwrap())
-            })
+            b.iter(|| black_box(enumerate_components(cg, DEFAULT_STATE_SET_BUDGET).unwrap()))
         });
         group.bench_with_input(BenchmarkId::new("naive", comms), &cg, |b, cg| {
-            b.iter(|| {
-                black_box(enumerate_components_naive(cg, DEFAULT_STATE_SET_BUDGET).unwrap())
-            })
+            b.iter(|| black_box(enumerate_components_naive(cg, DEFAULT_STATE_SET_BUDGET).unwrap()))
         });
     }
     // the paper's own graphs
     for g in [schemes::fig5(), schemes::mk1(), schemes::mk2()] {
         let cg = ConflictGraph::build(g.comms(), ConflictRule::Strict);
         group.bench_with_input(BenchmarkId::new("paper", g.name()), &cg, |b, cg| {
-            b.iter(|| {
-                black_box(enumerate_components(cg, DEFAULT_STATE_SET_BUDGET).unwrap())
-            })
+            b.iter(|| black_box(enumerate_components(cg, DEFAULT_STATE_SET_BUDGET).unwrap()))
         });
     }
     group.finish();

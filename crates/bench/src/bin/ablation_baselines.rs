@@ -14,14 +14,22 @@ fn main() {
     schemes.extend(random_battery(6, 8, 10, 8 * MB, 42));
 
     for (fabric, model) in netbw_bench::fabric_model_pairs() {
-        section(&format!("Eabs [%] per scheme on the {} fabric", fabric.name));
+        section(&format!(
+            "Eabs [%] per scheme on the {} fabric",
+            fabric.name
+        ));
         let rows = parallel_map(&schemes, 0, |scheme| {
             let own = compare_scheme(model.as_ref(), fabric, scheme).eabs;
             let lin = compare_scheme(&LinearModel, fabric, scheme).eabs;
             let max = compare_scheme(&MaxConflictModel, fabric, scheme).eabs;
             (scheme.name().to_string(), own, lin, max)
         });
-        let mut t = Table::new(["scheme", "paper model", "linear (LogGP)", "max-conflict (Kim&Lee)"]);
+        let mut t = Table::new([
+            "scheme",
+            "paper model",
+            "linear (LogGP)",
+            "max-conflict (Kim&Lee)",
+        ]);
         let (mut so, mut sl, mut sm) = (0.0, 0.0, 0.0);
         for (name, own, lin, max) in &rows {
             t.push([

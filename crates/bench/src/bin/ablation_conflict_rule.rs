@@ -14,7 +14,13 @@ fn main() {
         let loose = MyrinetModel::with_rule(ConflictRule::SharedNode);
         let ps = strict.analyse(scheme.comms());
         let pl = loose.analyse(scheme.comms());
-        let mut t = Table::new(["com.", "strict: sum", "strict: penalty", "shared: sum", "shared: penalty"]);
+        let mut t = Table::new([
+            "com.",
+            "strict: sum",
+            "strict: penalty",
+            "shared: sum",
+            "shared: penalty",
+        ]);
         for (i, label) in scheme.labels().iter().enumerate() {
             t.push([
                 label.clone(),

@@ -38,10 +38,16 @@ fn main() {
     section("Model vs simulated InfiniHost III fabric (Eabs per scheme)");
     let battery: Vec<CommGraph> = (1..=6)
         .map(|s| schemes::fig2_scheme(s).with_uniform_size(8 * MB))
-        .chain([schemes::mk1().with_uniform_size(8 * MB), schemes::mk2().with_uniform_size(8 * MB)])
+        .chain([
+            schemes::mk1().with_uniform_size(8 * MB),
+            schemes::mk2().with_uniform_size(8 * MB),
+        ])
         .collect();
     let rows = parallel_map(&battery, 0, |g| {
-        (g.name().to_string(), compare_scheme(&model, FabricConfig::infinihost3(), g).eabs)
+        (
+            g.name().to_string(),
+            compare_scheme(&model, FabricConfig::infinihost3(), g).eabs,
+        )
     });
     let mut t = Table::new(["scheme", "Eabs [%]"]);
     for (name, eabs) in rows {

@@ -25,7 +25,13 @@ fn main() {
         tasks: 16,
         ..HplConfig::paper()
     };
-    let mut t = Table::new(["cores/node", "nodes", "policy", "mean Eabs [%]", "predicted makespan [s]"]);
+    let mut t = Table::new([
+        "cores/node",
+        "nodes",
+        "policy",
+        "mean Eabs [%]",
+        "predicted makespan [s]",
+    ]);
     for cores in [2usize, 4, 8, 16] {
         let cluster = ClusterSpec::smp(16 / cores).with_cores(cores);
         let cmp = compare_hpl(

@@ -11,7 +11,13 @@ fn main() {
     print!("{g}");
 
     section("Conflict census per communication");
-    let mut t = Table::new(["com.", "outgoing peers", "income peers", "income/outgo peers", "dominant"]);
+    let mut t = Table::new([
+        "com.",
+        "outgoing peers",
+        "income peers",
+        "income/outgo peers",
+        "dominant",
+    ]);
     for ((_, label, _), c) in g.iter().zip(census(&g)) {
         t.push([
             label.to_string(),

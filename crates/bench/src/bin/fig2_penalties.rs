@@ -38,7 +38,12 @@ fn main() {
     section("Fig. 2 — paper's measured values (for comparison)");
     let mut p = netbw::prelude::Table::new(["scheme/com.", "gige", "myrinet", "infiniband"]);
     for (key, vals) in PAPER {
-        p.push([key.to_string(), vals[0].into(), vals[1].into(), vals[2].into()]);
+        p.push([
+            key.to_string(),
+            vals[0].into(),
+            vals[1].into(),
+            vals[2].into(),
+        ]);
     }
     show(&p);
 

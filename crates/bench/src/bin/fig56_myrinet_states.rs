@@ -17,8 +17,15 @@ fn main() {
     section("Fig. 5 — the five communication state sets (send sets)");
     for (i, e) in analysis.components.iter().enumerate() {
         for (k, set) in e.sets.iter().enumerate() {
-            let labels: Vec<&str> = set.iter().map(|v| g.label(netbw::graph::CommId(v as u32))).collect();
-            println!("component {i}, state set {}: send = {{{}}}", k + 1, labels.join(", "));
+            let labels: Vec<&str> = set
+                .iter()
+                .map(|v| g.label(netbw::graph::CommId(v as u32)))
+                .collect();
+            println!(
+                "component {i}, state set {}: send = {{{}}}",
+                k + 1,
+                labels.join(", ")
+            );
         }
     }
 

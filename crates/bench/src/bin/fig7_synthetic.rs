@@ -14,7 +14,12 @@ fn paper_predicted(scheme: &CommGraph) {
     let solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
     let sized = scheme.clone().with_uniform_size(10_000);
     let res = solver.solve(&sized);
-    let mut t = Table::new(["com.", "penalty multiple", "Tp = mult x 0.0354 [s]", "paper Tp [s]"]);
+    let mut t = Table::new([
+        "com.",
+        "penalty multiple",
+        "Tp = mult x 0.0354 [s]",
+        "paper Tp [s]",
+    ]);
     let paper: &[(&str, &str)] = if scheme.name() == "mk1" {
         &[
             ("a", "0.089"),

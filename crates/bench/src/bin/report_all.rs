@@ -65,7 +65,13 @@ fn main() {
             PlacementPolicy::Random(2008),
         ] {
             let cmp = if model_name == "gige" {
-                compare_hpl(&hpl, &cluster, &policy, GigabitEthernetModel::default(), fabric)
+                compare_hpl(
+                    &hpl,
+                    &cluster,
+                    &policy,
+                    GigabitEthernetModel::default(),
+                    fabric,
+                )
             } else {
                 compare_hpl(&hpl, &cluster, &policy, MyrinetModel::default(), fabric)
             }

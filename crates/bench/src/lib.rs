@@ -24,7 +24,10 @@ pub fn fabric_model_pairs() -> Vec<(FabricConfig, Box<dyn PenaltyModel>)> {
             FabricConfig::gige(),
             Box::new(GigabitEthernetModel::default()),
         ),
-        (FabricConfig::myrinet2000(), Box::new(MyrinetModel::default())),
+        (
+            FabricConfig::myrinet2000(),
+            Box::new(MyrinetModel::default()),
+        ),
         (
             FabricConfig::infinihost3(),
             Box::new(InfinibandModel::default()),

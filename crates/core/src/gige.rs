@@ -60,7 +60,10 @@ impl GigabitEthernetModel {
     /// # Panics
     /// If `beta` is not in `(0, 1]` or a `γ` is not in `[0, 1)`.
     pub fn new(beta: f64, gamma_o: f64, gamma_i: f64) -> Self {
-        assert!(beta > 0.0 && beta <= 1.0, "beta must be in (0,1], got {beta}");
+        assert!(
+            beta > 0.0 && beta <= 1.0,
+            "beta must be in (0,1], got {beta}"
+        );
         assert!(
             (0.0..1.0).contains(&gamma_o),
             "gamma_o must be in [0,1), got {gamma_o}"

@@ -67,7 +67,10 @@ impl InfinibandModel {
     /// # Panics
     /// If `beta` is not in `(0, 1]` or a `δ` is negative.
     pub fn new(beta: f64, delta_tx: f64, delta_rx: f64) -> Self {
-        assert!(beta > 0.0 && beta <= 1.0, "beta must be in (0,1], got {beta}");
+        assert!(
+            beta > 0.0 && beta <= 1.0,
+            "beta must be in (0,1], got {beta}"
+        );
         assert!(delta_tx >= 0.0, "delta_tx must be >= 0");
         assert!(delta_rx >= 0.0, "delta_rx must be >= 0");
         InfinibandModel {
@@ -93,14 +96,10 @@ impl PenaltyModel for InfinibandModel {
             .map(|(i, c)| {
                 let po = fair.po(&network, i);
                 let pi = fair.pi(&network, i);
-                let opposing_at_src =
-                    network.iter().filter(|o| o.dst == c.src).count();
-                let opposing_at_dst =
-                    network.iter().filter(|o| o.src == c.dst).count();
-                let tx_dx =
-                    1.0 + self.delta_tx * (opposing_at_src.saturating_sub(1)) as f64;
-                let rx_dx =
-                    1.0 + self.delta_rx * (opposing_at_dst.saturating_sub(2)) as f64;
+                let opposing_at_src = network.iter().filter(|o| o.dst == c.src).count();
+                let opposing_at_dst = network.iter().filter(|o| o.src == c.dst).count();
+                let tx_dx = 1.0 + self.delta_tx * (opposing_at_src.saturating_sub(1)) as f64;
+                let rx_dx = 1.0 + self.delta_rx * (opposing_at_dst.saturating_sub(2)) as f64;
                 Penalty::new((po * tx_dx).max(pi * rx_dx))
             })
             .collect();

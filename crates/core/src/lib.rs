@@ -52,7 +52,7 @@ pub mod states;
 
 pub use gige::GigabitEthernetModel;
 pub use infiniband::InfinibandModel;
-pub use model::{ModelKind, PenaltyModel};
+pub use model::{ModelKind, PenaltyModel, PopulationDelta};
 pub use myrinet::{MyrinetAnalysis, MyrinetModel};
 pub use penalty::Penalty;
 pub use states::StateSetEnumeration;
@@ -62,7 +62,7 @@ pub mod prelude {
     pub use crate::baseline::{LinearModel, MaxConflictModel};
     pub use crate::gige::GigabitEthernetModel;
     pub use crate::infiniband::InfinibandModel;
-    pub use crate::model::{ModelKind, PenaltyModel};
+    pub use crate::model::{ModelKind, PenaltyModel, PopulationDelta};
     pub use crate::myrinet::MyrinetModel;
     pub use crate::penalty::Penalty;
 }

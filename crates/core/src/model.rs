@@ -27,10 +27,65 @@ pub trait PenaltyModel: Send + Sync {
     /// Penalties for the given set of concurrent communications.
     fn penalties(&self, comms: &[Communication]) -> Vec<Penalty>;
 
+    /// Penalties for a population that evolved from the previously queried
+    /// one as described by `delta` — the batch-delta entry point of the
+    /// incremental fluid engine.
+    ///
+    /// `previous` carries the last-queried population and its penalties
+    /// (`None` on the first query), so models stay stateless: everything
+    /// needed to patch instead of recompute arrives with the call. The
+    /// default implementation recomputes from scratch; models whose
+    /// penalties are cheap to patch (the GigE closed form only depends on
+    /// per-endpoint degrees, so an arrival or departure touches one source
+    /// and one destination group) can override this to skip the full
+    /// evaluation. The contract is identical to [`Self::penalties`]: the
+    /// result must equal `self.penalties(comms)`.
+    fn penalties_after_change(
+        &self,
+        comms: &[Communication],
+        delta: PopulationDelta,
+        previous: Option<(&[Communication], &[Penalty])>,
+    ) -> Vec<Penalty> {
+        let _ = (delta, previous);
+        self.penalties(comms)
+    }
+
     /// Penalty of one communication inside a population. Convenience used
     /// by tests and spot checks; index must be in range.
     fn penalty_of(&self, comms: &[Communication], index: usize) -> Penalty {
         self.penalties(comms)[index]
+    }
+}
+
+/// How an in-flight population evolved since a model was last queried.
+///
+/// Produced by the incremental fluid engine (`netbw-fluid`) and consumed
+/// by [`PenaltyModel::penalties_after_change`] specializations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PopulationDelta {
+    /// `n` communications joined (new transfers or opened latency gates);
+    /// all previously present communications are still in place.
+    Arrived(usize),
+    /// `n` communications left (completions); the survivors are unchanged
+    /// but may have been reordered.
+    Departed(usize),
+    /// First query, or an arbitrary mix of arrivals and departures.
+    Rebuilt,
+}
+
+impl PopulationDelta {
+    /// Folds another change into this one: consecutive same-kind changes
+    /// accumulate, mixes degrade to [`PopulationDelta::Rebuilt`].
+    pub fn merge(self, other: PopulationDelta) -> PopulationDelta {
+        match (self, other) {
+            (PopulationDelta::Arrived(a), PopulationDelta::Arrived(b)) => {
+                PopulationDelta::Arrived(a + b)
+            }
+            (PopulationDelta::Departed(a), PopulationDelta::Departed(b)) => {
+                PopulationDelta::Departed(a + b)
+            }
+            _ => PopulationDelta::Rebuilt,
+        }
     }
 }
 
@@ -41,6 +96,14 @@ impl<M: PenaltyModel + ?Sized> PenaltyModel for &M {
     fn penalties(&self, comms: &[Communication]) -> Vec<Penalty> {
         (**self).penalties(comms)
     }
+    fn penalties_after_change(
+        &self,
+        comms: &[Communication],
+        delta: PopulationDelta,
+        previous: Option<(&[Communication], &[Penalty])>,
+    ) -> Vec<Penalty> {
+        (**self).penalties_after_change(comms, delta, previous)
+    }
 }
 
 impl<M: PenaltyModel + ?Sized> PenaltyModel for Box<M> {
@@ -49,6 +112,14 @@ impl<M: PenaltyModel + ?Sized> PenaltyModel for Box<M> {
     }
     fn penalties(&self, comms: &[Communication]) -> Vec<Penalty> {
         (**self).penalties(comms)
+    }
+    fn penalties_after_change(
+        &self,
+        comms: &[Communication],
+        delta: PopulationDelta,
+        previous: Option<(&[Communication], &[Penalty])>,
+    ) -> Vec<Penalty> {
+        (**self).penalties_after_change(comms, delta, previous)
     }
 }
 
@@ -130,7 +201,7 @@ impl ModelKind {
             "infiniband" | "ib" => Some(ModelKind::Infiniband),
             "linear" | "logp" | "loggp" => Some(ModelKind::Linear),
             "maxconflict" | "max-conflict" | "kimlee" | "kim-lee" => Some(ModelKind::MaxConflict),
-        _ => None,
+            _ => None,
         }
     }
 }
@@ -183,6 +254,43 @@ mod tests {
         for kind in ModelKind::ALL {
             let m = kind.build();
             assert!(!m.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn delta_merge_accumulates_same_kind_and_degrades_mixes() {
+        use PopulationDelta::*;
+        assert_eq!(Arrived(2).merge(Arrived(3)), Arrived(5));
+        assert_eq!(Departed(1).merge(Departed(1)), Departed(2));
+        assert_eq!(Arrived(1).merge(Departed(1)), Rebuilt);
+        assert_eq!(Rebuilt.merge(Arrived(1)), Rebuilt);
+    }
+
+    #[test]
+    fn penalties_after_change_default_matches_penalties() {
+        let comms = vec![
+            Communication::new(0u32, 1u32, 10),
+            Communication::new(0u32, 2u32, 10),
+            Communication::new(3u32, 2u32, 10),
+        ];
+        let prior = [Communication::new(0u32, 1u32, 10)];
+        for kind in ModelKind::ALL {
+            let model = kind.build();
+            let full = model.penalties(&comms);
+            let prior_penalties = model.penalties(&prior);
+            for previous in [None, Some((prior.as_slice(), prior_penalties.as_slice()))] {
+                for delta in [
+                    PopulationDelta::Arrived(1),
+                    PopulationDelta::Departed(2),
+                    PopulationDelta::Rebuilt,
+                ] {
+                    assert_eq!(
+                        model.penalties_after_change(&comms, delta, previous),
+                        full,
+                        "{kind}"
+                    );
+                }
+            }
         }
     }
 }

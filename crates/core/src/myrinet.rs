@@ -117,18 +117,10 @@ impl MyrinetModel {
                 .and_modify(|m| *m = (*m).min(emission[v]))
                 .or_insert(emission[v]);
         }
-        let coefficient: Vec<u64> = network
-            .iter()
-            .map(|c| min_by_source[&c.src])
-            .collect();
+        let coefficient: Vec<u64> = network.iter().map(|c| min_by_source[&c.src]).collect();
 
-        let penalties = Self::penalties_from_tables(
-            comms.len(),
-            &indices,
-            &network,
-            &state_count,
-            &emission,
-        );
+        let penalties =
+            Self::penalties_from_tables(comms.len(), &indices, &network, &state_count, &emission);
 
         MyrinetAnalysis {
             network_indices: indices,
@@ -161,9 +153,7 @@ impl MyrinetModel {
         let net: Vec<Penalty> = network
             .iter()
             .enumerate()
-            .map(|(v, c)| {
-                Penalty::new(state_count[v] as f64 / min_by_source[&c.src] as f64)
-            })
+            .map(|(v, c)| Penalty::new(state_count[v] as f64 / min_by_source[&c.src] as f64))
             .collect();
         scatter_penalties(comms_len, indices, &net)
     }

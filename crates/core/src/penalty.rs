@@ -22,10 +22,7 @@ impl Penalty {
     /// If `value` is NaN or infinite — a model producing those has a bug
     /// worth failing loudly on.
     pub fn new(value: f64) -> Self {
-        assert!(
-            value.is_finite(),
-            "penalty must be finite, got {value}"
-        );
+        assert!(value.is_finite(), "penalty must be finite, got {value}");
         Penalty(value.max(1.0))
     }
 

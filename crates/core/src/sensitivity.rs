@@ -61,10 +61,7 @@ pub fn sweep_beta(
 
 /// Grid-search fit of the full `(β, γo, γi)` triple against observations,
 /// refining around the best cell for `refinements` rounds. Deterministic.
-pub fn fit_gige(
-    observations: &[Observation<'_>],
-    refinements: usize,
-) -> GigabitEthernetModel {
+pub fn fit_gige(observations: &[Observation<'_>], refinements: usize) -> GigabitEthernetModel {
     let mut lo = [0.5f64, 0.0, 0.0];
     let mut hi = [1.0f64, 0.4, 0.4];
     let steps = 8usize;
@@ -121,7 +118,11 @@ mod tests {
         graphs
             .iter()
             .map(|g| {
-                let p: Vec<f64> = truth.penalties(g.comms()).iter().map(|p| p.value()).collect();
+                let p: Vec<f64> = truth
+                    .penalties(g.comms())
+                    .iter()
+                    .map(|p| p.value())
+                    .collect();
                 (g.clone(), p)
             })
             .collect()
@@ -131,7 +132,11 @@ mod tests {
     fn penalty_error_zero_on_self() {
         let model = GigabitEthernetModel::default();
         let g = schemes::fig4(4_000_000);
-        let measured: Vec<f64> = model.penalties(g.comms()).iter().map(|p| p.value()).collect();
+        let measured: Vec<f64> = model
+            .penalties(g.comms())
+            .iter()
+            .map(|p| p.value())
+            .collect();
         let obs = [(&g, measured.as_slice())];
         assert_eq!(penalty_error(&model, &obs), 0.0);
     }
@@ -141,13 +146,9 @@ mod tests {
         let truth = GigabitEthernetModel::new(0.8, 0.1, 0.05);
         let graphs = vec![schemes::outgoing_ladder(2), schemes::outgoing_ladder(3)];
         let owned = observations_from(&truth, &graphs);
-        let obs: Vec<Observation<'_>> =
-            owned.iter().map(|(g, p)| (g, p.as_slice())).collect();
+        let obs: Vec<Observation<'_>> = owned.iter().map(|(g, p)| (g, p.as_slice())).collect();
         let sweep = sweep_beta(&obs, 0.1, 0.05, &[0.6, 0.7, 0.8, 0.9, 1.0]);
-        let best = sweep
-            .iter()
-            .min_by(|a, b| a.1.total_cmp(&b.1))
-            .unwrap();
+        let best = sweep.iter().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
         assert_eq!(best.0, 0.8);
         assert!(best.1 < 1e-12);
     }
@@ -162,10 +163,13 @@ mod tests {
             schemes::incoming_ladder(3),
         ];
         let owned = observations_from(&truth, &graphs);
-        let obs: Vec<Observation<'_>> =
-            owned.iter().map(|(g, p)| (g, p.as_slice())).collect();
+        let obs: Vec<Observation<'_>> = owned.iter().map(|(g, p)| (g, p.as_slice())).collect();
         let fitted = fit_gige(&obs, 3);
-        assert!((fitted.beta - truth.beta).abs() < 0.01, "beta {}", fitted.beta);
+        assert!(
+            (fitted.beta - truth.beta).abs() < 0.01,
+            "beta {}",
+            fitted.beta
+        );
         assert!(
             (fitted.gamma_o - truth.gamma_o).abs() < 0.03,
             "gamma_o {}",

@@ -31,7 +31,11 @@ pub struct BudgetExceeded {
 
 impl std::fmt::Display for BudgetExceeded {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "state-set enumeration exceeded budget of {} sets", self.budget)
+        write!(
+            f,
+            "state-set enumeration exceeded budget of {} sets",
+            self.budget
+        )
     }
 }
 
@@ -352,7 +356,13 @@ mod tests {
         let e = enumerate(g.comms());
         let mut got: Vec<Vec<usize>> = e.sets.iter().map(|s| s.iter().collect()).collect();
         got.sort();
-        let mut want = vec![vec![0, 5], vec![1, 4], vec![2, 4], vec![1, 3, 5], vec![2, 3, 5]];
+        let mut want = vec![
+            vec![0, 5],
+            vec![1, 4],
+            vec![2, 4],
+            vec![1, 3, 5],
+            vec![2, 3, 5],
+        ];
         want.sort();
         assert_eq!(got, want);
     }

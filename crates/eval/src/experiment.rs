@@ -106,7 +106,11 @@ pub fn fig2_table(size: u64) -> Table {
             .collect();
         for (i, label) in scheme.labels().iter().enumerate() {
             t.push([
-                if i == 0 { format!("{s}") } else { String::new() },
+                if i == 0 {
+                    format!("{s}")
+                } else {
+                    String::new()
+                },
                 label.clone(),
                 fnum(per_fabric[0][i], 2),
                 fnum(per_fabric[1][i], 2),
@@ -185,7 +189,13 @@ pub fn compare_hpl(
     let eabs: Vec<f64> = sm
         .iter()
         .zip(&sp)
-        .map(|(&m, &p)| if m > 0.0 { per_task_abs_error(p, m) } else { 0.0 })
+        .map(|(&m, &p)| {
+            if m > 0.0 {
+                per_task_abs_error(p, m)
+            } else {
+                0.0
+            }
+        })
         .collect();
     Ok(HplComparison {
         policy: policy.to_string(),

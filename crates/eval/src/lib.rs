@@ -23,9 +23,7 @@ pub mod sweep;
 pub mod table;
 
 pub use error::{mean_absolute_error, per_task_abs_error, relative_error};
-pub use experiment::{
-    compare_hpl, compare_scheme, fig2_table, HplComparison, SchemeComparison,
-};
+pub use experiment::{compare_hpl, compare_scheme, fig2_table, HplComparison, SchemeComparison};
 pub use sizes::{first_crossover, size_sweep, SizePoint};
 pub use sweep::parallel_map;
 pub use table::Table;

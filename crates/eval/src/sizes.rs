@@ -38,14 +38,16 @@ pub fn size_sweep(
             let cmp = compare_scheme(model, fabric, &sized);
             let fab = netbw_packet::PacketFabric::new(
                 fabric,
-                sized.nodes().iter().map(|n| n.idx() + 1).max().unwrap_or(2).max(2),
+                sized
+                    .nodes()
+                    .iter()
+                    .map(|n| n.idx() + 1)
+                    .max()
+                    .unwrap_or(2)
+                    .max(2),
             );
             let tref = fab.reference_time(size);
-            let worst = cmp
-                .measured
-                .iter()
-                .map(|&t| t / tref)
-                .fold(0.0, f64::max);
+            let worst = cmp.measured.iter().map(|&t| t / tref).fold(0.0, f64::max);
             SizePoint {
                 size,
                 eabs: cmp.eabs,
@@ -86,10 +88,7 @@ mod tests {
         assert_eq!(pts[0].size, MB);
         // ladder sharing: worst penalty close to 1.9 at any size
         for p in &pts {
-            assert!(
-                (p.worst_measured_penalty - 1.9).abs() < 0.25,
-                "{p:?}"
-            );
+            assert!((p.worst_measured_penalty - 1.9).abs() < 0.25, "{p:?}");
             assert!(p.eabs < 15.0, "{p:?}");
         }
     }

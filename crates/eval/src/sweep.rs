@@ -1,11 +1,12 @@
 //! Parallel experiment sweeps over scheme batteries.
 //!
 //! Model evaluation is embarrassingly parallel across schemes; this module
-//! fans work out over scoped threads (crossbeam) so batteries of hundreds
-//! of graphs evaluate concurrently and deterministically (results keep
-//! input order).
+//! fans work out over `std::thread::scope` workers so batteries of
+//! hundreds of graphs evaluate concurrently and deterministically
+//! (results keep input order).
 
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Applies `f` to every item on a pool of scoped worker threads, returning
 /// results in input order. Uses up to `threads` workers (0 = available
@@ -33,24 +34,25 @@ where
         return items.iter().map(&f).collect();
     }
 
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<R>>> =
-        Mutex::new((0..n).map(|_| None).collect());
-    crossbeam::scope(|scope| {
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    // std::thread::scope re-raises worker panics on join, so a panicking
+    // `f` propagates to the caller like the sequential path.
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let r = f(&items[i]);
-                results.lock()[i] = Some(r);
+                results.lock().expect("sweep results lock")[i] = Some(r);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
     results
         .into_inner()
+        .expect("sweep results lock")
         .into_iter()
         .map(|r| r.expect("every item processed"))
         .collect()

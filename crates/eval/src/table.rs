@@ -80,12 +80,7 @@ impl Table {
                 s.clone()
             }
         };
-        let mut out = self
-            .headers
-            .iter()
-            .map(esc)
-            .collect::<Vec<_>>()
-            .join(",");
+        let mut out = self.headers.iter().map(esc).collect::<Vec<_>>().join(",");
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(esc).collect::<Vec<_>>().join(","));

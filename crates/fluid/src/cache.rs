@@ -1,0 +1,169 @@
+//! Incremental penalty cache for the fluid engine.
+//!
+//! Penalties only change when the *contending population* changes — a
+//! transfer arrives, a latency gate opens, or a transfer completes. Pure
+//! time advances (including every [`crate::FluidNetwork::next_event_time`]
+//! probe between events) leave them untouched. The seed implementation
+//! re-queried the model on every solver iteration anyway; this cache makes
+//! the query-on-change policy explicit, tracks *how* the population
+//! changed since the last query, and hands that [`PopulationDelta`] to
+//! [`PenaltyModel::penalties_after_change`] so models can patch rather
+//! than recompute.
+
+use netbw_core::{Penalty, PenaltyModel, PopulationDelta};
+use netbw_graph::Communication;
+
+/// Counters describing how well query-on-change is working.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Model evaluations performed (the expensive operation).
+    pub model_queries: u64,
+    /// Times a settled population was served from the cache.
+    pub reuses: u64,
+    /// Population changes observed (arrivals, gate openings, departures).
+    pub invalidations: u64,
+}
+
+/// Cached penalties for the currently contending population.
+///
+/// Owned by [`crate::FluidNetwork`]; `active` holds indices into the
+/// network's slot table, `penalties` is aligned with it.
+#[derive(Debug, Default)]
+pub struct PenaltyCache {
+    active: Vec<usize>,
+    comms: Vec<Communication>,
+    penalties: Vec<Penalty>,
+    valid: bool,
+    settled_once: bool,
+    pending: Option<PopulationDelta>,
+    stats: CacheStats,
+}
+
+impl PenaltyCache {
+    /// An empty, invalid cache (first use always queries the model).
+    pub fn new() -> Self {
+        PenaltyCache::default()
+    }
+
+    /// Whether the cached penalties still describe the population.
+    pub fn is_valid(&self) -> bool {
+        self.valid
+    }
+
+    /// Slot indices of the contending population (valid caches only).
+    pub fn active(&self) -> &[usize] {
+        debug_assert!(self.valid, "reading an invalidated penalty cache");
+        &self.active
+    }
+
+    /// Penalties aligned with [`Self::active`] (valid caches only).
+    pub fn penalties(&self) -> &[Penalty] {
+        debug_assert!(self.valid, "reading an invalidated penalty cache");
+        &self.penalties
+    }
+
+    /// Usage counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Marks the population as changed; folds `delta` into any change
+    /// already pending (mixed kinds degrade to `Rebuilt`).
+    pub fn invalidate(&mut self, delta: PopulationDelta) {
+        self.stats.invalidations += 1;
+        self.valid = false;
+        self.pending = Some(match self.pending.take() {
+            Some(pending) => pending.merge(delta),
+            None => delta,
+        });
+    }
+
+    /// Records a served-from-cache settle.
+    pub fn note_reuse(&mut self) {
+        debug_assert!(self.valid);
+        self.stats.reuses += 1;
+    }
+
+    /// Re-queries `model` for the new population and revalidates. The
+    /// accumulated delta and the previously settled population (with its
+    /// penalties) are forwarded to the model's batch-delta entry point so
+    /// stateless models can patch; `comms` must be aligned with `active`.
+    pub fn refresh<M: PenaltyModel>(
+        &mut self,
+        model: &M,
+        active: Vec<usize>,
+        comms: Vec<Communication>,
+    ) {
+        debug_assert_eq!(active.len(), comms.len());
+        let delta = self.pending.take().unwrap_or(PopulationDelta::Rebuilt);
+        let previous = self
+            .settled_once
+            .then_some((self.comms.as_slice(), self.penalties.as_slice()));
+        self.penalties = model.penalties_after_change(&comms, delta, previous);
+        debug_assert_eq!(self.penalties.len(), comms.len());
+        self.active = active;
+        self.comms = comms;
+        self.valid = true;
+        self.settled_once = true;
+        self.stats.model_queries += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netbw_core::MyrinetModel;
+
+    fn comms() -> Vec<Communication> {
+        vec![
+            Communication::new(0u32, 1u32, 100),
+            Communication::new(0u32, 2u32, 100),
+        ]
+    }
+
+    #[test]
+    fn starts_invalid_and_validates_on_refresh() {
+        let mut cache = PenaltyCache::new();
+        assert!(!cache.is_valid());
+        cache.refresh(&MyrinetModel::default(), vec![0, 1], comms());
+        assert!(cache.is_valid());
+        assert_eq!(cache.active(), &[0, 1]);
+        assert_eq!(cache.penalties().len(), 2);
+        assert_eq!(cache.stats().model_queries, 1);
+    }
+
+    #[test]
+    fn invalidation_accumulates_deltas() {
+        use PopulationDelta::*;
+        let mut cache = PenaltyCache::new();
+        cache.refresh(&MyrinetModel::default(), vec![0, 1], comms());
+        cache.invalidate(Arrived(1));
+        cache.invalidate(Arrived(2));
+        assert!(!cache.is_valid());
+        cache.refresh(&MyrinetModel::default(), vec![0, 1], comms());
+        // a mixed sequence degrades to Rebuilt but still refreshes fine
+        cache.invalidate(Arrived(1));
+        cache.invalidate(Departed(1));
+        cache.refresh(&MyrinetModel::default(), vec![0, 1], comms());
+        assert_eq!(cache.stats().model_queries, 3);
+        assert_eq!(cache.stats().invalidations, 4);
+    }
+
+    #[test]
+    fn reuse_counter_tracks_cache_hits() {
+        let mut cache = PenaltyCache::new();
+        cache.refresh(&MyrinetModel::default(), vec![0, 1], comms());
+        cache.note_reuse();
+        cache.note_reuse();
+        assert_eq!(cache.stats().reuses, 2);
+        assert_eq!(cache.stats().model_queries, 1);
+    }
+
+    #[test]
+    fn refreshed_penalties_match_direct_queries() {
+        let model = MyrinetModel::default();
+        let mut cache = PenaltyCache::new();
+        cache.refresh(&model, vec![0, 1], comms());
+        assert_eq!(cache.penalties(), model.penalties(&comms()).as_slice());
+    }
+}

@@ -21,11 +21,13 @@
 //!   completions are consumed as events (used by the `netbw-sim`
 //!   discrete-event engine).
 
+pub mod cache;
 pub mod network;
 pub mod params;
 pub mod solver;
 pub mod timeline;
 
+pub use cache::{CacheStats, PenaltyCache};
 pub use network::{CompletedTransfer, FluidNetwork, TransferKey};
 pub use params::NetworkParams;
 pub use solver::{solve_scheme, FluidSolver, Phase, TransferResult};

@@ -1,11 +1,21 @@
 //! Incremental fluid network: transfers arrive over time, completions are
 //! consumed as events. This is the network backend of the `netbw-sim`
 //! discrete-event engine.
+//!
+//! Penalties are obtained through a [`PenaltyCache`]: the model is only
+//! re-queried when the contending population actually changes (arrival,
+//! latency-gate opening, completion), never on pure time advances or
+//! [`FluidNetwork::next_event_time`] probes. The pre-refactor behaviour —
+//! a full model query on every solver iteration — is preserved behind
+//! [`FluidNetwork::with_full_recompute`] as a correctness oracle and
+//! benchmark baseline.
 
+use crate::cache::{CacheStats, PenaltyCache};
 use crate::params::NetworkParams;
 use crate::solver::Phase;
-use netbw_core::PenaltyModel;
+use netbw_core::{PenaltyModel, PopulationDelta};
 use netbw_graph::Communication;
+use std::sync::{Mutex, MutexGuard};
 
 /// Caller-chosen identifier for a transfer (the simulator uses its event
 /// ids; the batch solver uses input indices).
@@ -13,6 +23,9 @@ pub type TransferKey = u64;
 
 /// Relative epsilon under which a transfer's remaining bytes count as zero.
 const REL_EPS: f64 = 1e-9;
+
+/// Absolute slack when comparing times (gates, targets, completions).
+const TIME_EPS: f64 = 1e-15;
 
 #[derive(Debug)]
 struct Slot {
@@ -48,6 +61,12 @@ pub struct FluidNetwork<M> {
     time: f64,
     slots: Vec<Slot>,
     record_phases: bool,
+    full_recompute: bool,
+    // Mutex (uncontended in single-threaded use) because
+    // `next_event_time` is `&self` (see `NetworkBackend`) but may need to
+    // lazily settle the cache after a population change — and the network
+    // must stay `Sync` for thread-scoped sweeps.
+    cache: Mutex<PenaltyCache>,
 }
 
 impl<M: PenaltyModel> FluidNetwork<M> {
@@ -59,12 +78,22 @@ impl<M: PenaltyModel> FluidNetwork<M> {
             time: 0.0,
             slots: Vec::new(),
             record_phases: false,
+            full_recompute: false,
+            cache: Mutex::new(PenaltyCache::new()),
         }
     }
 
     /// Enables per-transfer penalty-phase recording (costs memory).
     pub fn with_phase_recording(mut self) -> Self {
         self.record_phases = true;
+        self
+    }
+
+    /// Disables the incremental penalty cache: the model is re-queried on
+    /// every solver iteration, as the pre-refactor engine did. Slower;
+    /// kept as an equivalence oracle and benchmark baseline.
+    pub fn with_full_recompute(mut self) -> Self {
+        self.full_recompute = true;
         self
     }
 
@@ -88,6 +117,11 @@ impl<M: PenaltyModel> FluidNetwork<M> {
         self.slots.len()
     }
 
+    /// Penalty-cache counters: model queries, cache reuses, invalidations.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().expect("penalty cache lock").stats()
+    }
+
     /// Starts a transfer at `start`.
     ///
     /// # Panics
@@ -101,19 +135,28 @@ impl<M: PenaltyModel> FluidNetwork<M> {
             self.time
         );
         let size = comm.size as f64;
+        let gate = start.max(self.time) + self.params.latency;
         self.slots.push(Slot {
             key,
             comm,
-            gate: start.max(self.time) + self.params.latency,
+            gate,
             remaining: size,
             eps: (size * REL_EPS).max(1e-9),
             phases: Vec::new(),
         });
+        if gate <= self.time + TIME_EPS {
+            // Contending immediately; gated slots invalidate later, when
+            // the clock crosses their gate (see `advance_time_to`).
+            self.cache
+                .get_mut()
+                .expect("penalty cache lock")
+                .invalidate(PopulationDelta::Arrived(1));
+        }
     }
 
     fn active_indices(&self) -> Vec<usize> {
         (0..self.slots.len())
-            .filter(|&i| self.slots[i].gate <= self.time + 1e-15)
+            .filter(|&i| self.slots[i].gate <= self.time + TIME_EPS)
             .collect()
     }
 
@@ -121,26 +164,36 @@ impl<M: PenaltyModel> FluidNetwork<M> {
         self.slots
             .iter()
             .map(|s| s.gate)
-            .filter(|&g| g > self.time + 1e-15)
+            .filter(|&g| g > self.time + TIME_EPS)
             .min_by(f64::total_cmp)
     }
 
-    /// The next instant at which the network state changes (a gate opens or
-    /// a transfer completes), or `None` when idle.
-    pub fn next_event_time(&self) -> Option<f64> {
-        if self.slots.is_empty() {
-            return None;
+    /// Settles the penalty cache for the current population: re-queries
+    /// the model if the population changed since the last settle (or on
+    /// every call in full-recompute mode), otherwise serves the cached
+    /// penalties. This is the single recompute path shared by event
+    /// probing and time advancement.
+    fn resettle(&self) -> MutexGuard<'_, PenaltyCache> {
+        let mut cache = self.cache.lock().expect("penalty cache lock");
+        if self.full_recompute || !cache.is_valid() {
+            if self.full_recompute {
+                cache.invalidate(PopulationDelta::Rebuilt);
+            }
+            let active = self.active_indices();
+            let comms: Vec<Communication> = active.iter().map(|&i| self.slots[i].comm).collect();
+            cache.refresh(&self.model, active, comms);
+        } else {
+            cache.note_reuse();
         }
-        let active = self.active_indices();
-        let gate = self.next_gate();
-        if active.is_empty() {
-            return gate;
-        }
-        let comms: Vec<Communication> = active.iter().map(|&i| self.slots[i].comm).collect();
-        let penalties = self.model.penalties(&comms);
+        cache
+    }
+
+    /// Time until the earliest completion within the settled population
+    /// (`f64::INFINITY` when nothing is contending).
+    fn time_to_next_completion(&self, cache: &PenaltyCache) -> f64 {
         let mut dt = f64::INFINITY;
-        for (k, &i) in active.iter().enumerate() {
-            let rate = self.params.bandwidth * penalties[k].rate();
+        for (k, &i) in cache.active().iter().enumerate() {
+            let rate = self.params.bandwidth * cache.penalties()[k].rate();
             let slot = &self.slots[i];
             let need = if slot.remaining <= slot.eps {
                 0.0
@@ -149,7 +202,41 @@ impl<M: PenaltyModel> FluidNetwork<M> {
             };
             dt = dt.min(need);
         }
-        let completion = self.time + dt;
+        dt
+    }
+
+    /// Moves the clock to `new_time`, invalidating the cache if any
+    /// latency gate opens in the crossed interval.
+    fn advance_time_to(&mut self, new_time: f64) {
+        let old = self.time;
+        self.time = new_time;
+        if new_time > old {
+            let opened = self
+                .slots
+                .iter()
+                .filter(|s| s.gate > old + TIME_EPS && s.gate <= new_time + TIME_EPS)
+                .count();
+            if opened > 0 {
+                self.cache
+                    .get_mut()
+                    .expect("penalty cache lock")
+                    .invalidate(PopulationDelta::Arrived(opened));
+            }
+        }
+    }
+
+    /// The next instant at which the network state changes (a gate opens or
+    /// a transfer completes), or `None` when idle.
+    pub fn next_event_time(&self) -> Option<f64> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let gate = self.next_gate();
+        let cache = self.resettle();
+        if cache.active().is_empty() {
+            return gate;
+        }
+        let completion = self.time + self.time_to_next_completion(&cache);
         Some(match gate {
             Some(g) => completion.min(g),
             None => completion,
@@ -169,27 +256,34 @@ impl<M: PenaltyModel> FluidNetwork<M> {
         );
         let mut done = Vec::new();
         loop {
-            let active = self.active_indices();
+            // Settle penalties for the current population, then copy what
+            // the integration step needs so the cache borrow ends before
+            // any mutation.
+            let (active, penalties, rates) = {
+                let cache = self.resettle();
+                let penalties: Vec<f64> = cache.penalties().iter().map(|p| p.value()).collect();
+                let rates: Vec<f64> = cache
+                    .penalties()
+                    .iter()
+                    .map(|p| self.params.bandwidth * p.rate())
+                    .collect();
+                (cache.active().to_vec(), penalties, rates)
+            };
+
             if active.is_empty() {
                 // idle until next gate or the target time
                 match self.next_gate() {
                     Some(g) if g <= t => {
-                        self.time = g;
+                        self.advance_time_to(g);
                         continue;
                     }
                     _ => {
-                        self.time = self.time.max(t);
+                        let new_time = self.time.max(t);
+                        self.advance_time_to(new_time);
                         break;
                     }
                 }
             }
-
-            let comms: Vec<Communication> = active.iter().map(|&i| self.slots[i].comm).collect();
-            let penalties = self.model.penalties(&comms);
-            let rates: Vec<f64> = penalties
-                .iter()
-                .map(|p| self.params.bandwidth * p.rate())
-                .collect();
 
             // time to the next completion within the active set
             let mut dt_complete = f64::INFINITY;
@@ -210,7 +304,7 @@ impl<M: PenaltyModel> FluidNetwork<M> {
                 dt = dt.min(g);
             }
             // Nothing further happens before the target time.
-            if dt > dt_target + 1e-15 {
+            if dt > dt_target + TIME_EPS {
                 dt = dt_target;
             }
             if dt.is_nan() || dt < 0.0 {
@@ -218,16 +312,17 @@ impl<M: PenaltyModel> FluidNetwork<M> {
             }
 
             let t0 = self.time;
-            self.time += dt;
+            self.advance_time_to(t0 + dt);
             for (k, &i) in active.iter().enumerate() {
                 let slot = &mut self.slots[i];
                 slot.remaining -= rates[k] * dt;
                 if self.record_phases && dt > 0.0 {
-                    push_phase(&mut slot.phases, t0, self.time, penalties[k].value());
+                    push_phase(&mut slot.phases, t0, self.time, penalties[k]);
                 }
             }
 
-            // collect completions (iterate indices descending so removal is safe)
+            // collect completions (iterate indices descending so removal is
+            // safe under swap_remove)
             let mut completed_now: Vec<usize> = active
                 .iter()
                 .copied()
@@ -247,27 +342,26 @@ impl<M: PenaltyModel> FluidNetwork<M> {
                 .collect();
             batch.sort_by_key(|c| c.key);
             let had_completions = !batch.is_empty();
+            if had_completions {
+                // swap_remove also perturbs surviving slot indices, so the
+                // cached active set is stale either way.
+                self.cache
+                    .get_mut()
+                    .expect("penalty cache lock")
+                    .invalidate(PopulationDelta::Departed(batch.len()));
+            }
             done.extend(batch);
 
-            if self.time >= t - 1e-15 && !had_completions {
-                break;
-            }
-            if self.time >= t - 1e-15 && self.slots.is_empty() {
-                break;
-            }
-            if self.time >= t - 1e-15 {
-                // completions exactly at t may unlock zero-size work; one
-                // more pass is harmless, but avoid infinite looping when
-                // nothing changed.
-                if !had_completions {
-                    break;
-                }
-                // loop once more only if some active transfer could
-                // complete at exactly t (dt = 0 case); otherwise stop.
-                let more_zero = self
-                    .active_indices()
-                    .iter()
-                    .any(|&i| self.slots[i].remaining <= self.slots[i].eps);
+            if self.time >= t - TIME_EPS {
+                // At the target time, stop — unless this step's completions
+                // may have unlocked zero-size work that also finishes at
+                // exactly t (dt = 0 case), in which case loop once more.
+                let more_zero = had_completions
+                    && !self.slots.is_empty()
+                    && self
+                        .active_indices()
+                        .iter()
+                        .any(|&i| self.slots[i].remaining <= self.slots[i].eps);
                 if !more_zero {
                     break;
                 }
@@ -432,11 +526,7 @@ mod tests {
         net.add(2, comm(3, 2, 41), 10.0);
         let done = net.run_to_completion();
         for d in &done {
-            let moved: f64 = d
-                .phases
-                .iter()
-                .map(|ph| (ph.t1 - ph.t0) / ph.penalty)
-                .sum();
+            let moved: f64 = d.phases.iter().map(|ph| (ph.t1 - ph.t0) / ph.penalty).sum();
             let size = [100.0, 57.0, 41.0][d.key as usize];
             assert!(
                 (moved - size).abs() < 1e-6,
@@ -444,5 +534,64 @@ mod tests {
                 d.key
             );
         }
+    }
+
+    #[test]
+    fn cache_queries_only_on_population_changes() {
+        // Three flows from one source, staggered starts: the population
+        // changes at each arrival and each completion. Time advances and
+        // next_event_time probes in between must be free.
+        let mut net = FluidNetwork::new(MyrinetModel::default(), NetworkParams::unit());
+        net.add(0, comm(0, 1, 100), 0.0);
+        net.add(1, comm(0, 2, 100), 10.0);
+        net.add(2, comm(0, 3, 100), 20.0);
+        let done = net.run_to_completion();
+        assert_eq!(done.len(), 3);
+        let stats = net.cache_stats();
+        // 6 population changes (3 arrivals/gate openings + 3 departures);
+        // allow a couple of boundary resettles but nowhere near the
+        // pre-refactor 2-queries-per-solver-iteration behaviour.
+        assert!(
+            stats.model_queries <= 8,
+            "expected ≤8 model queries, got {stats:?}"
+        );
+        assert!(stats.reuses > 0, "cache never reused: {stats:?}");
+    }
+
+    #[test]
+    fn incremental_and_full_recompute_agree() {
+        // Identical staggered workloads through both engines: completions
+        // must match exactly, while the incremental engine queries the
+        // model strictly less often.
+        let starts = [0.0, 3.0, 3.0, 7.0, 11.0, 30.0];
+        let mut fast = FluidNetwork::new(MyrinetModel::default(), NetworkParams::new(2.0, 0.5));
+        let mut slow = FluidNetwork::new(MyrinetModel::default(), NetworkParams::new(2.0, 0.5))
+            .with_full_recompute();
+        for (k, &s) in starts.iter().enumerate() {
+            let c = comm(k as u32 % 3, 3 + k as u32 % 2, 50 + 13 * k as u64);
+            fast.add(k as u64, c, s);
+            slow.add(k as u64, c, s);
+        }
+        let mut a = fast.run_to_completion();
+        let mut b = slow.run_to_completion();
+        a.sort_by_key(|d| d.key);
+        b.sort_by_key(|d| d.key);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.key, y.key);
+            assert!(
+                (x.completion - y.completion).abs() < 1e-9,
+                "key {}: {} vs {}",
+                x.key,
+                x.completion,
+                y.completion
+            );
+        }
+        assert!(
+            fast.cache_stats().model_queries < slow.cache_stats().model_queries,
+            "incremental {:?} should query less than baseline {:?}",
+            fast.cache_stats(),
+            slow.cache_stats()
+        );
     }
 }

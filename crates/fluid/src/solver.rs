@@ -73,10 +73,7 @@ impl<M: PenaltyModel> FluidSolver<M> {
     /// Solves a scheme with all communications starting at time 0. The
     /// result vector is aligned with `graph.comms()`.
     pub fn solve(&self, graph: &CommGraph) -> Vec<TransferResult> {
-        self.solve_with_starts(
-            graph.comms(),
-            &vec![0.0; graph.len()],
-        )
+        self.solve_with_starts(graph.comms(), &vec![0.0; graph.len()])
     }
 
     /// Solves a set of communications with explicit start times.
@@ -85,9 +82,12 @@ impl<M: PenaltyModel> FluidSolver<M> {
         comms: &[Communication],
         starts: &[f64],
     ) -> Vec<TransferResult> {
-        assert_eq!(comms.len(), starts.len(), "one start time per communication");
-        let mut net =
-            FluidNetwork::new(&self.model, self.params).with_phase_recording();
+        assert_eq!(
+            comms.len(),
+            starts.len(),
+            "one start time per communication"
+        );
+        let mut net = FluidNetwork::new(&self.model, self.params).with_phase_recording();
         // Insertion must respect time order for the network's invariant.
         let mut order: Vec<usize> = (0..comms.len()).collect();
         order.sort_by(|&a, &b| starts[a].total_cmp(&starts[b]));
@@ -196,10 +196,7 @@ mod tests {
     fn gige_constant_penalty_schemes_scale_linearly() {
         // outgoing ladder: symmetric, penalties constant until the common
         // finish → completion = k·β·tref.
-        let solver = FluidSolver::new(
-            GigabitEthernetModel::default(),
-            NetworkParams::unit(),
-        );
+        let solver = FluidSolver::new(GigabitEthernetModel::default(), NetworkParams::unit());
         for k in 2..=4 {
             let g = schemes::outgoing_ladder(k).with_uniform_size(100);
             let res = solver.solve(&g);

@@ -131,6 +131,10 @@ mod tests {
         let res = solver.solve(&mk1);
         let u = utilization(&res);
         let expect = 2.0 / 3.0 + 1.0 + 2.0 / 1.5 + 1.0;
-        assert!((u.at(1.0) - expect).abs() < 1e-9, "{} vs {expect}", u.at(1.0));
+        assert!(
+            (u.at(1.0) - expect).abs() < 1e-9,
+            "{} vs {expect}",
+            u.at(1.0)
+        );
     }
 }

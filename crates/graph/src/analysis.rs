@@ -45,11 +45,7 @@ pub fn analyse(graph: &CommGraph) -> SchemeAnalysis {
         .map(|&n| graph.out_degree(n))
         .max()
         .unwrap_or(0);
-    let max_in = nodes
-        .iter()
-        .map(|&n| graph.in_degree(n))
-        .max()
-        .unwrap_or(0);
+    let max_in = nodes.iter().map(|&n| graph.in_degree(n)).max().unwrap_or(0);
     let mut hist = BTreeMap::new();
     for &n in &nodes {
         let d = graph.out_degree(n);

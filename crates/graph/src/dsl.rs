@@ -110,7 +110,9 @@ pub fn parse(input: &str) -> Result<CommGraph, ParseError> {
         let size = parse_size(size_s).map_err(|e| err(e.to_string()))?;
 
         if src == dst {
-            return Err(err(format!("self-loop {src} -> {dst} is not a network communication")));
+            return Err(err(format!(
+                "self-loop {src} -> {dst} is not a network communication"
+            )));
         }
 
         let label = match label {

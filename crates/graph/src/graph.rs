@@ -69,7 +69,12 @@ impl CommGraph {
 
     /// Adds a communication with an automatic label (`a`, `b`, …, `z`,
     /// `aa`, `ab`, …).
-    pub fn add_auto(&mut self, src: impl Into<NodeId>, dst: impl Into<NodeId>, size: u64) -> CommId {
+    pub fn add_auto(
+        &mut self,
+        src: impl Into<NodeId>,
+        dst: impl Into<NodeId>,
+        size: u64,
+    ) -> CommId {
         let label = auto_label(self.comms.len());
         self.add(label, src, dst, size)
     }

@@ -54,9 +54,7 @@ pub fn parse_size(s: &str) -> Result<u64, ParseSizeError> {
     if t.is_empty() {
         return Err(err("empty string"));
     }
-    let split = t
-        .find(|c: char| c.is_ascii_alphabetic())
-        .unwrap_or(t.len());
+    let split = t.find(|c: char| c.is_ascii_alphabetic()).unwrap_or(t.len());
     let (num, suffix) = t.split_at(split);
     let num = num.trim();
     let value: f64 = num.parse().map_err(|_| err("not a number"))?;

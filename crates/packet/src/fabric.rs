@@ -239,7 +239,10 @@ impl PacketNetwork {
                 // drain rate is the slowest stage (link or host budget).
                 let (dst, servers) = {
                     let f = &self.flows[flow];
-                    (f.comm.dst, f.route.as_ref().expect("routed").servers.clone())
+                    (
+                        f.comm.dst,
+                        f.route.as_ref().expect("routed").servers.clone(),
+                    )
                 };
                 let host_rate = if self.tx_active(dst) {
                     self.cfg.rx_budget_busy()
@@ -327,7 +330,14 @@ impl PacketNetwork {
         if cfg.circuit {
             self.queue.schedule(now, Ev::CircuitAdmit { flow, bytes });
         } else {
-            self.queue.schedule(now, Ev::Hop { flow, stage: 0, bytes });
+            self.queue.schedule(
+                now,
+                Ev::Hop {
+                    flow,
+                    stage: 0,
+                    bytes,
+                },
+            );
         }
         if f.outstanding < cfg.window && f.injected < f.total_segs {
             f.inject_scheduled = true;
@@ -524,7 +534,11 @@ mod tests {
             let pin = penalties(cfg, &schemes::incoming_ladder(3));
             let pout = penalties(cfg, &schemes::outgoing_ladder(3));
             for (i, o) in pin.iter().zip(&pout) {
-                assert!((i - o).abs() / o < 0.05, "{}: in {pin:?} out {pout:?}", cfg.name);
+                assert!(
+                    (i - o).abs() / o < 0.05,
+                    "{}: in {pin:?} out {pout:?}",
+                    cfg.name
+                );
             }
         }
     }

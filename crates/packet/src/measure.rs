@@ -132,7 +132,15 @@ mod tests {
         // same direction as the paper (the least-loaded sender's flow is
         // relieved) but with FIFO switch queues the magnitude is larger
         // than the 0.036–0.115 measured on the real cluster.
-        assert!((0.0..0.5).contains(&model.gamma_o), "gamma_o {}", model.gamma_o);
-        assert!((0.0..0.5).contains(&model.gamma_i), "gamma_i {}", model.gamma_i);
+        assert!(
+            (0.0..0.5).contains(&model.gamma_o),
+            "gamma_o {}",
+            model.gamma_o
+        );
+        assert!(
+            (0.0..0.5).contains(&model.gamma_i),
+            "gamma_i {}",
+            model.gamma_i
+        );
     }
 }

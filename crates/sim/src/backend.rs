@@ -7,10 +7,16 @@
 //! * [`netbw_packet::PacketNetwork`] — the simulated hardware, the
 //!   **measured** side.
 
+use netbw_fluid::CacheStats;
 use netbw_graph::Communication;
 
 /// An inter-node transfer service: transfers are keyed, started at given
 /// times, and complete asynchronously.
+///
+/// The engine probes [`NetworkBackend::next_event_time`] on every
+/// scheduling step, so implementations should make repeated probes cheap
+/// — the fluid backend serves them from its [`CacheStats`]-instrumented
+/// penalty cache.
 pub trait NetworkBackend {
     /// Starts transfer `key` at absolute time `start`.
     fn add(&mut self, key: u64, comm: Communication, start: f64);
@@ -19,6 +25,31 @@ pub trait NetworkBackend {
     /// Advances to `t`, returning `(key, completion_time)` for transfers
     /// completing in `(previous, t]`.
     fn advance_to(&mut self, t: f64) -> Vec<(u64, f64)>;
+    /// Penalty-cache counters, for backends driven by a predictive model
+    /// (`None` for measured/packet backends, which have no model to query).
+    fn cache_stats(&self) -> Option<CacheStats> {
+        None
+    }
+}
+
+/// Mutable references forward, so a caller can keep the backend (and its
+/// counters) after handing it to a `Simulator` by `&mut`.
+impl<B: NetworkBackend + ?Sized> NetworkBackend for &mut B {
+    fn add(&mut self, key: u64, comm: Communication, start: f64) {
+        (**self).add(key, comm, start);
+    }
+
+    fn next_event_time(&self) -> Option<f64> {
+        (**self).next_event_time()
+    }
+
+    fn advance_to(&mut self, t: f64) -> Vec<(u64, f64)> {
+        (**self).advance_to(t)
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        (**self).cache_stats()
+    }
 }
 
 impl<M: netbw_core::PenaltyModel> NetworkBackend for netbw_fluid::FluidNetwork<M> {
@@ -35,6 +66,10 @@ impl<M: netbw_core::PenaltyModel> NetworkBackend for netbw_fluid::FluidNetwork<M
             .into_iter()
             .map(|c| (c.key, c.completion))
             .collect()
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        Some(netbw_fluid::FluidNetwork::cache_stats(self))
     }
 }
 
@@ -72,9 +107,32 @@ mod tests {
     }
 
     #[test]
-    fn packet_backend_round_trips() {
+    fn fluid_backend_serves_repeated_probes_from_cache() {
         let mut b: Box<dyn NetworkBackend> =
-            Box::new(PacketNetwork::new(FabricConfig::gige(), 2));
+            Box::new(FluidNetwork::new(LinearModel, NetworkParams::unit()));
+        b.add(0, Communication::new(0u32, 1u32, 100), 0.0);
+        let first = b.next_event_time();
+        let queries_after_first = b.cache_stats().expect("fluid exposes stats").model_queries;
+        for _ in 0..10 {
+            assert_eq!(b.next_event_time(), first);
+        }
+        let stats = b.cache_stats().unwrap();
+        assert_eq!(
+            stats.model_queries, queries_after_first,
+            "probes must not re-query the model: {stats:?}"
+        );
+        assert!(stats.reuses >= 10);
+    }
+
+    #[test]
+    fn packet_backend_has_no_model_stats() {
+        let b: Box<dyn NetworkBackend> = Box::new(PacketNetwork::new(FabricConfig::gige(), 2));
+        assert!(b.cache_stats().is_none());
+    }
+
+    #[test]
+    fn packet_backend_round_trips() {
+        let mut b: Box<dyn NetworkBackend> = Box::new(PacketNetwork::new(FabricConfig::gige(), 2));
         b.add(3, Communication::new(0u32, 1u32, 1_000_000), 0.0);
         let mut done = Vec::new();
         while let Some(t) = b.next_event_time() {

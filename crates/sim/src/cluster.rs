@@ -40,7 +40,10 @@ impl ClusterSpec {
     pub fn validate(&self) {
         assert!(self.nodes >= 1, "need at least one node");
         assert!(self.cores_per_node >= 1, "need at least one core per node");
-        assert!(self.mem_bandwidth > 0.0, "memory bandwidth must be positive");
+        assert!(
+            self.mem_bandwidth > 0.0,
+            "memory bandwidth must be positive"
+        );
     }
 
     /// With a different core count (the §VII extension studies).

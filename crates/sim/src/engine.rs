@@ -97,9 +97,7 @@ impl<'a, B: NetworkBackend> Simulator<'a, B> {
 
     /// Replays the trace to completion.
     pub fn run(mut self) -> Result<SimReport, SimError> {
-        self.trace
-            .validate()
-            .map_err(SimError::InvalidTrace)?;
+        self.trace.validate().map_err(SimError::InvalidTrace)?;
         let n = self.trace.len();
         let mut pc = vec![0usize; n];
         let mut clock = vec![0.0f64; n];
@@ -116,8 +114,7 @@ impl<'a, B: NetworkBackend> Simulator<'a, B> {
         // unmatched (unbound) messages per destination task, in post order
         let mut unbound: Vec<Vec<usize>> = vec![Vec::new(); n];
         // pending (unbound) receives per task, in post order
-        let mut pending_recv: Vec<Vec<PendingRecv>> =
-            (0..n).map(|_| Vec::new()).collect();
+        let mut pending_recv: Vec<Vec<PendingRecv>> = (0..n).map(|_| Vec::new()).collect();
         // which message a blocked receiver is waiting on
         let mut waiting_on: Vec<Option<usize>> = vec![None; n];
         // intra-node completions: (time, msg id), scanned for the minimum
@@ -158,10 +155,7 @@ impl<'a, B: NetworkBackend> Simulator<'a, B> {
                 );
             }
             // ---- deliver intra-node completions at ≤ t ----
-            while let Some(pos) = local
-                .iter()
-                .position(|&(lt, _)| lt <= t + 1e-15)
-            {
+            while let Some(pos) = local.iter().position(|&(lt, _)| lt <= t + 1e-15) {
                 let (lt, mid) = local.swap_remove(pos);
                 Self::deliver(
                     mid,
@@ -298,8 +292,7 @@ impl<'a, B: NetworkBackend> Simulator<'a, B> {
                             .fold(now, f64::max);
                         for x in 0..n {
                             if state[x] == TaskState::InBarrier {
-                                report.tasks[x].barrier_time +=
-                                    release - barrier_block_start[x];
+                                report.tasks[x].barrier_time += release - barrier_block_start[x];
                                 clock[x] = release;
                                 state[x] = TaskState::Running;
                             }
@@ -498,7 +491,10 @@ mod tests {
         let m0 = r.messages.iter().find(|m| m.src_task == 0).unwrap();
         let m1 = r.messages.iter().find(|m| m.src_task == 1).unwrap();
         assert!(m0.start < m1.start);
-        assert_eq!(r.tasks[2].finish, r.messages.iter().map(|m| m.end).fold(0.0, f64::max));
+        assert_eq!(
+            r.tasks[2].finish,
+            r.messages.iter().map(|m| m.end).fold(0.0, f64::max)
+        );
     }
 
     #[test]
@@ -541,7 +537,9 @@ mod tests {
             &cluster,
         );
         let backend = FluidNetwork::new(MyrinetModel::default(), NetworkParams::unit());
-        let r = Simulator::new(&tr, cluster, placement, backend).run().unwrap();
+        let r = Simulator::new(&tr, cluster, placement, backend)
+            .run()
+            .unwrap();
         assert!((r.tasks[0].finish - 200.0).abs() < 1e-9, "{:?}", r.tasks[0]);
         assert!((r.tasks[1].finish - 200.0).abs() < 1e-9);
     }
@@ -595,7 +593,9 @@ mod tests {
         let tr = Trace::with_tasks(0);
         let cluster = big_cluster();
         let placement = Placement::assign(&PlacementPolicy::RoundRobinNode, 0, &cluster);
-        let r = Simulator::new(&tr, cluster, placement, fluid_backend()).run().unwrap();
+        let r = Simulator::new(&tr, cluster, placement, fluid_backend())
+            .run()
+            .unwrap();
         assert!(r.tasks.is_empty());
 
         let tr = Trace::with_tasks(3); // tasks with no events at all

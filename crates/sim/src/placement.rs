@@ -78,7 +78,10 @@ impl Placement {
         // capacity check per node
         let mut load = vec![0usize; cluster.nodes];
         for n in &map {
-            assert!(n.idx() < cluster.nodes, "placement references node {n} out of range");
+            assert!(
+                n.idx() < cluster.nodes,
+                "placement references node {n} out of range"
+            );
             load[n.idx()] += 1;
             assert!(
                 load[n.idx()] <= cluster.cores_per_node,

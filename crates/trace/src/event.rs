@@ -138,7 +138,10 @@ impl Trace {
                         }
                         sends.entry((rank, dst.idx())).or_default().push(bytes);
                     }
-                    Event::Recv { src: Some(s), bytes } => {
+                    Event::Recv {
+                        src: Some(s),
+                        bytes,
+                    } => {
                         if s.idx() >= n {
                             return Err(format!("task {rank} receives from out-of-range {s}"));
                         }
@@ -222,7 +225,11 @@ mod tests {
     #[test]
     fn builder_composes_events() {
         let mut t = TaskTrace::default();
-        t.compute(1.0).send(1u32, 100).recv(2u32, 50).recv_any(7).barrier();
+        t.compute(1.0)
+            .send(1u32, 100)
+            .recv(2u32, 50)
+            .recv_any(7)
+            .barrier();
         assert_eq!(t.events.len(), 5);
         t.compute(0.0); // zero compute elided
         assert_eq!(t.events.len(), 5);

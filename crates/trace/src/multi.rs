@@ -71,7 +71,10 @@ pub fn merge(apps: &[Trace]) -> Result<(Trace, Vec<AppSpan>), String> {
                     Event::Send { dst, bytes } => {
                         out.task_mut(global).send((base + dst.idx()) as u32, bytes);
                     }
-                    Event::Recv { src: Some(s), bytes } => {
+                    Event::Recv {
+                        src: Some(s),
+                        bytes,
+                    } => {
                         out.task_mut(global).recv((base + s.idx()) as u32, bytes);
                     }
                     Event::Recv { src: None, bytes } => {
@@ -120,8 +123,22 @@ mod tests {
     fn merge_rebases_ranks() {
         let (merged, spans) = merge(&[ring(3, 10), ring(2, 20)]).unwrap();
         assert_eq!(merged.len(), 5);
-        assert_eq!(spans[0], AppSpan { app: 0, start: 0, end: 3 });
-        assert_eq!(spans[1], AppSpan { app: 1, start: 3, end: 5 });
+        assert_eq!(
+            spans[0],
+            AppSpan {
+                app: 0,
+                start: 0,
+                end: 3
+            }
+        );
+        assert_eq!(
+            spans[1],
+            AppSpan {
+                app: 1,
+                start: 3,
+                end: 5
+            }
+        );
         assert!(spans[1].contains(4));
         assert!(!spans[1].contains(2));
         assert_eq!(spans[1].len(), 2);

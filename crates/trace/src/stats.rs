@@ -77,7 +77,11 @@ mod tests {
     #[test]
     fn stats_count_everything() {
         let mut tr = Trace::with_tasks(2);
-        tr.task_mut(0).compute(1.0).send(1u32, 100).send(1u32, 50).barrier();
+        tr.task_mut(0)
+            .compute(1.0)
+            .send(1u32, 100)
+            .send(1u32, 50)
+            .barrier();
         tr.task_mut(1).recv(0u32, 100).recv_any(50).barrier();
         let s = TraceStats::of(&tr);
         assert_eq!(s.per_task[0].sends, 2);

@@ -45,7 +45,10 @@ pub fn write_trace(trace: &Trace) -> String {
                 Event::Send { dst, bytes } => {
                     out.push_str(&format!("t{rank} send {} {bytes}\n", dst.0));
                 }
-                Event::Recv { src: Some(s), bytes } => {
+                Event::Recv {
+                    src: Some(s),
+                    bytes,
+                } => {
                     out.push_str(&format!("t{rank} recv {} {bytes}\n", s.0));
                 }
                 Event::Recv { src: None, bytes } => {
@@ -98,7 +101,10 @@ pub fn parse_trace(input: &str) -> Result<Trace, TraceParseError> {
             .as_mut()
             .ok_or_else(|| err("event before tasks directive".into()))?;
         if rank >= tr.len() {
-            return Err(err(format!("rank {rank} out of range (tasks {})", tr.len())));
+            return Err(err(format!(
+                "rank {rank} out of range (tasks {})",
+                tr.len()
+            )));
         }
         let verb = words
             .next()

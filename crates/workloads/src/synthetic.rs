@@ -25,7 +25,16 @@ pub fn random_battery(
     seed: u64,
 ) -> Vec<CommGraph> {
     (0..count)
-        .map(|i| schemes::random_bounded(nodes, comms, 3, 3, size, seed ^ (i as u64).wrapping_mul(0x9e3779b97f4a7c15)))
+        .map(|i| {
+            schemes::random_bounded(
+                nodes,
+                comms,
+                3,
+                3,
+                size,
+                seed ^ (i as u64).wrapping_mul(0x9e3779b97f4a7c15),
+            )
+        })
         .collect()
 }
 

@@ -47,9 +47,7 @@ fn main() {
         let crossing = (0..16)
             .filter(|i| (i / cores) != (((i + 1) % 16) / cores))
             .count();
-        println!(
-            "  {cores:>2} cores × {nodes:>2} nodes: {crossing}/16 messages cross the fabric"
-        );
+        println!("  {cores:>2} cores × {nodes:>2} nodes: {crossing}/16 messages cross the fabric");
     }
     println!("\n(The RRP policy exploits exactly this: §VI.D.)");
 }

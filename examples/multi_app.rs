@@ -31,13 +31,9 @@ fn main() {
 
     let cluster = ClusterSpec::smp(4);
     let run = |nodes: Vec<u32>, label: &str| {
-        let policy =
-            PlacementPolicy::Explicit(nodes.into_iter().map(NodeId).collect());
+        let policy = PlacementPolicy::Explicit(nodes.into_iter().map(NodeId).collect());
         let placement = Placement::assign(&policy, merged.len(), &cluster);
-        let backend = FluidNetwork::new(
-            MyrinetModel::default(),
-            NetworkParams::myrinet2000(),
-        );
+        let backend = FluidNetwork::new(MyrinetModel::default(), NetworkParams::myrinet2000());
         let report = Simulator::new(&merged, cluster, placement, backend)
             .run()
             .expect("replays");

@@ -14,9 +14,15 @@ fn main() {
 
     // Instantaneous penalties under each model.
     for (name, model) in [
-        ("Gigabit Ethernet", Box::new(GigabitEthernetModel::default()) as Box<dyn PenaltyModel>),
+        (
+            "Gigabit Ethernet",
+            Box::new(GigabitEthernetModel::default()) as Box<dyn PenaltyModel>,
+        ),
         ("Myrinet 2000", Box::new(MyrinetModel::default())),
-        ("InfiniBand (extension)", Box::new(InfinibandModel::default())),
+        (
+            "InfiniBand (extension)",
+            Box::new(InfinibandModel::default()),
+        ),
     ] {
         let penalties = model.penalties(scheme.comms());
         let rendered: Vec<String> = scheme

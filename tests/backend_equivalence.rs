@@ -1,0 +1,110 @@
+//! NetworkBackend equivalence smoke test: the fluid (predicted) and
+//! packet (measured) backends must agree on *completion ordering* for the
+//! paper's Fig. 5 scheme when both are driven through the `netbw-sim`
+//! engine. Absolute times differ — that gap is exactly what the Erel/Eabs
+//! metrics quantify — but the paper's qualitative story (d, e, f finish
+//! before a, b, c) must hold on both sides of the comparison.
+
+use netbw::graph::NodeId;
+use netbw::prelude::*;
+use netbw::sim::NetworkBackend;
+
+/// Builds a 12-task trace carrying the six Fig. 5 transfers (one
+/// sender/receiver task pair per communication, placed on the scheme's
+/// nodes) plus the placement realising it.
+fn fig5_trace() -> (Trace, Vec<NodeId>) {
+    let scheme = netbw::graph::schemes::fig5();
+    let comms = scheme.comms();
+    let mut trace = Trace::with_tasks(2 * comms.len());
+    let mut nodes = Vec::with_capacity(2 * comms.len());
+    for (i, c) in comms.iter().enumerate() {
+        let sender = 2 * i;
+        let receiver = 2 * i + 1;
+        trace.task_mut(sender).send(receiver as u32, c.size);
+        trace.task_mut(receiver).recv(sender as u32, c.size);
+        nodes.push(c.src);
+        nodes.push(c.dst);
+    }
+    (trace, nodes)
+}
+
+/// Runs the Fig. 5 trace over `backend`, returning communication indices
+/// sorted by message completion time.
+fn completion_order<B: NetworkBackend>(backend: B) -> Vec<usize> {
+    let (trace, nodes) = fig5_trace();
+    let cluster = ClusterSpec {
+        nodes: 6,
+        cores_per_node: 4,
+        mem_bandwidth: 1e12,
+        eager_threshold: 0,
+    };
+    let placement = Placement::assign(&PlacementPolicy::Explicit(nodes), trace.len(), &cluster);
+    let report = Simulator::new(&trace, cluster, placement, backend)
+        .run()
+        .expect("fig5 trace replays");
+    assert_eq!(report.messages.len(), 6, "all six transfers must complete");
+    let mut order: Vec<(f64, usize)> = report
+        .messages
+        .iter()
+        .map(|m| (m.end, m.src_task / 2))
+        .collect();
+    order.sort_by(|a, b| a.0.total_cmp(&b.0));
+    order.into_iter().map(|(_, i)| i).collect()
+}
+
+#[test]
+fn fluid_and_packet_backends_agree_on_fig5_completion_ordering() {
+    // comms a..f are indices 0..6. The paper's Fig. 6 penalties (a,b,c = 5;
+    // d,e,f = 2.5) order the scheme: a lightly-conflicted flow finishes
+    // first and a triple-conflicted node-0 flow finishes last. The packet
+    // fabric shares differently in the middle of the field (that gap is
+    // what Eabs measures), so the smoke test pins the ordering facts that
+    // must agree: d and f strictly precede a, the first finisher is one of
+    // {d,e,f}, and the last is one of {a,b,c}.
+    let fluid = completion_order(FluidNetwork::new(
+        MyrinetModel::default(),
+        NetworkParams::myrinet2000(),
+    ));
+    let packet = completion_order(PacketNetwork::new(FabricConfig::myrinet2000(), 6));
+    for (name, order) in [("fluid", &fluid), ("packet", &packet)] {
+        let pos = |comm: usize| order.iter().position(|&i| i == comm).unwrap();
+        assert!(
+            pos(3) < pos(0) && pos(5) < pos(0),
+            "{name}: d and f must finish before a (fluid {fluid:?}, packet {packet:?})"
+        );
+        assert!(
+            [3, 4, 5].contains(&order[0]),
+            "{name}: first finisher must be one of d,e,f (fluid {fluid:?}, packet {packet:?})"
+        );
+        assert!(
+            [0, 1, 2].contains(order.last().unwrap()),
+            "{name}: last finisher must be one of a,b,c (fluid {fluid:?}, packet {packet:?})"
+        );
+    }
+}
+
+#[test]
+fn fluid_backend_reuses_penalty_cache_during_simulation() {
+    let (trace, nodes) = fig5_trace();
+    let cluster = ClusterSpec {
+        nodes: 6,
+        cores_per_node: 4,
+        mem_bandwidth: 1e12,
+        eager_threshold: 0,
+    };
+    let placement = Placement::assign(&PlacementPolicy::Explicit(nodes), trace.len(), &cluster);
+    let backend = FluidNetwork::new(MyrinetModel::default(), NetworkParams::myrinet2000());
+    // Hold the backend by reference so the stats survive the run.
+    let mut net = backend;
+    {
+        let by_ref: &mut FluidNetwork<MyrinetModel> = &mut net;
+        Simulator::new(&trace, cluster, placement, by_ref)
+            .run()
+            .expect("fig5 trace replays");
+    }
+    let stats = netbw::sim::NetworkBackend::cache_stats(&net).expect("fluid exposes stats");
+    assert!(
+        stats.reuses > stats.model_queries,
+        "the engine's per-step probes should mostly hit the cache: {stats:?}"
+    );
+}

@@ -30,7 +30,10 @@ fn all_shipped_schemes_parse() {
             found += 1;
         }
     }
-    assert!(found >= 3, "expected at least three scheme files, found {found}");
+    assert!(
+        found >= 3,
+        "expected at least three scheme files, found {found}"
+    );
 }
 
 #[test]

@@ -54,11 +54,7 @@ fn rrp_reduces_network_traffic_versus_rrn() {
         let report = Simulator::new(&trace, cluster, placement, backend)
             .run()
             .unwrap();
-        report
-            .messages
-            .iter()
-            .filter(|m| !m.intra_node)
-            .count()
+        report.messages.iter().filter(|m| !m.intra_node).count()
     };
     let rrn = count_inter(&PlacementPolicy::RoundRobinNode);
     let rrp = count_inter(&PlacementPolicy::RoundRobinProcessor);

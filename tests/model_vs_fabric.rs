@@ -57,9 +57,8 @@ fn paper_models_beat_baselines_on_random_battery() {
         let max = compare_scheme(&MaxConflictModel, FabricConfig::myrinet2000(), g).eabs;
         (own, lin, max)
     });
-    let mean = |f: fn(&(f64, f64, f64)) -> f64| {
-        results.iter().map(f).sum::<f64>() / results.len() as f64
-    };
+    let mean =
+        |f: fn(&(f64, f64, f64)) -> f64| results.iter().map(f).sum::<f64>() / results.len() as f64;
     let own = mean(|r| r.0);
     let lin = mean(|r| r.1);
     let max = mean(|r| r.2);

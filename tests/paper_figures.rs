@@ -116,8 +116,7 @@ fn beta_estimation_from_paper_numbers() {
 /// measured times (ta = 0.095, tf = 0.103, tref = 0.0477).
 #[test]
 fn gamma_estimation_from_paper_numbers() {
-    let (go, gi) =
-        netbw::core::calibrate::estimate_gammas(0.75, 0.0477, 0.095, 0.103).unwrap();
+    let (go, gi) = netbw::core::calibrate::estimate_gammas(0.75, 0.0477, 0.095, 0.103).unwrap();
     assert!((go - 0.115).abs() < 0.008, "gamma_o = {go:.4}");
     assert!((gi - 0.036).abs() < 0.012, "gamma_i = {gi:.4}");
 }

@@ -83,17 +83,14 @@ fn placement_changes_predicted_comm_time_on_a_ring() {
     let cluster = ClusterSpec::smp(4);
     let run = |policy: &PlacementPolicy| {
         let placement = Placement::assign(policy, 8, &cluster);
-        let backend =
-            FluidNetwork::new(MyrinetModel::default(), NetworkParams::myrinet2000());
+        let backend = FluidNetwork::new(MyrinetModel::default(), NetworkParams::myrinet2000());
         Simulator::new(&trace, cluster, placement, backend)
             .run()
             .unwrap()
     };
     let rrn = run(&PlacementPolicy::RoundRobinNode);
     let rrp = run(&PlacementPolicy::RoundRobinProcessor);
-    let inter = |r: &netbw::sim::SimReport| {
-        r.messages.iter().filter(|m| !m.intra_node).count()
-    };
+    let inter = |r: &netbw::sim::SimReport| r.messages.iter().filter(|m| !m.intra_node).count();
     assert_eq!(inter(&rrn), 8);
     assert_eq!(inter(&rrp), 4);
     assert!(rrp.makespan() <= rrn.makespan() + 1e-9);

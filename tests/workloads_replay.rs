@@ -12,11 +12,7 @@ fn replay(trace: &Trace, nodes: usize) -> netbw::sim::SimReport {
         mem_bandwidth: 1.5e9,
         eager_threshold: 0, // worst case: everything rendezvous
     };
-    let placement = Placement::assign(
-        &PlacementPolicy::RoundRobinNode,
-        trace.len(),
-        &cluster,
-    );
+    let placement = Placement::assign(&PlacementPolicy::RoundRobinNode, trace.len(), &cluster);
     let backend = FluidNetwork::new(MyrinetModel::default(), NetworkParams::myrinet2000());
     Simulator::new(trace, cluster, placement, backend)
         .run()

@@ -1,0 +1,240 @@
+//! Vendored, dependency-free stand-in for the `criterion` bench harness.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the slice of criterion's API its benches use: `Criterion`,
+//! `benchmark_group` / `bench_with_input` / `bench_function`,
+//! `BenchmarkId`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is simple but honest wall-clock timing: each bench warms
+//! up, calibrates an iteration count to a fixed sample duration, then
+//! reports the median over `sample_size` samples. Good enough to compare
+//! implementations on the same machine; not a statistics suite.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(120);
+const SAMPLE_TARGET: Duration = Duration::from_millis(40);
+const DEFAULT_SAMPLE_SIZE: usize = 24;
+
+/// Top-level bench context; one per `criterion_group!`.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Mirror criterion's CLI filtering loosely: the first free argument
+        // restricts which bench ids run (cargo bench passes `--bench`).
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benches.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+
+    /// Benches a closure under a bare id (no group).
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, DEFAULT_SAMPLE_SIZE, self.filter.as_deref(), f);
+        self
+    }
+}
+
+/// A group of benches sharing a name prefix and sampling config.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per bench (criterion compat; min 2).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benches `f` with a borrowed input, labelled `group/id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_bench(
+            &full,
+            self.sample_size,
+            self.criterion.filter.as_deref(),
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Benches a closure labelled `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_bench(&full, self.sample_size, self.criterion.filter.as_deref(), f);
+        self
+    }
+
+    /// Ends the group (criterion compat; drop does the work).
+    pub fn finish(self) {}
+}
+
+/// A bench identifier, `function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id made of a parameter value only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Passed to bench closures; [`Bencher::iter`] runs the measurement.
+pub struct Bencher {
+    sample_size: usize,
+    median: Option<Duration>,
+}
+
+impl Bencher {
+    /// Measures `f`: warm-up, calibration, then the median per-iteration
+    /// time over the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up, which also calibrates iterations per sample.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let iters = ((SAMPLE_TARGET.as_secs_f64() / per_iter) as u64).clamp(1, 1 << 24);
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(t0.elapsed() / iters as u32);
+        }
+        samples.sort_unstable();
+        self.median = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, filter: Option<&str>, mut f: F) {
+    if let Some(needle) = filter {
+        if !id.contains(needle) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        sample_size,
+        median: None,
+    };
+    f(&mut bencher);
+    match bencher.median {
+        Some(m) => println!("{id:<48} time: [{}]", format_duration(m)),
+        None => println!("{id:<48} (no measurement: closure never called iter)"),
+    }
+}
+
+/// Bundles bench functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("solve", 64).id, "solve/64");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[test]
+    fn format_duration_picks_unit() {
+        assert!(format_duration(Duration::from_nanos(10)).ends_with("ns"));
+        assert!(format_duration(Duration::from_micros(10)).ends_with("µs"));
+        assert!(format_duration(Duration::from_millis(10)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(10)).ends_with('s'));
+    }
+}

@@ -1,0 +1,212 @@
+//! Vendored, dependency-free stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the tiny slice of the `rand` API it actually uses: a seedable
+//! [`rngs::StdRng`], integer [`RngExt::random_range`], and slice
+//! [`IndexedRandom::choose`]. Streams are deterministic per seed, which is
+//! all the workspace's generators require (reproducible schemes and
+//! placements), but the exact streams differ from upstream `rand`.
+
+/// A source of 64-bit random words.
+pub trait RngCore {
+    /// Returns the next word of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Constructing a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range sampling, the `Rng`/`RngExt` surface the workspace uses.
+pub trait RngExt: RngCore + Sized {
+    /// Uniform sample from an integer range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    /// If the range is empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<G: RngCore + Sized> RngExt for G {}
+
+/// Ranges that can produce a uniform sample.
+pub trait SampleRange<T> {
+    /// Draws one value from the range using `rng`.
+    fn sample_from<G: RngCore>(self, rng: &mut G) -> T;
+}
+
+/// Integer types supported by [`SampleRange`].
+pub trait UniformInt: Copy {
+    /// Widens to `u128` for span arithmetic.
+    fn to_u128(self) -> u128;
+    /// Narrows from `u128`; the value is guaranteed in range.
+    fn from_u128(v: u128) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_u128(self) -> u128 {
+                self as u128
+            }
+            fn from_u128(v: u128) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+impl<T: UniformInt> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<G: RngCore>(self, rng: &mut G) -> T {
+        let lo = self.start.to_u128();
+        let hi = self.end.to_u128();
+        assert!(lo < hi, "cannot sample from an empty range");
+        let span = hi - lo;
+        // Modulo bias is negligible for the small spans used here.
+        T::from_u128(lo + (rng.next_u64() as u128) % span)
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<G: RngCore>(self, rng: &mut G) -> T {
+        let lo = self.start().to_u128();
+        let hi = self.end().to_u128();
+        assert!(lo <= hi, "cannot sample from an empty range");
+        let span = hi - lo + 1;
+        T::from_u128(lo + (rng.next_u64() as u128) % span)
+    }
+}
+
+/// Uniform selection from slices.
+pub trait IndexedRandom {
+    /// Element type of the collection.
+    type Item;
+    /// Uniformly chooses one element, or `None` if empty.
+    fn choose<G: RngCore>(&self, rng: &mut G) -> Option<&Self::Item>;
+}
+
+impl<T> IndexedRandom for [T] {
+    type Item = T;
+    fn choose<G: RngCore>(&self, rng: &mut G) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.random_range(0..self.len())])
+        }
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ seeded through
+    /// SplitMix64 (the construction recommended by its authors).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports mirroring `rand::prelude`.
+    pub use super::rngs::StdRng;
+    pub use super::{IndexedRandom, RngCore, RngExt, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: usize = rng.random_range(3..10);
+            assert!((3..10).contains(&x));
+            let y: u64 = rng.random_range(0..=5);
+            assert!(y <= 5);
+        }
+    }
+
+    #[test]
+    fn range_samples_cover_the_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.random_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn choose_none_on_empty_some_on_filled() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let empty: &[u8] = &[];
+        assert!(empty.choose(&mut rng).is_none());
+        let items = [10, 20, 30];
+        for _ in 0..50 {
+            assert!(items.contains(items.as_slice().choose(&mut rng).unwrap()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _: u32 = rng.random_range(5..5);
+    }
+}

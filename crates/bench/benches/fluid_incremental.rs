@@ -1,87 +1,64 @@
-//! Incremental vs full-recompute penalty engine on a high-churn workload.
+//! Incremental vs full-recompute penalty engine on high-churn workloads.
 //!
-//! 512 bounded-degree flows over 256 nodes with staggered starts: the
-//! contending population churns at every arrival and completion, which is
-//! the worst case for the pre-refactor engine (a full model query per
-//! solver iteration *and* per `next_event_time` probe). The incremental
-//! engine settles once per population change and serves every probe from
-//! the `PenaltyCache`.
+//! Bounded-degree flows over many nodes with staggered starts (the shared
+//! `netbw_bench::churn_transfers` workload, also enforced in CI by the
+//! `churn_smoke` binary): the contending population churns at every
+//! arrival and completion, which is the worst case for the pre-refactor
+//! engine (a full model query per solver iteration *and* per
+//! `next_event_time` probe). The incremental engine settles once per
+//! population change, serves every probe from the `PenaltyCache`, and —
+//! since the slab refactor — hands the models a positional
+//! `PopulationDelta` so each settle recomputes only the affected
+//! endpoints (GigE/InfiniBand) or conflict components (Myrinet).
+//!
+//! Two sizes: the 512-flow workload benched since PR 1, and a 2048-flow
+//! scale-up where the O(affected) patching dominates: per-event model
+//! work no longer grows with the fabric, so the gap over the
+//! full-recompute oracle widens.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use netbw::graph::schemes;
-use netbw::graph::Communication;
 use netbw::prelude::*;
+use netbw_bench::{churn_stagger, churn_transfers, drain_churn};
 use std::hint::black_box;
 
-const FLOWS: usize = 512;
-
-/// The churn scenario: `FLOWS` transfers with starts staggered by
-/// `stagger` seconds so that many are in flight at any instant and the
-/// population changes at every event. GigE's closed form tolerates ~400
-/// concurrent flows; the Myrinet state-set enumeration gets a wider
-/// stagger (~100 concurrent) to keep a single drain under a second.
-fn churn_transfers(stagger: f64) -> Vec<(u64, Communication, f64)> {
-    let g = schemes::random_bounded(FLOWS / 2, FLOWS, 3, 3, 10_000, 20080);
-    g.comms()
-        .iter()
-        .enumerate()
-        .map(|(i, &c)| (i as u64, c, stagger * i as f64))
-        .collect()
-}
-
-fn stagger_for(kind: ModelKind) -> f64 {
-    match kind {
-        ModelKind::Myrinet => 100.0,
-        _ => 25.0,
-    }
-}
-
-fn drain<M: PenaltyModel>(
-    model: M,
-    stagger: f64,
-    full_recompute: bool,
-) -> (usize, netbw::fluid::CacheStats) {
-    let mut net = FluidNetwork::new(model, NetworkParams::unit());
-    if full_recompute {
-        net = net.with_full_recompute();
-    }
-    for &(key, comm, start) in &churn_transfers(stagger) {
-        net.add(key, comm, start);
-    }
-    let done = net.run_to_completion().len();
-    (done, net.cache_stats())
-}
-
-fn bench_churn(c: &mut Criterion) {
+fn bench_churn_size(c: &mut Criterion, flows: usize, sample_size: usize) {
     // One-off evidence that both engines do the same work with very
-    // different model-query counts (the benched quantity is wall time).
+    // different model-query profiles (the benched quantity is wall time).
     for (name, full) in [("incremental", false), ("full-recompute", true)] {
-        let (done, stats) = drain(GigabitEthernetModel::default(), 25.0, full);
-        assert_eq!(done, FLOWS);
+        let transfers = churn_transfers(flows, 25.0);
+        let (done, stats) = drain_churn(GigabitEthernetModel::default(), &transfers, full);
+        assert_eq!(done, flows);
         println!(
-            "churn/{name}: {FLOWS} flows, {} model queries, {} cache reuses",
-            stats.model_queries, stats.reuses
+            "churn{flows}/{name}: {flows} flows, {} model queries \
+             ({} carrying positional deltas), {} cache reuses",
+            stats.model_queries, stats.delta_queries, stats.reuses
         );
     }
 
-    let mut group = c.benchmark_group("churn");
-    group.sample_size(10);
+    let mut group = c.benchmark_group(format!("churn{flows}"));
+    group.sample_size(sample_size);
     for (model_name, kind) in [
         ("gige", ModelKind::GigabitEthernet),
         ("myrinet", ModelKind::Myrinet),
     ] {
+        let transfers = churn_transfers(flows, churn_stagger(kind));
         group.bench_with_input(
             BenchmarkId::new("incremental", model_name),
             &kind,
-            |b, &kind| b.iter(|| black_box(drain(kind.build(), stagger_for(kind), false).0)),
+            |b, &kind| b.iter(|| black_box(drain_churn(kind.build(), &transfers, false).0)),
         );
         group.bench_with_input(
             BenchmarkId::new("full-recompute", model_name),
             &kind,
-            |b, &kind| b.iter(|| black_box(drain(kind.build(), stagger_for(kind), true).0)),
+            |b, &kind| b.iter(|| black_box(drain_churn(kind.build(), &transfers, true).0)),
         );
     }
     group.finish();
+}
+
+fn bench_churn(c: &mut Criterion) {
+    bench_churn_size(c, 512, 10);
+    bench_churn_size(c, 2048, 5);
 }
 
 criterion_group!(benches, bench_churn);

@@ -57,6 +57,6 @@ fn main() {
     println!(
         "\nKnown deviation: the paper's scheme-6 incoming row (1.995/1.995/1.01) is\n\
          internally inconsistent (three overlapped incoming flows cannot all beat 2β);\n\
-         the model answers 2.95 there. See EXPERIMENTS.md."
+         the model answers 2.95 there. See the report_all annotations."
     );
 }

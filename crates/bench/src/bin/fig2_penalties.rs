@@ -50,6 +50,6 @@ fn main() {
     println!(
         "\nNote: schemes 1-4 reproduce quantitatively; the paper's scheme 5/6 rows\n\
          contain TCP-unfairness outliers (a=4.4 vs b=2.6 on symmetric flows) that a\n\
-         mean-behaviour simulator does not produce — see EXPERIMENTS.md."
+         mean-behaviour simulator does not produce — see the report_all annotations."
     );
 }

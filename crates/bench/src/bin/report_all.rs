@@ -1,6 +1,6 @@
 //! One command, the whole paper: runs every reproduction experiment and
 //! prints a consolidated markdown report (a lighter-weight, regenerated
-//! version of `EXPERIMENTS.md`).
+//! paper-comparison report).
 //!
 //! `cargo run --release -p netbw-bench --bin report_all`
 
@@ -86,5 +86,5 @@ fn main() {
     }
     show(&t);
 
-    println!("\nSee EXPERIMENTS.md for the full annotated comparison against the paper.");
+    println!("\nEach table above is annotated with its paper figure and known deviations.");
 }

@@ -1,8 +1,15 @@
-//! Shared helpers for the table-regeneration binaries.
+//! Shared helpers for the paper-figure regeneration binaries (§VI results)
+//! and the performance benches.
 //!
 //! Every binary in `src/bin/` regenerates one table or figure of the
-//! paper (see `DESIGN.md §4` for the index); the Criterion benches in
-//! `benches/` measure the performance of the underlying machinery.
+//! paper: `fig1_conflicts` (§IV.A census), `fig2_penalties` (§IV.B
+//! measured penalties), `fig4_gige_verify` (§V.A), `fig56_myrinet_states`
+//! (§V.B), `fig7_synthetic`, `fig8_hpl_gige`, `fig9_hpl_myrinet` (§VI),
+//! plus the calibration table, the `ext_*` extension reports, the
+//! `ablation_*` studies, and `report_all` to print everything. The
+//! `churn_smoke` binary is the CI guard for the incremental fluid engine
+//! (see `ARCHITECTURE.md`); the Criterion benches in `benches/` measure
+//! the machinery underneath.
 
 use netbw::prelude::*;
 
@@ -14,6 +21,51 @@ pub fn section(title: &str) {
 /// Pretty-prints a table to stdout.
 pub fn show(table: &Table) {
     print!("{}", table.to_markdown());
+}
+
+/// The canonical churn workload shared by the `fluid_incremental` bench
+/// and the `churn_smoke` CI guard — keeping it in one place means both
+/// provably measure the same scenario. `flows` bounded-degree transfers
+/// over `flows / 2` nodes (fixed seed), with starts staggered by
+/// `stagger` seconds so many are in flight at any instant and the
+/// population churns at every event.
+pub fn churn_transfers(flows: usize, stagger: f64) -> Vec<(u64, netbw::graph::Communication, f64)> {
+    let g = netbw::graph::schemes::random_bounded(flows / 2, flows, 3, 3, 10_000, 20080);
+    g.comms()
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (i as u64, c, stagger * i as f64))
+        .collect()
+}
+
+/// The stagger used with [`churn_transfers`] per model: GigE's closed
+/// form tolerates ~400 concurrent flows; the Myrinet state-set
+/// enumeration gets a wider stagger (~100 concurrent) to keep a single
+/// drain bounded.
+pub fn churn_stagger(kind: ModelKind) -> f64 {
+    match kind {
+        ModelKind::Myrinet => 100.0,
+        _ => 25.0,
+    }
+}
+
+/// Drains a churn workload through a fresh `FluidNetwork`, returning the
+/// completion count and the cache stats. `full_recompute` selects the
+/// pre-refactor query-every-iteration oracle.
+pub fn drain_churn<M: PenaltyModel>(
+    model: M,
+    transfers: &[(u64, netbw::graph::Communication, f64)],
+    full_recompute: bool,
+) -> (usize, netbw::fluid::CacheStats) {
+    let mut net = FluidNetwork::new(model, NetworkParams::unit());
+    if full_recompute {
+        net = net.with_full_recompute();
+    }
+    for &(key, comm, start) in transfers {
+        net.add(key, comm, start);
+    }
+    let done = net.run_to_completion().len();
+    (done, net.cache_stats())
 }
 
 /// The paper's three fabrics with their models, paired for sweeps:

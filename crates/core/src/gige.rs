@@ -28,7 +28,8 @@
 //! predicted column of Fig. 4 — see `calibrate` for re-estimating them
 //! from measurements.
 
-use crate::model::{scatter_penalties, split_intra_node, PenaltyModel};
+use crate::incremental::{patch_endpoints, EndpointIndex};
+use crate::model::{scatter_penalties, split_intra_node, PenaltyModel, PopulationDelta};
 use crate::penalty::Penalty;
 use netbw_graph::Communication;
 
@@ -80,18 +81,38 @@ impl GigabitEthernetModel {
     }
 
     /// The emission-side penalty `po` of communication `i` in `comms`.
+    /// `comms` must be the network (inter-node) subset of a population;
+    /// intra-node entries never contribute to NIC degrees.
     pub fn po(&self, comms: &[Communication], i: usize) -> f64 {
+        self.po_indexed(comms, i, &EndpointIndex::build(comms))
+    }
+
+    /// The reception-side penalty `pi` of communication `i` in `comms`
+    /// (network subset, as for [`Self::po`]).
+    pub fn pi(&self, comms: &[Communication], i: usize) -> f64 {
+        self.pi_indexed(comms, i, &EndpointIndex::build(comms))
+    }
+
+    /// `po` over a pre-built endpoint index — the O(group) hot path shared
+    /// by the batch evaluation and the incremental patch (and by the
+    /// InfiniBand extension, which reuses the closed form with `γ = 0`).
+    pub(crate) fn po_indexed(
+        &self,
+        comms: &[Communication],
+        i: usize,
+        index: &EndpointIndex,
+    ) -> f64 {
         let ci = &comms[i];
-        let delta_o = comms.iter().filter(|c| c.src == ci.src).count();
+        let group = index.outgoing(ci.src);
+        let delta_o = group.len();
         if delta_o == 1 {
             return 1.0;
         }
         // Δi of each comm leaving vs; the max defines Cmo.
-        let din = |c: &Communication| comms.iter().filter(|o| o.dst == c.dst).count();
-        let co: Vec<&Communication> = comms.iter().filter(|c| c.src == ci.src).collect();
-        let max_di = co.iter().map(|c| din(c)).max().unwrap_or(1);
-        let card_cmo = co.iter().filter(|c| din(c) == max_di).count();
-        let in_cmo = din(ci) == max_di;
+        let din = |k: usize| index.in_degree(comms[k].dst);
+        let max_di = group.iter().map(|&k| din(k)).max().unwrap_or(1);
+        let card_cmo = group.iter().filter(|&&k| din(k) == max_di).count();
+        let in_cmo = index.in_degree(ci.dst) == max_di;
         let base = delta_o as f64 * self.beta;
         if in_cmo {
             base * (1.0 + self.gamma_o * (delta_o as f64 - card_cmo as f64))
@@ -100,24 +121,42 @@ impl GigabitEthernetModel {
         }
     }
 
-    /// The reception-side penalty `pi` of communication `i` in `comms`.
-    pub fn pi(&self, comms: &[Communication], i: usize) -> f64 {
+    /// `pi` over a pre-built endpoint index; see [`Self::po_indexed`].
+    pub(crate) fn pi_indexed(
+        &self,
+        comms: &[Communication],
+        i: usize,
+        index: &EndpointIndex,
+    ) -> f64 {
         let ci = &comms[i];
-        let delta_i = comms.iter().filter(|c| c.dst == ci.dst).count();
+        let group = index.incoming(ci.dst);
+        let delta_i = group.len();
         if delta_i == 1 {
             return 1.0;
         }
-        let dout = |c: &Communication| comms.iter().filter(|o| o.src == c.src).count();
-        let cin: Vec<&Communication> = comms.iter().filter(|c| c.dst == ci.dst).collect();
-        let max_do = cin.iter().map(|c| dout(c)).max().unwrap_or(1);
-        let card_cmi = cin.iter().filter(|c| dout(c) == max_do).count();
-        let in_cmi = dout(ci) == max_do;
+        let dout = |k: usize| index.out_degree(comms[k].src);
+        let max_do = group.iter().map(|&k| dout(k)).max().unwrap_or(1);
+        let card_cmi = group.iter().filter(|&&k| dout(k) == max_do).count();
+        let in_cmi = index.out_degree(ci.src) == max_do;
         let base = delta_i as f64 * self.beta;
         if in_cmi {
             base * (1.0 + self.gamma_i * (delta_i as f64 - card_cmi as f64))
         } else {
             base * (1.0 - self.gamma_i / card_cmi as f64)
         }
+    }
+
+    /// `max(po, pi)` of network communication `i` via the index.
+    fn penalty_indexed(
+        &self,
+        network: &[Communication],
+        i: usize,
+        index: &EndpointIndex,
+    ) -> Penalty {
+        Penalty::new(
+            self.po_indexed(network, i, index)
+                .max(self.pi_indexed(network, i, index)),
+        )
     }
 }
 
@@ -128,10 +167,32 @@ impl PenaltyModel for GigabitEthernetModel {
 
     fn penalties(&self, comms: &[Communication]) -> Vec<Penalty> {
         let (indices, network) = split_intra_node(comms);
+        let index = EndpointIndex::build(&network);
         let net: Vec<Penalty> = (0..network.len())
-            .map(|i| Penalty::new(self.po(&network, i).max(self.pi(&network, i))))
+            .map(|i| self.penalty_indexed(&network, i, &index))
             .collect();
         scatter_penalties(comms.len(), &indices, &net)
+    }
+
+    /// O(affected) patch: only communications whose source group or
+    /// destination group was reached by the change (the two-hop endpoint
+    /// neighbourhood — see [`crate::incremental::affected_endpoints`]) are
+    /// re-evaluated; every other survivor keeps its previous penalty
+    /// bit-for-bit.
+    fn penalties_after_change(
+        &self,
+        comms: &[Communication],
+        delta: PopulationDelta,
+        previous: Option<(&[Communication], &[Penalty])>,
+    ) -> Vec<Penalty> {
+        patch_endpoints(
+            comms,
+            &delta,
+            previous,
+            |aff, c| aff.touches(c),
+            |network, i, index| self.penalty_indexed(network, i, index),
+        )
+        .unwrap_or_else(|| self.penalties(comms))
     }
 }
 
@@ -214,7 +275,7 @@ mod tests {
         let paper = [0.095, 0.095, f64::NAN, 0.069, 0.103, 0.103];
         for (i, (&got, &want)) in predicted.iter().zip(paper.iter()).enumerate() {
             if want.is_nan() {
-                continue; // c discussed in DESIGN.md: paper prints max-form 0.113
+                continue; // c: the paper prints the max-form 0.113; see the comment above
             }
             assert!(
                 (got - want).abs() < 0.0015,
@@ -263,6 +324,41 @@ mod tests {
         let p = m.penalties(&comms);
         assert_eq!(p[3].value(), 1.0);
         assert!((p[0].value() - 2.25).abs() < TOL);
+    }
+
+    #[test]
+    fn patch_reuses_unaffected_penalties_verbatim() {
+        // Two conflict islands; an arrival on island A must not re-evaluate
+        // island B. Poison B's previous penalties: if the patch reused them
+        // (as it must), the poison shows up verbatim in the output.
+        let model = GigabitEthernetModel::default();
+        let prev = vec![
+            Communication::new(0u32, 1u32, 10),
+            Communication::new(0u32, 2u32, 10),
+            Communication::new(5u32, 6u32, 10),
+            Communication::new(5u32, 7u32, 10),
+        ];
+        let mut prev_pens = model.penalties(&prev);
+        prev_pens[2] = Penalty::new(9.0);
+        prev_pens[3] = Penalty::new(9.5);
+        let mut comms = prev.clone();
+        comms.push(Communication::new(0u32, 3u32, 10));
+        let patched = model.penalties_after_change(
+            &comms,
+            crate::model::PopulationDelta::Arrived(vec![4]),
+            Some((&prev, &prev_pens)),
+        );
+        assert_eq!(
+            patched[2].value(),
+            9.0,
+            "island B must be reused, not recomputed"
+        );
+        assert_eq!(patched[3].value(), 9.5);
+        // island A (and the arrival) are recomputed exactly
+        let full = model.penalties(&comms);
+        assert_eq!(patched[0], full[0]);
+        assert_eq!(patched[1], full[1]);
+        assert_eq!(patched[4], full[4]);
     }
 
     #[test]

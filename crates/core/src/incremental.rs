@@ -1,0 +1,366 @@
+//! Shared machinery for O(affected) incremental penalty updates.
+//!
+//! [`PenaltyModel::penalties_after_change`](crate::PenaltyModel::penalties_after_change)
+//! specializations all face the same three sub-problems, solved here once:
+//!
+//! 1. **Alignment** — pair every surviving communication of the new
+//!    population with its previous penalty, using the positional
+//!    [`PopulationDelta`] invariants. [`align`] performs the merge scan and
+//!    *verifies* the invariants (length accounting plus per-entry equality
+//!    of paired communications); any inconsistency yields `None` and the
+//!    caller recomputes from scratch — a wrong hint can cost time, never
+//!    correctness.
+//! 2. **Endpoint indexing** — models reason in per-node degree groups
+//!    (all communications leaving / entering a node). [`EndpointIndex`]
+//!    builds those groups in one linear pass so patch paths never fall back
+//!    to the quadratic scan-everything idiom.
+//! 3. **Affected-set computation** — given the changed communications,
+//!    [`affected_endpoints`] returns the source and destination nodes whose
+//!    groups can possibly produce a different penalty. For the closed-form
+//!    models this is the two-hop neighbourhood of the changed endpoints:
+//!    a flow arriving at (or leaving) `(s, d)` changes `Δo(s)` and `Δi(d)`
+//!    directly, and thereby the `Cmo`/`Cmi` asymmetry sets of every group
+//!    containing a communication into `d` or out of `s`.
+//!
+//! All helpers operate on the *network* (inter-node) subset of a
+//! population; intra-node communications have penalty 1 by contract and
+//! never contribute to degrees.
+
+use crate::model::PopulationDelta;
+use crate::penalty::Penalty;
+use netbw_graph::{Communication, NodeId};
+use std::collections::{HashMap, HashSet};
+
+/// The outcome of pairing a new population against the previously queried
+/// one: which previous entry (if any) each current entry corresponds to,
+/// and which communications changed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alignment {
+    /// For every position of the new population: the position the same
+    /// communication held in the previous population, or `None` if it just
+    /// arrived.
+    pub prev_of: Vec<Option<usize>>,
+    /// The communications that joined or left (arrivals are entries of the
+    /// new population, departures entries of the previous one).
+    pub changed: Vec<Communication>,
+}
+
+/// The common prelude of every `penalties_after_change` specialization:
+/// unwraps `previous`, checks the penalty slice is aligned with it, and
+/// runs [`align`]. `None` — on any inconsistency — means "recompute
+/// fully".
+pub fn validated<'a>(
+    comms: &[Communication],
+    delta: &PopulationDelta,
+    previous: Option<(&'a [Communication], &'a [Penalty])>,
+) -> Option<(&'a [Communication], &'a [Penalty], Alignment)> {
+    let (prev_comms, prev_pens) = previous?;
+    if prev_pens.len() != prev_comms.len() {
+        return None;
+    }
+    let alignment = align(comms, delta, prev_comms)?;
+    Some((prev_comms, prev_pens, alignment))
+}
+
+/// The shared endpoint-patch scaffold used by the closed-form models
+/// (GigE and its InfiniBand extension): validate the hints, split off
+/// intra-node communications, build the endpoint index and affected
+/// sets, then re-evaluate exactly the communications `touches` selects —
+/// every other survivor keeps its previous penalty verbatim.
+///
+/// `None` means the hints were unusable and the caller must recompute in
+/// full. `penalty` evaluates one network communication over the index
+/// (it must be the same arithmetic the model's batch path uses, so
+/// patched and full answers stay bit-for-bit identical).
+pub fn patch_endpoints(
+    comms: &[Communication],
+    delta: &PopulationDelta,
+    previous: Option<(&[Communication], &[Penalty])>,
+    touches: impl Fn(&AffectedEndpoints, &Communication) -> bool,
+    penalty: impl Fn(&[Communication], usize, &EndpointIndex) -> Penalty,
+) -> Option<Vec<Penalty>> {
+    let (_, prev_pens, al) = validated(comms, delta, previous)?;
+    let (indices, network) = crate::model::split_intra_node(comms);
+    let index = EndpointIndex::build(&network);
+    let aff = affected_endpoints(&index, &al.changed, &network);
+    let mut out = vec![Penalty::ONE; comms.len()];
+    for (net_i, &orig) in indices.iter().enumerate() {
+        out[orig] = match al.prev_of[orig] {
+            Some(p) if !touches(&aff, &network[net_i]) => prev_pens[p],
+            _ => penalty(&network, net_i, &index),
+        };
+    }
+    Some(out)
+}
+
+/// Pairs `comms` with `prev` according to `delta`, verifying the
+/// [`PopulationDelta`] invariants along the way.
+///
+/// Returns `None` — meaning "do a full recompute" — for
+/// [`PopulationDelta::Rebuilt`], for out-of-range / non-increasing
+/// positions, for length mismatches, and whenever a pair of supposedly
+/// identical communications differs.
+pub fn align(
+    comms: &[Communication],
+    delta: &PopulationDelta,
+    prev: &[Communication],
+) -> Option<Alignment> {
+    match delta {
+        PopulationDelta::Rebuilt => None,
+        PopulationDelta::Arrived(idx) => {
+            if !strictly_increasing_within(idx, comms.len())
+                || comms.len() != prev.len() + idx.len()
+            {
+                return None;
+            }
+            let mut prev_of = Vec::with_capacity(comms.len());
+            let mut changed = Vec::with_capacity(idx.len());
+            let mut next_arrival = idx.iter().copied().peekable();
+            let mut p = 0usize;
+            for (i, c) in comms.iter().enumerate() {
+                if next_arrival.peek() == Some(&i) {
+                    next_arrival.next();
+                    changed.push(*c);
+                    prev_of.push(None);
+                } else {
+                    if prev[p] != *c {
+                        return None;
+                    }
+                    prev_of.push(Some(p));
+                    p += 1;
+                }
+            }
+            Some(Alignment { prev_of, changed })
+        }
+        PopulationDelta::Departed(idx) => {
+            if !strictly_increasing_within(idx, prev.len()) || comms.len() + idx.len() != prev.len()
+            {
+                return None;
+            }
+            let mut prev_of = Vec::with_capacity(comms.len());
+            let mut changed = Vec::with_capacity(idx.len());
+            let mut next_departure = idx.iter().copied().peekable();
+            let mut i = 0usize;
+            for (p, c) in prev.iter().enumerate() {
+                if next_departure.peek() == Some(&p) {
+                    next_departure.next();
+                    changed.push(*c);
+                } else {
+                    if comms[i] != *c {
+                        return None;
+                    }
+                    prev_of.push(Some(p));
+                    i += 1;
+                }
+            }
+            Some(Alignment { prev_of, changed })
+        }
+    }
+}
+
+fn strictly_increasing_within(idx: &[usize], len: usize) -> bool {
+    idx.windows(2).all(|w| w[0] < w[1]) && idx.iter().all(|&i| i < len)
+}
+
+/// Per-node occupancy groups over one communication population, built in a
+/// single pass. Positions refer to the slice the index was built from.
+#[derive(Debug, Default, Clone)]
+pub struct EndpointIndex {
+    by_src: HashMap<NodeId, Vec<usize>>,
+    by_dst: HashMap<NodeId, Vec<usize>>,
+}
+
+impl EndpointIndex {
+    /// Indexes `comms` by source and destination node. The caller is
+    /// expected to pass the network (inter-node) subset; intra-node
+    /// entries would corrupt the degree counts.
+    pub fn build(comms: &[Communication]) -> Self {
+        let mut index = EndpointIndex::default();
+        for (i, c) in comms.iter().enumerate() {
+            debug_assert!(!c.is_intra_node(), "index over network subset only");
+            index.by_src.entry(c.src).or_default().push(i);
+            index.by_dst.entry(c.dst).or_default().push(i);
+        }
+        index
+    }
+
+    /// Positions of the communications leaving `node` (the `Cmo` candidate
+    /// group), empty if none.
+    pub fn outgoing(&self, node: NodeId) -> &[usize] {
+        self.by_src.get(&node).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Positions of the communications entering `node` (the `Cmi`
+    /// candidate group), empty if none.
+    pub fn incoming(&self, node: NodeId) -> &[usize] {
+        self.by_dst.get(&node).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// `Δo` of `node`: how many indexed communications leave it.
+    pub fn out_degree(&self, node: NodeId) -> usize {
+        self.outgoing(node).len()
+    }
+
+    /// `Δi` of `node`: how many indexed communications enter it.
+    pub fn in_degree(&self, node: NodeId) -> usize {
+        self.incoming(node).len()
+    }
+}
+
+/// The endpoints whose penalty groups a set of changed communications can
+/// reach, under the closed-form (degree-driven) models.
+#[derive(Debug, Default, Clone)]
+pub struct AffectedEndpoints {
+    /// Source nodes whose emission-side penalties (`po`) must be
+    /// recomputed.
+    pub sources: HashSet<NodeId>,
+    /// Destination nodes whose reception-side penalties (`pi`) must be
+    /// recomputed.
+    pub dests: HashSet<NodeId>,
+    /// Source nodes of the changed communications themselves (useful for
+    /// duplex-coupling terms keyed on the opposite role).
+    pub changed_sources: HashSet<NodeId>,
+    /// Destination nodes of the changed communications themselves.
+    pub changed_dests: HashSet<NodeId>,
+}
+
+impl AffectedEndpoints {
+    /// True when `comm`'s penalty may differ from its previous value under
+    /// a model whose penalty is `max(po(src group), pi(dst group))`.
+    pub fn touches(&self, comm: &Communication) -> bool {
+        self.sources.contains(&comm.src) || self.dests.contains(&comm.dst)
+    }
+}
+
+/// Computes the affected endpoints of `changed` within the population
+/// described by `index` (the *new* population's network subset).
+///
+/// `po(c)` depends on the communications sharing `c`'s source *and* on the
+/// in-degrees of their destinations (through the `Cmo` maximum), so a
+/// changed flow `(s, d)` affects: every group leaving `s`, and every group
+/// leaving a node that currently sends into `d`. Symmetrically for `pi`.
+/// Intra-node changed communications are invisible to the network and are
+/// skipped.
+pub fn affected_endpoints(
+    index: &EndpointIndex,
+    changed: &[Communication],
+    comms: &[Communication],
+) -> AffectedEndpoints {
+    let mut out = AffectedEndpoints::default();
+    for c in changed.iter().filter(|c| !c.is_intra_node()) {
+        out.changed_sources.insert(c.src);
+        out.changed_dests.insert(c.dst);
+    }
+    for &d in &out.changed_dests {
+        // Δi(d) changed: every group containing a comm into d sees a
+        // different Cmo maximum.
+        for &k in index.incoming(d) {
+            out.sources.insert(comms[k].src);
+        }
+    }
+    for &s in &out.changed_sources {
+        for &k in index.outgoing(s) {
+            out.dests.insert(comms[k].dst);
+        }
+    }
+    out.sources.extend(out.changed_sources.iter().copied());
+    out.dests.extend(out.changed_dests.iter().copied());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(s: u32, d: u32) -> Communication {
+        Communication::new(s, d, 100)
+    }
+
+    #[test]
+    fn arrival_alignment_pairs_survivors_in_order() {
+        let prev = [c(0, 1), c(2, 3)];
+        let comms = [c(0, 1), c(4, 5), c(2, 3)];
+        let al = align(&comms, &PopulationDelta::Arrived(vec![1]), &prev).unwrap();
+        assert_eq!(al.prev_of, vec![Some(0), None, Some(1)]);
+        assert_eq!(al.changed, vec![c(4, 5)]);
+    }
+
+    #[test]
+    fn departure_alignment_recovers_departed_comms() {
+        let prev = [c(0, 1), c(2, 3), c(4, 5)];
+        let comms = [c(2, 3)];
+        let al = align(&comms, &PopulationDelta::Departed(vec![0, 2]), &prev).unwrap();
+        assert_eq!(al.prev_of, vec![Some(1)]);
+        assert_eq!(al.changed, vec![c(0, 1), c(4, 5)]);
+    }
+
+    #[test]
+    fn empty_delta_is_identity_alignment() {
+        let prev = [c(0, 1), c(2, 3)];
+        let al = align(&prev, &PopulationDelta::Arrived(vec![]), &prev).unwrap();
+        assert_eq!(al.prev_of, vec![Some(0), Some(1)]);
+        assert!(al.changed.is_empty());
+        let al = align(&prev, &PopulationDelta::Departed(vec![]), &prev).unwrap();
+        assert!(al.changed.is_empty());
+    }
+
+    #[test]
+    fn inconsistent_hints_are_rejected() {
+        let prev = [c(0, 1), c(2, 3)];
+        let comms = [c(0, 1), c(4, 5), c(2, 3)];
+        // Rebuilt never aligns.
+        assert!(align(&comms, &PopulationDelta::Rebuilt, &prev).is_none());
+        // wrong arrival count for the length difference
+        assert!(align(&comms, &PopulationDelta::Arrived(vec![0, 1]), &prev).is_none());
+        // out-of-range and non-increasing positions
+        assert!(align(&comms, &PopulationDelta::Arrived(vec![7]), &prev).is_none());
+        assert!(align(
+            &prev,
+            &PopulationDelta::Departed(vec![1, 1, 1]),
+            &[c(0, 1); 5]
+        )
+        .is_none());
+        // survivor mismatch: claims position 0 arrived, pairing c(4,5)
+        // against prev's c(0,1)
+        assert!(align(&comms, &PopulationDelta::Arrived(vec![0]), &prev).is_none());
+        // departure survivor mismatch
+        assert!(align(&[c(9, 8)], &PopulationDelta::Departed(vec![0]), &prev).is_none());
+    }
+
+    #[test]
+    fn endpoint_index_groups_by_role() {
+        let comms = [c(0, 1), c(0, 2), c(3, 1)];
+        let idx = EndpointIndex::build(&comms);
+        assert_eq!(idx.outgoing(NodeId(0)), &[0, 1]);
+        assert_eq!(idx.incoming(NodeId(1)), &[0, 2]);
+        assert_eq!(idx.out_degree(NodeId(3)), 1);
+        assert_eq!(idx.in_degree(NodeId(5)), 0);
+    }
+
+    #[test]
+    fn affected_endpoints_cover_the_two_hop_neighbourhood() {
+        // population: a(0→1), b(2→1), c(2→3), d(4→5); change: e(6→1).
+        // Δi(1) changes → po of every group sending into 1 (sources 0 and
+        // 2) is affected; Δo(6) changes → pi of every destination node 6
+        // sends to (only 1). Node 4's flows are untouched.
+        let comms = [c(0, 1), c(2, 1), c(2, 3), c(4, 5)];
+        let idx = EndpointIndex::build(&comms);
+        let aff = affected_endpoints(&idx, &[c(6, 1)], &comms);
+        assert!(aff.sources.contains(&NodeId(0)));
+        assert!(aff.sources.contains(&NodeId(2)));
+        assert!(aff.sources.contains(&NodeId(6)));
+        assert!(aff.dests.contains(&NodeId(1)));
+        assert!(!aff.touches(&c(4, 5)));
+        assert!(aff.touches(&c(2, 3))); // src 2's group changed via b(2→1)
+        assert!(aff.touches(&c(0, 1)));
+    }
+
+    #[test]
+    fn intra_node_changes_affect_nothing() {
+        let comms = [c(0, 1), c(2, 3)];
+        let idx = EndpointIndex::build(&comms);
+        let aff = affected_endpoints(&idx, &[Communication::new(5u32, 5u32, 9)], &comms);
+        assert!(aff.sources.is_empty() && aff.dests.is_empty());
+        assert!(!aff.touches(&c(0, 1)));
+    }
+}

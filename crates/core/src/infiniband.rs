@@ -5,7 +5,7 @@
 //! Infiniband InfinihostIII and ConnectX interconnect"). This module
 //! provides one, calibrated on the paper's published measurements; it is
 //! *not* part of the original contribution and is flagged as an extension
-//! in `DESIGN.md` (EXT-1).
+//! as EXT-1 in `ARCHITECTURE.md`.
 //!
 //! Observations from Fig. 2 (InfiniHost III column):
 //!
@@ -36,7 +36,8 @@
 //! side and two on the receive side, as measured.
 
 use crate::gige::GigabitEthernetModel;
-use crate::model::{scatter_penalties, split_intra_node, PenaltyModel};
+use crate::incremental::{patch_endpoints, AffectedEndpoints, EndpointIndex};
+use crate::model::{scatter_penalties, split_intra_node, PenaltyModel, PopulationDelta};
 use crate::penalty::Penalty;
 use netbw_graph::Communication;
 
@@ -79,6 +80,36 @@ impl InfinibandModel {
             delta_rx,
         }
     }
+
+    /// Penalty of network communication `i` over a pre-built endpoint
+    /// index — shared by the batch evaluation and the incremental patch.
+    fn penalty_indexed(
+        &self,
+        network: &[Communication],
+        i: usize,
+        index: &EndpointIndex,
+        fair: &GigabitEthernetModel,
+    ) -> Penalty {
+        let c = &network[i];
+        let po = fair.po_indexed(network, i, index);
+        let pi = fair.pi_indexed(network, i, index);
+        let opposing_at_src = index.in_degree(c.src);
+        let opposing_at_dst = index.out_degree(c.dst);
+        let tx_dx = 1.0 + self.delta_tx * (opposing_at_src.saturating_sub(1)) as f64;
+        let rx_dx = 1.0 + self.delta_rx * (opposing_at_dst.saturating_sub(2)) as f64;
+        Penalty::new((po * tx_dx).max(pi * rx_dx))
+    }
+
+    /// True when `comm`'s penalty can have changed: the GigE closed-form
+    /// reach (`aff.touches`), plus the duplex terms — `tx_dx` reads the
+    /// in-degree of the *source* node and `rx_dx` the out-degree of the
+    /// *destination* node, so a changed flow also reaches every flow whose
+    /// source it enters or whose destination it leaves.
+    fn touches(aff: &AffectedEndpoints, comm: &Communication) -> bool {
+        aff.touches(comm)
+            || aff.changed_dests.contains(&comm.src)
+            || aff.changed_sources.contains(&comm.dst)
+    }
 }
 
 impl PenaltyModel for InfinibandModel {
@@ -90,20 +121,32 @@ impl PenaltyModel for InfinibandModel {
         let (indices, network) = split_intra_node(comms);
         // Reuse the GigE po/pi machinery with γ = 0.
         let fair = GigabitEthernetModel::new(self.beta, 0.0, 0.0);
-        let net: Vec<Penalty> = network
-            .iter()
-            .enumerate()
-            .map(|(i, c)| {
-                let po = fair.po(&network, i);
-                let pi = fair.pi(&network, i);
-                let opposing_at_src = network.iter().filter(|o| o.dst == c.src).count();
-                let opposing_at_dst = network.iter().filter(|o| o.src == c.dst).count();
-                let tx_dx = 1.0 + self.delta_tx * (opposing_at_src.saturating_sub(1)) as f64;
-                let rx_dx = 1.0 + self.delta_rx * (opposing_at_dst.saturating_sub(2)) as f64;
-                Penalty::new((po * tx_dx).max(pi * rx_dx))
-            })
+        let index = EndpointIndex::build(&network);
+        let net: Vec<Penalty> = (0..network.len())
+            .map(|i| self.penalty_indexed(&network, i, &index, &fair))
             .collect();
         scatter_penalties(comms.len(), &indices, &net)
+    }
+
+    /// O(affected) patch, like the GigE one but with the duplex-coupling
+    /// reach added to the affected test: a changed flow also reaches every
+    /// flow whose source it enters (`tx_dx`) or whose destination it
+    /// leaves (`rx_dx`).
+    fn penalties_after_change(
+        &self,
+        comms: &[Communication],
+        delta: PopulationDelta,
+        previous: Option<(&[Communication], &[Penalty])>,
+    ) -> Vec<Penalty> {
+        let fair = GigabitEthernetModel::new(self.beta, 0.0, 0.0);
+        patch_endpoints(
+            comms,
+            &delta,
+            previous,
+            Self::touches,
+            |network, i, index| self.penalty_indexed(network, i, index, &fair),
+        )
+        .unwrap_or_else(|| self.penalties(comms))
     }
 }
 
@@ -159,7 +202,7 @@ mod tests {
         // the model answers 3β·1.14 = 2.95 — the paper's scheme-6 incoming
         // row is internally inconsistent (three concurrent incoming flows
         // cannot all beat 2β; its own f = 1.01 shows the flows did not
-        // fully overlap). Documented as a known deviation in EXPERIMENTS.md.
+        // fully overlap). Documented as a known deviation (see the `ext_infiniband` report).
         let p = penalties(6);
         assert!((p[0] - 2.5875 * 1.66).abs() < 1e-9);
         assert!((p[0] - 3.935).abs() / 3.935 < 0.10);
@@ -169,6 +212,56 @@ mod tests {
     #[test]
     fn single_comm_penalty_one() {
         assert_eq!(penalties(1), vec![1.0]);
+    }
+
+    #[test]
+    fn patch_reuses_unaffected_penalties_verbatim() {
+        // An arrival at nodes {0,3} cannot reach the {5,6,7} island, even
+        // through the duplex-coupling terms. Poisoned previous penalties on
+        // the island must survive the patch verbatim.
+        let model = InfinibandModel::default();
+        let prev = vec![
+            Communication::new(0u32, 1u32, 10),
+            Communication::new(5u32, 6u32, 10),
+            Communication::new(5u32, 7u32, 10),
+        ];
+        let mut prev_pens = model.penalties(&prev);
+        prev_pens[1] = Penalty::new(9.0);
+        let mut comms = prev.clone();
+        comms.push(Communication::new(0u32, 3u32, 10));
+        let patched = model.penalties_after_change(
+            &comms,
+            crate::model::PopulationDelta::Arrived(vec![3]),
+            Some((&prev, &prev_pens)),
+        );
+        assert_eq!(patched[1].value(), 9.0, "the island must be reused");
+        assert_eq!(patched[0], model.penalties(&comms)[0]);
+    }
+
+    #[test]
+    fn patch_tracks_duplex_reach() {
+        // d(1→0) opposes a(0→1): its arrival changes a's tx_dx term even
+        // though a's src/dst groups are otherwise untouched — the patch
+        // must re-evaluate a, not reuse it.
+        let model = InfinibandModel::default();
+        let prev = vec![
+            Communication::new(0u32, 1u32, 10),
+            Communication::new(0u32, 2u32, 10),
+            Communication::new(0u32, 3u32, 10),
+        ];
+        let prev_pens = model.penalties(&prev);
+        let mut comms = prev.clone();
+        comms.push(Communication::new(1u32, 0u32, 10));
+        comms.push(Communication::new(2u32, 0u32, 10));
+        let patched = model.penalties_after_change(
+            &comms,
+            crate::model::PopulationDelta::Arrived(vec![3, 4]),
+            Some((&prev, &prev_pens)),
+        );
+        let full = model.penalties(&comms);
+        assert_eq!(patched, full);
+        // sanity: the duplex pressure really did change a's penalty
+        assert!(full[0].value() > prev_pens[0].value());
     }
 
     #[test]

@@ -25,6 +25,11 @@
 //! rate sharing for a fixed set of in-flight communications. Completion
 //! times for whole schemes come from the progressive solver in
 //! `netbw-fluid`, which re-evaluates the model as communications finish.
+//! When the population evolves by arrivals and departures, the solver uses
+//! the batch-delta entry point
+//! [`PenaltyModel::penalties_after_change`]: each model patches only the
+//! endpoints ([`incremental`]) or conflict components the change reaches,
+//! instead of recomputing the whole fabric.
 //!
 //! # Example
 //!
@@ -40,9 +45,12 @@
 //! assert_eq!(p[3].value(), 2.5);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod baseline;
 pub mod calibrate;
 pub mod gige;
+pub mod incremental;
 pub mod infiniband;
 pub mod model;
 pub mod myrinet;

@@ -35,11 +35,18 @@ pub trait PenaltyModel: Send + Sync {
     /// (`None` on the first query), so models stay stateless: everything
     /// needed to patch instead of recompute arrives with the call. The
     /// default implementation recomputes from scratch; models whose
-    /// penalties are cheap to patch (the GigE closed form only depends on
-    /// per-endpoint degrees, so an arrival or departure touches one source
-    /// and one destination group) can override this to skip the full
-    /// evaluation. The contract is identical to [`Self::penalties`]: the
-    /// result must equal `self.penalties(comms)`.
+    /// penalties are cheap to patch override this to update only the
+    /// communications the change can affect — the GigE closed form touches
+    /// one source and one destination group per changed flow, the Myrinet
+    /// model re-enumerates only the conflict components the changed flows
+    /// belong to. See [`crate::incremental`] for the shared alignment and
+    /// affected-set machinery.
+    ///
+    /// The contract is identical to [`Self::penalties`]: the result must
+    /// equal `self.penalties(comms)` bit-for-bit. Implementations must
+    /// treat `delta`/`previous` as *hints*: when they are inconsistent with
+    /// `comms` (see the invariants on [`PopulationDelta`]) the model falls
+    /// back to a full recompute rather than producing wrong penalties.
     fn penalties_after_change(
         &self,
         comms: &[Communication],
@@ -59,32 +66,46 @@ pub trait PenaltyModel: Send + Sync {
 
 /// How an in-flight population evolved since a model was last queried.
 ///
-/// Produced by the incremental fluid engine (`netbw-fluid`) and consumed
-/// by [`PenaltyModel::penalties_after_change`] specializations.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// Produced by the incremental fluid engine (`netbw-fluid`, which derives
+/// it from stable slab keys) and consumed by
+/// [`PenaltyModel::penalties_after_change`] specializations. The positional
+/// variants let a model pair every surviving communication with its
+/// previous penalty in one linear merge scan, then recompute only the
+/// communications a change can actually affect.
+///
+/// # Invariants
+///
+/// * [`PopulationDelta::Arrived`] holds **strictly increasing** positions
+///   into the *new* population slice; every entry not at one of those
+///   positions appeared in the previous population, in the same relative
+///   order.
+/// * [`PopulationDelta::Departed`] holds **strictly increasing** positions
+///   into the *previous* population slice; the survivors make up the new
+///   slice exactly, in the same relative order.
+///
+/// Consumers must not trust these invariants blindly:
+/// [`crate::incremental::align`] verifies them (including per-entry
+/// equality of the paired communications) and returns `None` on any
+/// inconsistency, which models answer with a full recompute.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum PopulationDelta {
-    /// `n` communications joined (new transfers or opened latency gates);
-    /// all previously present communications are still in place.
-    Arrived(usize),
-    /// `n` communications left (completions); the survivors are unchanged
-    /// but may have been reordered.
-    Departed(usize),
+    /// Positions (in the new population) of freshly arrived communications
+    /// — new transfers or opened latency gates. May be empty: an empty
+    /// arrival delta asserts the population is unchanged.
+    Arrived(Vec<usize>),
+    /// Positions (in the previous population) of departed communications
+    /// (completions).
+    Departed(Vec<usize>),
     /// First query, or an arbitrary mix of arrivals and departures.
     Rebuilt,
 }
 
 impl PopulationDelta {
-    /// Folds another change into this one: consecutive same-kind changes
-    /// accumulate, mixes degrade to [`PopulationDelta::Rebuilt`].
-    pub fn merge(self, other: PopulationDelta) -> PopulationDelta {
-        match (self, other) {
-            (PopulationDelta::Arrived(a), PopulationDelta::Arrived(b)) => {
-                PopulationDelta::Arrived(a + b)
-            }
-            (PopulationDelta::Departed(a), PopulationDelta::Departed(b)) => {
-                PopulationDelta::Departed(a + b)
-            }
-            _ => PopulationDelta::Rebuilt,
+    /// True when the delta asserts the population did not change at all.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            PopulationDelta::Arrived(idx) | PopulationDelta::Departed(idx) => idx.is_empty(),
+            PopulationDelta::Rebuilt => false,
         }
     }
 }
@@ -258,16 +279,19 @@ mod tests {
     }
 
     #[test]
-    fn delta_merge_accumulates_same_kind_and_degrades_mixes() {
+    fn delta_is_empty_only_for_empty_positional_variants() {
         use PopulationDelta::*;
-        assert_eq!(Arrived(2).merge(Arrived(3)), Arrived(5));
-        assert_eq!(Departed(1).merge(Departed(1)), Departed(2));
-        assert_eq!(Arrived(1).merge(Departed(1)), Rebuilt);
-        assert_eq!(Rebuilt.merge(Arrived(1)), Rebuilt);
+        assert!(Arrived(vec![]).is_empty());
+        assert!(Departed(vec![]).is_empty());
+        assert!(!Arrived(vec![0]).is_empty());
+        assert!(!Rebuilt.is_empty());
     }
 
     #[test]
-    fn penalties_after_change_default_matches_penalties() {
+    fn penalties_after_change_matches_penalties_even_on_garbage_hints() {
+        // The delta/previous pair below is deliberately inconsistent with
+        // `comms` (wrong lengths, wrong pairings): every model must detect
+        // that and fall back to a full recompute.
         let comms = vec![
             Communication::new(0u32, 1u32, 10),
             Communication::new(0u32, 2u32, 10),
@@ -280,8 +304,8 @@ mod tests {
             let prior_penalties = model.penalties(&prior);
             for previous in [None, Some((prior.as_slice(), prior_penalties.as_slice()))] {
                 for delta in [
-                    PopulationDelta::Arrived(1),
-                    PopulationDelta::Departed(2),
+                    PopulationDelta::Arrived(vec![1]),
+                    PopulationDelta::Departed(vec![0, 2]),
                     PopulationDelta::Rebuilt,
                 ] {
                     assert_eq!(
@@ -291,6 +315,29 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn penalties_after_change_honours_consistent_arrival_hints() {
+        // comms[1] arrived; comms[0] and comms[2] survive from `prior` in
+        // order. Patched answers must equal the full evaluation.
+        let comms = vec![
+            Communication::new(0u32, 1u32, 10),
+            Communication::new(0u32, 2u32, 10),
+            Communication::new(3u32, 2u32, 10),
+        ];
+        let prior = [comms[0], comms[2]];
+        for kind in ModelKind::ALL {
+            let model = kind.build();
+            let full = model.penalties(&comms);
+            let prior_penalties = model.penalties(&prior);
+            let got = model.penalties_after_change(
+                &comms,
+                PopulationDelta::Arrived(vec![1]),
+                Some((prior.as_slice(), prior_penalties.as_slice())),
+            );
+            assert_eq!(got, full, "{kind}");
         }
     }
 }

@@ -20,13 +20,15 @@
 //! On the paper's Fig. 5 example this yields exactly the Fig. 6 table:
 //! sums `1,2,2,2,2,3`, minima `1,1,1,2,2,2`, penalties `5,5,5,2.5,2.5,2.5`.
 
-use crate::model::{scatter_penalties, split_intra_node, PenaltyModel};
+use crate::incremental::validated;
+use crate::model::{scatter_penalties, split_intra_node, PenaltyModel, PopulationDelta};
 use crate::penalty::Penalty;
 use crate::states::{
     count_components, enumerate_components, StateSetEnumeration, DEFAULT_STATE_SET_BUDGET,
 };
 use netbw_graph::conflict::{ConflictGraph, ConflictRule};
-use netbw_graph::Communication;
+use netbw_graph::{Communication, NodeId};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -69,6 +71,15 @@ impl MyrinetModel {
     pub fn with_rule(rule: ConflictRule) -> Self {
         MyrinetModel {
             rule,
+            ..Self::default()
+        }
+    }
+
+    /// Model with a non-default enumeration budget (tests and stress
+    /// harnesses exercising the max-conflict fallback).
+    pub fn with_budget(budget: usize) -> Self {
+        MyrinetModel {
+            budget,
             ..Self::default()
         }
     }
@@ -169,6 +180,113 @@ impl MyrinetModel {
         }
         (state_count, emission)
     }
+
+    /// True when every conflict component of `network` is small enough
+    /// that its state-set enumeration *provably* fits `budget` (by the
+    /// Moon–Moser bound on the number of maximal independent sets). This
+    /// certifies that a full evaluation of the population did not (and
+    /// would not) fall back to the max-conflict approximation — the
+    /// precondition for reusing its penalties during a patch.
+    fn certified_under_budget(
+        network: &[Communication],
+        rule: ConflictRule,
+        budget: usize,
+    ) -> bool {
+        let (comp_of, comp_count) = conflict_component_ids(network, rule);
+        let mut sizes = vec![0usize; comp_count];
+        for &id in &comp_of {
+            sizes[id] += 1;
+        }
+        sizes.iter().all(|&n| mis_upper_bound(n) <= budget as u128)
+    }
+}
+
+/// Connected components of the conflict relation over `network`, computed
+/// with a union–find over per-node groups in O(n·α) — no O(n²) pairwise
+/// scan, no materialised [`ConflictGraph`]. Returns a component id per
+/// communication and the component count.
+fn conflict_component_ids(network: &[Communication], rule: ConflictRule) -> (Vec<usize>, usize) {
+    let n = network.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    fn union(parent: &mut [usize], a: usize, b: usize) {
+        let ra = find(parent, a);
+        let rb = find(parent, b);
+        if ra != rb {
+            parent[ra] = rb;
+        }
+    }
+    // Communications sharing a node (in the roles the rule cares about)
+    // pairwise conflict, so uniting each with the first member of its
+    // group reproduces the component structure.
+    match rule {
+        ConflictRule::Strict => {
+            let mut first_src: HashMap<NodeId, usize> = HashMap::new();
+            let mut first_dst: HashMap<NodeId, usize> = HashMap::new();
+            for (k, c) in network.iter().enumerate() {
+                match first_src.entry(c.src) {
+                    Entry::Occupied(e) => union(&mut parent, k, *e.get()),
+                    Entry::Vacant(e) => {
+                        e.insert(k);
+                    }
+                }
+                match first_dst.entry(c.dst) {
+                    Entry::Occupied(e) => union(&mut parent, k, *e.get()),
+                    Entry::Vacant(e) => {
+                        e.insert(k);
+                    }
+                }
+            }
+        }
+        ConflictRule::SharedNode => {
+            let mut first_node: HashMap<NodeId, usize> = HashMap::new();
+            for (k, c) in network.iter().enumerate() {
+                for node in [c.src, c.dst] {
+                    match first_node.entry(node) {
+                        Entry::Occupied(e) => union(&mut parent, k, *e.get()),
+                        Entry::Vacant(e) => {
+                            e.insert(k);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut ids: HashMap<usize, usize> = HashMap::new();
+    let comp_of = (0..n)
+        .map(|k| {
+            let root = find(&mut parent, k);
+            let next = ids.len();
+            *ids.entry(root).or_insert(next)
+        })
+        .collect();
+    (comp_of, ids.len())
+}
+
+/// The Moon–Moser bound: the largest possible number of maximal
+/// independent sets of an `n`-vertex graph (saturating at `u128::MAX`).
+fn mis_upper_bound(n: usize) -> u128 {
+    fn pow3(e: usize) -> u128 {
+        u32::try_from(e)
+            .ok()
+            .and_then(|e| 3u128.checked_pow(e))
+            .unwrap_or(u128::MAX)
+    }
+    match n {
+        0 | 1 => 1,
+        2 => 2,
+        _ => match n % 3 {
+            0 => pow3(n / 3),
+            1 => pow3((n - 4) / 3).saturating_mul(4),
+            _ => pow3((n - 2) / 3).saturating_mul(2),
+        },
+    }
 }
 
 impl PenaltyModel for MyrinetModel {
@@ -199,6 +317,100 @@ impl PenaltyModel for MyrinetModel {
             }
         }
         Self::penalties_from_tables(comms.len(), &indices, &network, &state_count, &emission)
+    }
+
+    /// Component-level patch: only the conflict components reached by the
+    /// changed flows are re-enumerated; every other component keeps its
+    /// previous penalties bit-for-bit.
+    ///
+    /// Reuse is gated on a budget certification of the *previous*
+    /// population (every conflict component small enough — by the
+    /// Moon–Moser bound — that its enumeration provably fit the budget): a
+    /// budget hit anywhere degrades the whole answer to the max-conflict
+    /// approximation, so previous penalties can only be trusted when no
+    /// component could have hit it. When certification or any consistency
+    /// check fails, the model falls back to the full evaluation, keeping
+    /// the [`PenaltyModel::penalties`] contract exact in every regime.
+    fn penalties_after_change(
+        &self,
+        comms: &[Communication],
+        delta: PopulationDelta,
+        previous: Option<(&[Communication], &[Penalty])>,
+    ) -> Vec<Penalty> {
+        let Some((prev_comms, prev_pens, al)) = validated(comms, &delta, previous) else {
+            return self.penalties(comms);
+        };
+        let (_, prev_network) = split_intra_node(prev_comms);
+        if !Self::certified_under_budget(&prev_network, self.rule, self.budget) {
+            return self.penalties(comms);
+        }
+
+        let (indices, network) = split_intra_node(comms);
+        let (comp_of, comp_count) = conflict_component_ids(&network, self.rule);
+        // Mark the components the change reaches: a changed flow conflicts
+        // (under the rule) with members of every component it touched, and
+        // any component split off by a departure still contains one of the
+        // departed flow's former conflict partners.
+        let mut marked = vec![false; comp_count];
+        for ch in al.changed.iter().filter(|c| !c.is_intra_node()) {
+            for (k, c) in network.iter().enumerate() {
+                if self.rule.conflicts(ch, c) {
+                    marked[comp_of[k]] = true;
+                }
+            }
+        }
+        let marked_vertices: Vec<usize> =
+            (0..network.len()).filter(|&k| marked[comp_of[k]]).collect();
+
+        // Re-enumerate only the marked components (the sub-population's
+        // conflict components are exactly the marked components, since
+        // marking is closed over whole components).
+        let mut state_count = vec![0u64; network.len()];
+        let mut emission = vec![0u64; network.len()];
+        if !marked_vertices.is_empty() {
+            let sub: Vec<Communication> = marked_vertices.iter().map(|&k| network[k]).collect();
+            let graph = ConflictGraph::build(&sub, self.rule);
+            match count_components(&graph, self.budget) {
+                Ok(comps) => {
+                    for comp in &comps {
+                        for (j, &v) in comp.vertices.iter().enumerate() {
+                            let k = marked_vertices[v];
+                            state_count[k] = comp.count;
+                            emission[k] = comp.emission[j];
+                        }
+                    }
+                }
+                // An affected component blew the budget: the full
+                // evaluation degrades globally, so produce exactly that.
+                Err(_) => return self.penalties(comms),
+            }
+        }
+
+        // κ over the marked subset is exact: a source group always lives
+        // inside a single conflict component.
+        let mut min_by_source: HashMap<NodeId, u64> = HashMap::new();
+        for &k in &marked_vertices {
+            min_by_source
+                .entry(network[k].src)
+                .and_modify(|m| *m = (*m).min(emission[k]))
+                .or_insert(emission[k]);
+        }
+
+        let mut out = vec![Penalty::ONE; comms.len()];
+        for (k, &orig) in indices.iter().enumerate() {
+            if marked[comp_of[k]] {
+                out[orig] =
+                    Penalty::new(state_count[k] as f64 / min_by_source[&network[k].src] as f64);
+            } else {
+                match al.prev_of[orig] {
+                    Some(p) => out[orig] = prev_pens[p],
+                    // An unmarked arrival cannot happen (an arrival always
+                    // conflicts with itself); recompute if it somehow does.
+                    None => return self.penalties(comms),
+                }
+            }
+        }
+        out
     }
 }
 
@@ -269,7 +481,7 @@ mod tests {
 
     #[test]
     fn mk2_initial_penalties() {
-        // Verified against the paper's fluid-predicted times (DESIGN.md §1):
+        // Verified against the paper's fluid-predicted times (reading of Fig. 7):
         // a–d = 6, e = 1.5, f,g = 2.4, h,i = 3, j = 2.
         let model = MyrinetModel::default();
         let mk2 = schemes::mk2();
@@ -362,6 +574,54 @@ mod tests {
                 .collect();
             assert_eq!(fast, full, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn patch_reenumerates_only_touched_components() {
+        // Components: A = {(0→1), (0→2)}, B = {(5→6), (5→7)}. A departure
+        // from A must reuse B's previous penalties verbatim — poison them
+        // to prove the reuse happens.
+        let model = MyrinetModel::default();
+        let prev = vec![
+            Communication::new(0u32, 1u32, 10),
+            Communication::new(0u32, 2u32, 10),
+            Communication::new(5u32, 6u32, 10),
+            Communication::new(5u32, 7u32, 10),
+        ];
+        let mut prev_pens = model.penalties(&prev);
+        prev_pens[2] = Penalty::new(9.0);
+        prev_pens[3] = Penalty::new(9.5);
+        let comms = vec![prev[1], prev[2], prev[3]];
+        let patched = model.penalties_after_change(
+            &comms,
+            crate::model::PopulationDelta::Departed(vec![0]),
+            Some((&prev, &prev_pens)),
+        );
+        assert_eq!(patched[1].value(), 9.0, "component B must be reused");
+        assert_eq!(patched[2].value(), 9.5);
+        // component A is re-enumerated exactly: (0→2) alone has penalty 1
+        assert_eq!(patched[0].value(), 1.0);
+    }
+
+    #[test]
+    fn patch_refuses_reuse_when_budget_cannot_be_certified() {
+        // With a tiny budget the previous population cannot be certified
+        // (its fallback values must not be mixed with exact ones), so the
+        // patch recomputes everything — and matches the full evaluation.
+        let model = MyrinetModel::with_budget(2);
+        let prev: Vec<Communication> = schemes::fig5().comms().to_vec();
+        let mut prev_pens = model.penalties(&prev);
+        // poison: if the patch (wrongly) reused, this would leak through
+        prev_pens[0] = Penalty::new(99.0);
+        let mut comms = prev.clone();
+        comms.push(Communication::new(20u32, 21u32, 10));
+        let patched = model.penalties_after_change(
+            &comms,
+            crate::model::PopulationDelta::Arrived(vec![prev.len()]),
+            Some((&prev, &prev_pens)),
+        );
+        assert_eq!(patched, model.penalties(&comms));
+        assert!(patched.iter().all(|p| p.value() < 99.0));
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Property-based tests for the penalty models.
 
 use netbw_core::states::{count_components, enumerate_components, DEFAULT_STATE_SET_BUDGET};
-use netbw_core::{GigabitEthernetModel, InfinibandModel, MyrinetModel, PenaltyModel};
+use netbw_core::{
+    GigabitEthernetModel, InfinibandModel, MyrinetModel, PenaltyModel, PopulationDelta,
+};
 use netbw_graph::conflict::{ConflictGraph, ConflictRule};
 use netbw_graph::Communication;
 use proptest::prelude::*;
@@ -119,5 +121,81 @@ proptest! {
         let pl = low.penalties(g.comms())[0].value();
         let ph = high.penalties(g.comms())[0].value();
         prop_assert!((ph / pl - 0.9 / 0.6).abs() < 1e-9);
+    }
+
+    /// Round-trip equivalence of the incremental entry point: over a
+    /// random churn sequence (arrivals at random positions, departures of
+    /// random subsets), `penalties_after_change` fed with the previous
+    /// *patched* result must match the full `penalties` evaluation
+    /// **bit-for-bit** at every step, for every specialized model.
+    #[test]
+    fn incremental_matches_full_on_random_churn(
+        steps in proptest::collection::vec((0u8..4, (0u32..8, 0u32..8, 1u64..100), 0u64..1_000_000), 1..24)
+    ) {
+        let models: Vec<Box<dyn PenaltyModel>> = vec![
+            Box::new(GigabitEthernetModel::default()),
+            Box::new(MyrinetModel::default()),
+            Box::new(InfinibandModel::default()),
+        ];
+        for model in &models {
+            let mut population: Vec<Communication> = Vec::new();
+            let mut penalties = model.penalties(&population);
+            for &(kind, (src, dst, size), pick) in &steps {
+                let previous = (population.clone(), penalties.clone());
+                let delta = if population.is_empty() || kind < 2 {
+                    // arrival at a pseudo-random position (intra-node
+                    // allowed: src may equal dst)
+                    let pos = (pick as usize) % (population.len() + 1);
+                    population.insert(pos, Communication::new(src, dst, size));
+                    PopulationDelta::Arrived(vec![pos])
+                } else {
+                    // departure of 1..=2 pseudo-random positions
+                    let count = 1 + (kind as usize - 2).min(population.len() - 1);
+                    let mut idx: Vec<usize> = (0..count)
+                        .map(|i| (pick as usize).wrapping_mul(31).wrapping_add(i * 7) % population.len())
+                        .collect();
+                    idx.sort_unstable();
+                    idx.dedup();
+                    for &i in idx.iter().rev() {
+                        population.remove(i);
+                    }
+                    PopulationDelta::Departed(idx)
+                };
+                let patched = model.penalties_after_change(
+                    &population,
+                    delta,
+                    Some((&previous.0, &previous.1)),
+                );
+                let full = model.penalties(&population);
+                prop_assert_eq!(
+                    &patched,
+                    &full,
+                    "{}: population {:?}",
+                    model.name(),
+                    &population
+                );
+                penalties = patched;
+            }
+        }
+    }
+
+    /// The Myrinet patch must stay exact in the budget-fallback regime
+    /// too: with a tiny enumeration budget the certification refuses to
+    /// reuse and the patched answer still equals the full one.
+    #[test]
+    fn myrinet_incremental_exact_under_tiny_budget(
+        comms in arb_comms(),
+        arrival in (0u32..8, 0u32..8, 1u64..100)
+    ) {
+        let model = MyrinetModel::with_budget(2);
+        let prev_pens = model.penalties(&comms);
+        let mut grown = comms.clone();
+        grown.push(Communication::new(arrival.0, arrival.1, arrival.2));
+        let patched = model.penalties_after_change(
+            &grown,
+            PopulationDelta::Arrived(vec![grown.len() - 1]),
+            Some((&comms, &prev_pens)),
+        );
+        prop_assert_eq!(&patched, &model.penalties(&grown));
     }
 }

@@ -3,15 +3,28 @@
 //! Penalties only change when the *contending population* changes — a
 //! transfer arrives, a latency gate opens, or a transfer completes. Pure
 //! time advances (including every [`crate::FluidNetwork::next_event_time`]
-//! probe between events) leave them untouched. The seed implementation
-//! re-queried the model on every solver iteration anyway; this cache makes
-//! the query-on-change policy explicit, tracks *how* the population
-//! changed since the last query, and hands that [`PopulationDelta`] to
-//! [`PenaltyModel::penalties_after_change`] so models can patch rather
-//! than recompute.
+//! probe between events) leave them untouched. The cache makes that
+//! query-on-change policy explicit and, since the slab refactor, also
+//! tracks *which* flows changed: population members are identified by
+//! stable [`FlowKey`]s, pending arrivals and departures are accumulated as
+//! key sets, and [`PenaltyCache::refresh`] turns them into a positional
+//! [`PopulationDelta`] that lets
+//! [`PenaltyModel::penalties_after_change`] patch only the affected part
+//! of the fabric instead of recomputing all of it.
+//!
+//! Two bookkeeping niceties fall out of stable keys:
+//!
+//! * a flow that arrives *and* departs between two settles (a zero-size
+//!   transfer) cancels out — the population did not change, so the next
+//!   settle revalidates without querying the model at all;
+//! * completions no longer poison the cache: the surviving keys (and their
+//!   relative order) are untouched, so a completion batch yields a clean
+//!   `Departed` delta instead of a rebuild.
 
+use crate::slab::FlowKey;
 use netbw_core::{Penalty, PenaltyModel, PopulationDelta};
 use netbw_graph::Communication;
+use std::collections::HashSet;
 
 /// Counters describing how well query-on-change is working.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -22,20 +35,40 @@ pub struct CacheStats {
     pub reuses: u64,
     /// Population changes observed (arrivals, gate openings, departures).
     pub invalidations: u64,
+    /// Model queries that carried a positional delta (`Arrived` or
+    /// `Departed`), giving the model the chance to patch in O(affected).
+    /// The model may still recompute in full if it cannot honour the hint
+    /// (failed alignment, or Myrinet's budget certification refusing
+    /// reuse) — this counts deltas *offered*, not patches *performed*;
+    /// model-side reuse is pinned by the poison unit tests in core.
+    pub delta_queries: u64,
+    /// Settles where pending changes cancelled out (arrive + depart
+    /// between settles): revalidated without touching the model.
+    pub cancelled_refreshes: u64,
+}
+
+impl CacheStats {
+    /// Model queries that had to rebuild from scratch (first query, mixed
+    /// arrival/departure batches, forced full recomputes).
+    pub fn rebuild_queries(&self) -> u64 {
+        self.model_queries - self.delta_queries
+    }
 }
 
 /// Cached penalties for the currently contending population.
 ///
-/// Owned by [`crate::FluidNetwork`]; `active` holds indices into the
-/// network's slot table, `penalties` is aligned with it.
+/// Owned by [`crate::FluidNetwork`]; `active` holds the stable slab keys
+/// of the contending flows, `penalties` is aligned with it.
 #[derive(Debug, Default)]
 pub struct PenaltyCache {
-    active: Vec<usize>,
+    active: Vec<FlowKey>,
     comms: Vec<Communication>,
     penalties: Vec<Penalty>,
     valid: bool,
     settled_once: bool,
-    pending: Option<PopulationDelta>,
+    pending_arrivals: HashSet<FlowKey>,
+    pending_departures: HashSet<FlowKey>,
+    pending_rebuild: bool,
     stats: CacheStats,
 }
 
@@ -50,8 +83,8 @@ impl PenaltyCache {
         self.valid
     }
 
-    /// Slot indices of the contending population (valid caches only).
-    pub fn active(&self) -> &[usize] {
+    /// Stable keys of the contending population (valid caches only).
+    pub fn active(&self) -> &[FlowKey] {
         debug_assert!(self.valid, "reading an invalidated penalty cache");
         &self.active
     }
@@ -67,15 +100,32 @@ impl PenaltyCache {
         self.stats
     }
 
-    /// Marks the population as changed; folds `delta` into any change
-    /// already pending (mixed kinds degrade to `Rebuilt`).
-    pub fn invalidate(&mut self, delta: PopulationDelta) {
+    /// Records that the flow `key` joined the contending population (a new
+    /// transfer, or a latency gate opening).
+    pub fn note_arrival(&mut self, key: FlowKey) {
         self.stats.invalidations += 1;
         self.valid = false;
-        self.pending = Some(match self.pending.take() {
-            Some(pending) => pending.merge(delta),
-            None => delta,
-        });
+        self.pending_arrivals.insert(key);
+    }
+
+    /// Records that the flow `key` left the contending population. An
+    /// arrival that never reached a settle cancels out instead.
+    pub fn note_departure(&mut self, key: FlowKey) {
+        self.stats.invalidations += 1;
+        self.valid = false;
+        if !self.pending_arrivals.remove(&key) {
+            self.pending_departures.insert(key);
+        }
+    }
+
+    /// Marks the population as changed in a way no positional delta
+    /// describes: the next refresh issues a full rebuild query. Used by
+    /// [`crate::FluidNetwork::with_full_recompute`] and as the defensive
+    /// answer to any bookkeeping surprise.
+    pub fn invalidate_rebuild(&mut self) {
+        self.stats.invalidations += 1;
+        self.valid = false;
+        self.pending_rebuild = true;
     }
 
     /// Records a served-from-cache settle.
@@ -84,18 +134,70 @@ impl PenaltyCache {
         self.stats.reuses += 1;
     }
 
+    /// Derives the [`PopulationDelta`] for a refresh against `new_active`,
+    /// consuming the pending change sets. Falls back to
+    /// [`PopulationDelta::Rebuilt`] whenever the pending sets do not
+    /// cleanly explain the transition (mixed batches, first settle, or any
+    /// key that fails to line up).
+    fn take_delta(&mut self, new_active: &[FlowKey]) -> PopulationDelta {
+        let rebuild = std::mem::take(&mut self.pending_rebuild);
+        let arrivals = std::mem::take(&mut self.pending_arrivals);
+        let departures = std::mem::take(&mut self.pending_departures);
+        if rebuild || !self.settled_once || (!arrivals.is_empty() && !departures.is_empty()) {
+            return PopulationDelta::Rebuilt;
+        }
+        if departures.is_empty() {
+            // Arrivals only (possibly none, if everything cancelled out).
+            let idx: Vec<usize> = new_active
+                .iter()
+                .enumerate()
+                .filter(|(_, k)| arrivals.contains(k))
+                .map(|(i, _)| i)
+                .collect();
+            if idx.len() == arrivals.len() && new_active.len() == self.active.len() + idx.len() {
+                PopulationDelta::Arrived(idx)
+            } else {
+                PopulationDelta::Rebuilt
+            }
+        } else {
+            let idx: Vec<usize> = self
+                .active
+                .iter()
+                .enumerate()
+                .filter(|(_, k)| departures.contains(k))
+                .map(|(i, _)| i)
+                .collect();
+            if idx.len() == departures.len() && new_active.len() + idx.len() == self.active.len() {
+                PopulationDelta::Departed(idx)
+            } else {
+                PopulationDelta::Rebuilt
+            }
+        }
+    }
+
     /// Re-queries `model` for the new population and revalidates. The
-    /// accumulated delta and the previously settled population (with its
-    /// penalties) are forwarded to the model's batch-delta entry point so
-    /// stateless models can patch; `comms` must be aligned with `active`.
+    /// pending change sets are distilled into a positional
+    /// [`PopulationDelta`], and the previously settled population (with
+    /// its penalties) is forwarded to the model's batch-delta entry point
+    /// so stateless models can patch; `comms` must be aligned with
+    /// `active`. When the pending changes cancel out exactly, the model is
+    /// not queried at all.
     pub fn refresh<M: PenaltyModel>(
         &mut self,
         model: &M,
-        active: Vec<usize>,
+        active: Vec<FlowKey>,
         comms: Vec<Communication>,
     ) {
         debug_assert_eq!(active.len(), comms.len());
-        let delta = self.pending.take().unwrap_or(PopulationDelta::Rebuilt);
+        let delta = self.take_delta(&active);
+        if delta.is_empty() && active == self.active {
+            // Nothing actually changed (e.g. a zero-size transfer arrived
+            // and completed between settles): revalidate for free.
+            self.stats.cancelled_refreshes += 1;
+            self.valid = true;
+            return;
+        }
+        let incremental = !matches!(delta, PopulationDelta::Rebuilt);
         let previous = self
             .settled_once
             .then_some((self.comms.as_slice(), self.penalties.as_slice()));
@@ -106,13 +208,24 @@ impl PenaltyCache {
         self.valid = true;
         self.settled_once = true;
         self.stats.model_queries += 1;
+        if incremental {
+            self.stats.delta_queries += 1;
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::slab::Slab;
     use netbw_core::MyrinetModel;
+
+    /// Puts `comms` into a slab, returning aligned keys.
+    fn keyed(comms: &[Communication]) -> (Slab<Communication>, Vec<FlowKey>) {
+        let mut slab = Slab::new();
+        let keys = comms.iter().map(|&c| slab.insert(c)).collect();
+        (slab, keys)
+    }
 
     fn comms() -> Vec<Communication> {
         vec![
@@ -123,36 +236,90 @@ mod tests {
 
     #[test]
     fn starts_invalid_and_validates_on_refresh() {
+        let (_, keys) = keyed(&comms());
         let mut cache = PenaltyCache::new();
         assert!(!cache.is_valid());
-        cache.refresh(&MyrinetModel::default(), vec![0, 1], comms());
+        cache.refresh(&MyrinetModel::default(), keys.clone(), comms());
         assert!(cache.is_valid());
-        assert_eq!(cache.active(), &[0, 1]);
+        assert_eq!(cache.active(), keys.as_slice());
         assert_eq!(cache.penalties().len(), 2);
         assert_eq!(cache.stats().model_queries, 1);
+        // the first settle has no previous population to patch from
+        assert_eq!(cache.stats().delta_queries, 0);
     }
 
     #[test]
-    fn invalidation_accumulates_deltas() {
-        use PopulationDelta::*;
+    fn arrival_refresh_is_incremental() {
+        let model = MyrinetModel::default();
+        let mut all = comms();
+        all.push(Communication::new(3u32, 4u32, 50));
+        let (_, keys) = keyed(&all);
         let mut cache = PenaltyCache::new();
-        cache.refresh(&MyrinetModel::default(), vec![0, 1], comms());
-        cache.invalidate(Arrived(1));
-        cache.invalidate(Arrived(2));
+        cache.refresh(&model, keys[..2].to_vec(), all[..2].to_vec());
+        cache.note_arrival(keys[2]);
         assert!(!cache.is_valid());
-        cache.refresh(&MyrinetModel::default(), vec![0, 1], comms());
-        // a mixed sequence degrades to Rebuilt but still refreshes fine
-        cache.invalidate(Arrived(1));
-        cache.invalidate(Departed(1));
-        cache.refresh(&MyrinetModel::default(), vec![0, 1], comms());
-        assert_eq!(cache.stats().model_queries, 3);
-        assert_eq!(cache.stats().invalidations, 4);
+        cache.refresh(&model, keys.clone(), all.clone());
+        assert_eq!(cache.stats().model_queries, 2);
+        assert_eq!(cache.stats().delta_queries, 1);
+        assert_eq!(cache.penalties(), model.penalties(&all).as_slice());
+    }
+
+    #[test]
+    fn departure_refresh_is_incremental() {
+        let model = MyrinetModel::default();
+        let all = comms();
+        let (_, keys) = keyed(&all);
+        let mut cache = PenaltyCache::new();
+        cache.refresh(&model, keys.clone(), all.clone());
+        cache.note_departure(keys[0]);
+        cache.refresh(&model, keys[1..].to_vec(), all[1..].to_vec());
+        assert_eq!(cache.stats().model_queries, 2);
+        assert_eq!(cache.stats().delta_queries, 1);
+        assert_eq!(cache.penalties(), model.penalties(&all[1..]).as_slice());
+    }
+
+    #[test]
+    fn mixed_batches_degrade_to_rebuild() {
+        let model = MyrinetModel::default();
+        let mut all = comms();
+        all.push(Communication::new(3u32, 4u32, 50));
+        let (_, keys) = keyed(&all);
+        let mut cache = PenaltyCache::new();
+        cache.refresh(&model, keys[..2].to_vec(), all[..2].to_vec());
+        cache.note_departure(keys[1]);
+        cache.note_arrival(keys[2]);
+        let new_active = vec![keys[0], keys[2]];
+        let new_comms = vec![all[0], all[2]];
+        cache.refresh(&model, new_active, new_comms.clone());
+        assert_eq!(cache.stats().model_queries, 2);
+        assert_eq!(cache.stats().delta_queries, 0, "mixed => rebuild");
+        assert_eq!(cache.penalties(), model.penalties(&new_comms).as_slice());
+    }
+
+    #[test]
+    fn cancelled_arrival_departure_skips_the_model() {
+        let model = MyrinetModel::default();
+        let all = comms();
+        let (mut slab, keys) = keyed(&all);
+        let mut cache = PenaltyCache::new();
+        cache.refresh(&model, keys.clone(), all.clone());
+        // a zero-size flow flashes in and out between settles
+        let ghost = slab.insert(Communication::new(7u32, 8u32, 0));
+        cache.note_arrival(ghost);
+        cache.note_departure(ghost);
+        assert!(!cache.is_valid());
+        cache.refresh(&model, keys.clone(), all);
+        assert!(cache.is_valid());
+        assert_eq!(cache.stats().model_queries, 1, "no new model query");
+        assert_eq!(cache.stats().cancelled_refreshes, 1);
+        assert_eq!(cache.stats().invalidations, 2);
     }
 
     #[test]
     fn reuse_counter_tracks_cache_hits() {
+        let (_, keys) = keyed(&comms());
         let mut cache = PenaltyCache::new();
-        cache.refresh(&MyrinetModel::default(), vec![0, 1], comms());
+        cache.refresh(&MyrinetModel::default(), keys, comms());
         cache.note_reuse();
         cache.note_reuse();
         assert_eq!(cache.stats().reuses, 2);
@@ -162,8 +329,32 @@ mod tests {
     #[test]
     fn refreshed_penalties_match_direct_queries() {
         let model = MyrinetModel::default();
+        let (_, keys) = keyed(&comms());
         let mut cache = PenaltyCache::new();
-        cache.refresh(&model, vec![0, 1], comms());
+        cache.refresh(&model, keys, comms());
         assert_eq!(cache.penalties(), model.penalties(&comms()).as_slice());
+    }
+
+    #[test]
+    fn rebuild_invalidation_forces_a_full_query() {
+        let model = MyrinetModel::default();
+        let (_, keys) = keyed(&comms());
+        let mut cache = PenaltyCache::new();
+        cache.refresh(&model, keys.clone(), comms());
+        cache.invalidate_rebuild();
+        cache.refresh(&model, keys, comms());
+        assert_eq!(cache.stats().model_queries, 2);
+        assert_eq!(cache.stats().delta_queries, 0);
+        assert_eq!(cache.stats().cancelled_refreshes, 0);
+    }
+
+    #[test]
+    fn stats_expose_rebuild_query_count() {
+        let stats = CacheStats {
+            model_queries: 7,
+            delta_queries: 5,
+            ..CacheStats::default()
+        };
+        assert_eq!(stats.rebuild_queries(), 2);
     }
 }

@@ -1,12 +1,12 @@
-//! Progressive (fluid) bandwidth-sharing solver.
+//! Progressive (fluid) bandwidth-sharing solver — the machinery behind the
+//! paper's predicted times (§IV.B methodology, Figs. 4 and 7 results).
 //!
 //! The penalty models of `netbw-core` are *instantaneous*: they describe how
 //! the network divides bandwidth among the communications in flight right
-//! now. To predict completion *times* — the paper's Figs. 4 and 7 — the
-//! simulator integrates those rates over time: as soon as one communication
-//! finishes, the conflict structure changes and every remaining penalty is
-//! re-evaluated. The result is a piecewise-constant rate trajectory per
-//! communication.
+//! now. To predict completion *times* the simulator integrates those rates
+//! over time: as soon as one communication finishes, the conflict structure
+//! changes and every remaining penalty is re-evaluated. The result is a
+//! piecewise-constant rate trajectory per communication.
 //!
 //! This is exactly how the paper's predicted times arise. For MK1 (Fig. 7),
 //! communications `a, b` start under penalty 3 (the `d–a–b–f` conflict
@@ -20,15 +20,39 @@
 //! * [`FluidNetwork`] — incremental: transfers arrive at arbitrary times and
 //!   completions are consumed as events (used by the `netbw-sim`
 //!   discrete-event engine).
+//!
+//! # The incremental path
+//!
+//! Penalties only change when the contending population changes, so the
+//! engine is built around three pieces:
+//!
+//! * [`slab`] — in-flight transfers live in a generational stable-key
+//!   slab: completions never renumber survivors, so population identity
+//!   survives churn;
+//! * [`cache`] — the [`PenaltyCache`] settles once per population change
+//!   (every `next_event_time` probe in between is served from cache) and
+//!   distills the pending arrivals/departures into a positional
+//!   [`netbw_core::PopulationDelta`];
+//! * `netbw-core`'s
+//!   [`penalties_after_change`](netbw_core::PenaltyModel::penalties_after_change)
+//!   — the models consume that delta and patch only the affected endpoints
+//!   (GigE, InfiniBand) or conflict components (Myrinet), in O(affected)
+//!   model work per event instead of a full-fabric recompute.
+//!
+//! [`FluidNetwork::with_full_recompute`] preserves the pre-refactor
+//! query-every-iteration behaviour as a correctness oracle (the proptests
+//! assert bitwise-equal completions) and as the benchmark baseline.
 
 pub mod cache;
 pub mod network;
 pub mod params;
+pub mod slab;
 pub mod solver;
 pub mod timeline;
 
 pub use cache::{CacheStats, PenaltyCache};
 pub use network::{CompletedTransfer, FluidNetwork, TransferKey};
 pub use params::NetworkParams;
+pub use slab::{FlowKey, Slab};
 pub use solver::{solve_scheme, FluidSolver, Phase, TransferResult};
 pub use timeline::{penalty_series, utilization, StepSeries};

@@ -5,20 +5,27 @@
 //! Penalties are obtained through a [`PenaltyCache`]: the model is only
 //! re-queried when the contending population actually changes (arrival,
 //! latency-gate opening, completion), never on pure time advances or
-//! [`FluidNetwork::next_event_time`] probes. The pre-refactor behaviour —
-//! a full model query on every solver iteration — is preserved behind
-//! [`FluidNetwork::with_full_recompute`] as a correctness oracle and
-//! benchmark baseline.
+//! [`FluidNetwork::next_event_time`] probes. Transfers live in a
+//! stable-key [`crate::slab::Slab`], so a completion batch leaves the
+//! surviving flows' identities (and relative order) untouched — the cache
+//! reports each change as a positional
+//! [`netbw_core::PopulationDelta`] and the models patch only the affected
+//! endpoints or conflict components instead of recomputing the fabric.
+//! The pre-refactor behaviour — a full model query on every solver
+//! iteration — is preserved behind [`FluidNetwork::with_full_recompute`]
+//! as a correctness oracle and benchmark baseline.
 
 use crate::cache::{CacheStats, PenaltyCache};
 use crate::params::NetworkParams;
+use crate::slab::{FlowKey, Slab};
 use crate::solver::Phase;
-use netbw_core::{PenaltyModel, PopulationDelta};
+use netbw_core::PenaltyModel;
 use netbw_graph::Communication;
 use std::sync::{Mutex, MutexGuard};
 
 /// Caller-chosen identifier for a transfer (the simulator uses its event
-/// ids; the batch solver uses input indices).
+/// ids; the batch solver uses input indices). Distinct from the internal
+/// [`FlowKey`], which names the transfer's slab slot.
 pub type TransferKey = u64;
 
 /// Relative epsilon under which a transfer's remaining bytes count as zero.
@@ -59,7 +66,7 @@ pub struct FluidNetwork<M> {
     model: M,
     params: NetworkParams,
     time: f64,
-    slots: Vec<Slot>,
+    slots: Slab<Slot>,
     record_phases: bool,
     full_recompute: bool,
     // Mutex (uncontended in single-threaded use) because
@@ -76,7 +83,7 @@ impl<M: PenaltyModel> FluidNetwork<M> {
             model,
             params,
             time: 0.0,
-            slots: Vec::new(),
+            slots: Slab::new(),
             record_phases: false,
             full_recompute: false,
             cache: Mutex::new(PenaltyCache::new()),
@@ -136,7 +143,7 @@ impl<M: PenaltyModel> FluidNetwork<M> {
         );
         let size = comm.size as f64;
         let gate = start.max(self.time) + self.params.latency;
-        self.slots.push(Slot {
+        let flow = self.slots.insert(Slot {
             key,
             comm,
             gate,
@@ -150,20 +157,23 @@ impl<M: PenaltyModel> FluidNetwork<M> {
             self.cache
                 .get_mut()
                 .expect("penalty cache lock")
-                .invalidate(PopulationDelta::Arrived(1));
+                .note_arrival(flow);
         }
     }
 
-    fn active_indices(&self) -> Vec<usize> {
-        (0..self.slots.len())
-            .filter(|&i| self.slots[i].gate <= self.time + TIME_EPS)
+    /// Stable keys of the currently contending flows, in slab order.
+    fn active_flows(&self) -> Vec<FlowKey> {
+        self.slots
+            .iter()
+            .filter(|(_, s)| s.gate <= self.time + TIME_EPS)
+            .map(|(k, _)| k)
             .collect()
     }
 
     fn next_gate(&self) -> Option<f64> {
         self.slots
             .iter()
-            .map(|s| s.gate)
+            .map(|(_, s)| s.gate)
             .filter(|&g| g > self.time + TIME_EPS)
             .min_by(f64::total_cmp)
     }
@@ -177,10 +187,13 @@ impl<M: PenaltyModel> FluidNetwork<M> {
         let mut cache = self.cache.lock().expect("penalty cache lock");
         if self.full_recompute || !cache.is_valid() {
             if self.full_recompute {
-                cache.invalidate(PopulationDelta::Rebuilt);
+                cache.invalidate_rebuild();
             }
-            let active = self.active_indices();
-            let comms: Vec<Communication> = active.iter().map(|&i| self.slots[i].comm).collect();
+            let active = self.active_flows();
+            let comms: Vec<Communication> = active
+                .iter()
+                .map(|&k| self.slots.get(k).expect("active flow lives in slab").comm)
+                .collect();
             cache.refresh(&self.model, active, comms);
         } else {
             cache.note_reuse();
@@ -192,9 +205,9 @@ impl<M: PenaltyModel> FluidNetwork<M> {
     /// (`f64::INFINITY` when nothing is contending).
     fn time_to_next_completion(&self, cache: &PenaltyCache) -> f64 {
         let mut dt = f64::INFINITY;
-        for (k, &i) in cache.active().iter().enumerate() {
-            let rate = self.params.bandwidth * cache.penalties()[k].rate();
-            let slot = &self.slots[i];
+        for (i, &flow) in cache.active().iter().enumerate() {
+            let rate = self.params.bandwidth * cache.penalties()[i].rate();
+            let slot = self.slots.get(flow).expect("active flow lives in slab");
             let need = if slot.remaining <= slot.eps {
                 0.0
             } else {
@@ -211,16 +224,17 @@ impl<M: PenaltyModel> FluidNetwork<M> {
         let old = self.time;
         self.time = new_time;
         if new_time > old {
-            let opened = self
+            let opened: Vec<FlowKey> = self
                 .slots
                 .iter()
-                .filter(|s| s.gate > old + TIME_EPS && s.gate <= new_time + TIME_EPS)
-                .count();
-            if opened > 0 {
-                self.cache
-                    .get_mut()
-                    .expect("penalty cache lock")
-                    .invalidate(PopulationDelta::Arrived(opened));
+                .filter(|(_, s)| s.gate > old + TIME_EPS && s.gate <= new_time + TIME_EPS)
+                .map(|(k, _)| k)
+                .collect();
+            if !opened.is_empty() {
+                let cache = self.cache.get_mut().expect("penalty cache lock");
+                for flow in opened {
+                    cache.note_arrival(flow);
+                }
             }
         }
     }
@@ -287,12 +301,12 @@ impl<M: PenaltyModel> FluidNetwork<M> {
 
             // time to the next completion within the active set
             let mut dt_complete = f64::INFINITY;
-            for (k, &i) in active.iter().enumerate() {
-                let slot = &self.slots[i];
+            for (i, &flow) in active.iter().enumerate() {
+                let slot = self.slots.get(flow).expect("active flow lives in slab");
                 let need = if slot.remaining <= slot.eps {
                     0.0
                 } else {
-                    slot.remaining / rates[k]
+                    slot.remaining / rates[i]
                 };
                 dt_complete = dt_complete.min(need);
             }
@@ -313,26 +327,32 @@ impl<M: PenaltyModel> FluidNetwork<M> {
 
             let t0 = self.time;
             self.advance_time_to(t0 + dt);
-            for (k, &i) in active.iter().enumerate() {
-                let slot = &mut self.slots[i];
-                slot.remaining -= rates[k] * dt;
+            let t1 = self.time;
+            for (i, &flow) in active.iter().enumerate() {
+                let slot = self.slots.get_mut(flow).expect("active flow lives in slab");
+                slot.remaining -= rates[i] * dt;
                 if self.record_phases && dt > 0.0 {
-                    push_phase(&mut slot.phases, t0, self.time, penalties[k]);
+                    push_phase(&mut slot.phases, t0, t1, penalties[i]);
                 }
             }
 
-            // collect completions (iterate indices descending so removal is
-            // safe under swap_remove)
-            let mut completed_now: Vec<usize> = active
+            // Collect completions. Keys are stable, so removals leave the
+            // surviving flows (and the cache's view of them) untouched.
+            let completed_now: Vec<FlowKey> = active
                 .iter()
                 .copied()
-                .filter(|&i| self.slots[i].remaining <= self.slots[i].eps)
+                .filter(|&flow| {
+                    let slot = self.slots.get(flow).expect("active flow lives in slab");
+                    slot.remaining <= slot.eps
+                })
                 .collect();
-            completed_now.sort_unstable_by(|a, b| b.cmp(a));
             let mut batch: Vec<CompletedTransfer> = completed_now
-                .into_iter()
-                .map(|i| {
-                    let slot = self.slots.swap_remove(i);
+                .iter()
+                .map(|&flow| {
+                    let slot = self
+                        .slots
+                        .remove(flow)
+                        .expect("completed flow lives in slab");
                     CompletedTransfer {
                         key: slot.key,
                         completion: self.time,
@@ -343,12 +363,10 @@ impl<M: PenaltyModel> FluidNetwork<M> {
             batch.sort_by_key(|c| c.key);
             let had_completions = !batch.is_empty();
             if had_completions {
-                // swap_remove also perturbs surviving slot indices, so the
-                // cached active set is stale either way.
-                self.cache
-                    .get_mut()
-                    .expect("penalty cache lock")
-                    .invalidate(PopulationDelta::Departed(batch.len()));
+                let cache = self.cache.get_mut().expect("penalty cache lock");
+                for &flow in &completed_now {
+                    cache.note_departure(flow);
+                }
             }
             done.extend(batch);
 
@@ -358,10 +376,10 @@ impl<M: PenaltyModel> FluidNetwork<M> {
                 // exactly t (dt = 0 case), in which case loop once more.
                 let more_zero = had_completions
                     && !self.slots.is_empty()
-                    && self
-                        .active_indices()
-                        .iter()
-                        .any(|&i| self.slots[i].remaining <= self.slots[i].eps);
+                    && self.active_flows().iter().any(|&flow| {
+                        let slot = self.slots.get(flow).expect("active flow lives in slab");
+                        slot.remaining <= slot.eps
+                    });
                 if !more_zero {
                     break;
                 }

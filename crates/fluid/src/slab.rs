@@ -1,0 +1,252 @@
+//! Stable-key slab storage for in-flight transfers.
+//!
+//! The pre-slab `FluidNetwork` kept its transfer slots in a `Vec` and
+//! removed completions with `swap_remove`, which renumbered every
+//! surviving slot — so a completion batch invalidated the *identity* of
+//! the whole cached population and the `PenaltyCache` had to rebuild from
+//! scratch. This slab hands out [`FlowKey`]s that survive arbitrary
+//! insert/remove churn: survivors keep their keys and their relative
+//! iteration order, which is exactly the invariant the positional
+//! [`netbw_core::PopulationDelta`] needs to patch instead of rebuild.
+//!
+//! Keys are *generational*: a slot freed by a completion can be re-used by
+//! a later arrival, but the new occupant gets a fresh generation, so a
+//! stale key can never silently alias a new flow. Lookups with a stale key
+//! return `None`.
+//!
+//! Iteration order is slot order, not insertion order: an arrival re-using
+//! a freed low slot appears *before* older survivors. That is harmless for
+//! delta derivation (arrival positions are reported explicitly) and keeps
+//! every operation O(1).
+
+/// Stable handle to an entry in a [`Slab`].
+///
+/// Packs the slot index (low 32 bits) and the slot's generation at
+/// insertion time (high 32 bits). Two keys are equal iff they name the
+/// same occupancy of the same slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowKey(u64);
+
+impl FlowKey {
+    fn new(index: u32, generation: u32) -> Self {
+        FlowKey(u64::from(generation) << 32 | u64::from(index))
+    }
+
+    #[inline]
+    fn index(self) -> usize {
+        (self.0 & 0xffff_ffff) as usize
+    }
+
+    #[inline]
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
+impl std::fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "flow#{}.{}", self.index(), self.generation())
+    }
+}
+
+#[derive(Debug)]
+struct Entry<T> {
+    /// Bumped on every removal, so stale keys miss.
+    generation: u32,
+    value: Option<T>,
+}
+
+/// A generational slab: O(1) insert/remove/lookup with stable keys and
+/// slot-ordered iteration.
+#[derive(Debug)]
+pub struct Slab<T> {
+    entries: Vec<Entry<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab {
+            entries: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Self {
+        Slab::default()
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no slot is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Stores `value`, returning its stable key. Freed slots are re-used
+    /// (with a fresh generation) before the slab grows.
+    pub fn insert(&mut self, value: T) -> FlowKey {
+        self.len += 1;
+        if let Some(index) = self.free.pop() {
+            let entry = &mut self.entries[index as usize];
+            debug_assert!(entry.value.is_none());
+            entry.value = Some(value);
+            FlowKey::new(index, entry.generation)
+        } else {
+            let index = u32::try_from(self.entries.len()).expect("slab capacity exceeds u32");
+            self.entries.push(Entry {
+                generation: 0,
+                value: Some(value),
+            });
+            FlowKey::new(index, 0)
+        }
+    }
+
+    /// Removes and returns the entry named by `key`; `None` if the key is
+    /// stale (already removed, or its slot re-used by a newer entry).
+    pub fn remove(&mut self, key: FlowKey) -> Option<T> {
+        let entry = self.entries.get_mut(key.index())?;
+        if entry.generation != key.generation() {
+            return None;
+        }
+        let value = entry.value.take()?;
+        entry.generation = entry.generation.wrapping_add(1);
+        self.free.push(key.index() as u32);
+        self.len -= 1;
+        Some(value)
+    }
+
+    /// Shared access to the entry named by `key`, if current.
+    pub fn get(&self, key: FlowKey) -> Option<&T> {
+        let entry = self.entries.get(key.index())?;
+        if entry.generation != key.generation() {
+            return None;
+        }
+        entry.value.as_ref()
+    }
+
+    /// Mutable access to the entry named by `key`, if current.
+    pub fn get_mut(&mut self, key: FlowKey) -> Option<&mut T> {
+        let entry = self.entries.get_mut(key.index())?;
+        if entry.generation != key.generation() {
+            return None;
+        }
+        entry.value.as_mut()
+    }
+
+    /// True when `key` names a live entry.
+    pub fn contains(&self, key: FlowKey) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Iterates occupied slots in slot order. Survivors keep their
+    /// relative order across any sequence of removals.
+    pub fn iter(&self) -> impl Iterator<Item = (FlowKey, &T)> {
+        self.entries.iter().enumerate().filter_map(|(i, e)| {
+            e.value
+                .as_ref()
+                .map(|v| (FlowKey::new(i as u32, e.generation), v))
+        })
+    }
+
+    /// Mutable variant of [`Self::iter`].
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (FlowKey, &mut T)> {
+        self.entries.iter_mut().enumerate().filter_map(|(i, e)| {
+            let generation = e.generation;
+            e.value
+                .as_mut()
+                .map(move |v| (FlowKey::new(i as u32, generation), v))
+        })
+    }
+
+    /// Keys of the occupied slots, in slot order.
+    pub fn keys(&self) -> impl Iterator<Item = FlowKey> + '_ {
+        self.iter().map(|(k, _)| k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_remove_round_trip() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(a), Some(&"a"));
+        assert_eq!(slab.remove(a), Some("a"));
+        assert_eq!(slab.len(), 1);
+        assert_eq!(slab.get(a), None);
+        assert_eq!(slab.get(b), Some(&"b"));
+    }
+
+    #[test]
+    fn survivor_keys_are_stable_across_removals() {
+        let mut slab = Slab::new();
+        let keys: Vec<FlowKey> = (0..8).map(|i| slab.insert(i)).collect();
+        slab.remove(keys[0]);
+        slab.remove(keys[3]);
+        slab.remove(keys[7]);
+        for (i, &k) in keys.iter().enumerate() {
+            if [0, 3, 7].contains(&i) {
+                assert!(!slab.contains(k));
+            } else {
+                assert_eq!(slab.get(k), Some(&i));
+            }
+        }
+        // iteration preserves the survivors' relative order
+        let survivors: Vec<usize> = slab.iter().map(|(_, &v)| v).collect();
+        assert_eq!(survivors, vec![1, 2, 4, 5, 6]);
+    }
+
+    #[test]
+    fn stale_keys_never_alias_reused_slots() {
+        let mut slab = Slab::new();
+        let old = slab.insert("old");
+        slab.remove(old);
+        let new = slab.insert("new");
+        // the slot is re-used but the generation differs
+        assert_ne!(old, new);
+        assert_eq!(slab.get(old), None);
+        assert_eq!(slab.remove(old), None);
+        assert_eq!(slab.get(new), Some(&"new"));
+    }
+
+    #[test]
+    fn iter_mut_and_keys_agree_with_iter() {
+        let mut slab = Slab::new();
+        let _a = slab.insert(1);
+        let b = slab.insert(2);
+        slab.remove(b);
+        let _c = slab.insert(3);
+        for (_, v) in slab.iter_mut() {
+            *v *= 10;
+        }
+        let via_iter: Vec<(FlowKey, i32)> = slab.iter().map(|(k, &v)| (k, v)).collect();
+        let keys: Vec<FlowKey> = slab.keys().collect();
+        assert_eq!(via_iter.iter().map(|&(k, _)| k).collect::<Vec<_>>(), keys);
+        let mut values: Vec<i32> = via_iter.iter().map(|&(_, v)| v).collect();
+        values.sort_unstable();
+        assert_eq!(values, vec![10, 30]);
+    }
+
+    #[test]
+    fn display_shows_slot_and_generation() {
+        let mut slab = Slab::new();
+        let a = slab.insert(());
+        slab.remove(a);
+        let b = slab.insert(());
+        assert_eq!(a.to_string(), "flow#0.0");
+        assert_eq!(b.to_string(), "flow#0.1");
+    }
+}

@@ -1,4 +1,11 @@
-//! Batch solver for whole communication schemes.
+//! Batch solver for whole communication schemes (the paper's
+//! synchronized-start methodology, §IV.B).
+//!
+//! A thin layer over the incremental [`FluidNetwork`]: every transfer is
+//! keyed by its input index ([`TransferKey`]) and inserted before time
+//! advances, so the batch path inherits the slab-backed engine's
+//! incremental penalty patching for free — each completion batch reaches
+//! the model as a positional `Departed` delta.
 
 use crate::network::{FluidNetwork, TransferKey};
 use crate::params::NetworkParams;

@@ -1,0 +1,154 @@
+//! End-to-end equivalence of the incremental fluid engine against the
+//! full-recompute oracle, plus the `PopulationDelta` edge cases the slab
+//! refactor must not regress: empty (cancelled) deltas, simultaneous
+//! arrival+departure of the same endpoint pair, and completion-batch
+//! ordering.
+
+use netbw_core::{GigabitEthernetModel, InfinibandModel, MyrinetModel, PenaltyModel};
+use netbw_fluid::{FluidNetwork, NetworkParams};
+use netbw_graph::Communication;
+use proptest::prelude::*;
+
+/// Drains `transfers` through a fresh network, returning `(key, completion)`
+/// sorted by key, plus the cache stats.
+fn drain<M: PenaltyModel>(
+    model: M,
+    transfers: &[(u64, Communication, f64)],
+    full_recompute: bool,
+) -> (Vec<(u64, f64)>, netbw_fluid::CacheStats) {
+    let mut net = FluidNetwork::new(model, NetworkParams::new(2.0, 0.25));
+    if full_recompute {
+        net = net.with_full_recompute();
+    }
+    let mut sorted = transfers.to_vec();
+    sorted.sort_by(|a, b| a.2.total_cmp(&b.2));
+    for &(key, comm, start) in &sorted {
+        net.add(key, comm, start);
+    }
+    let mut done: Vec<(u64, f64)> = net
+        .run_to_completion()
+        .into_iter()
+        .map(|c| (c.key, c.completion))
+        .collect();
+    done.sort_by_key(|&(k, _)| k);
+    let stats = net.cache_stats();
+    (done, stats)
+}
+
+fn arb_transfers() -> impl Strategy<Value = Vec<(u64, Communication, f64)>> {
+    proptest::collection::vec((0u32..6, 0u32..6, 0u64..400, 0u64..2000), 1..24).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (src, dst, size, start))| {
+                (
+                    i as u64,
+                    Communication::new(src, dst, size),
+                    start as f64 / 10.0,
+                )
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Incremental == full recompute on random churn for all three
+    /// specialized models: identical completion times (bitwise — the
+    /// penalties are bit-for-bit equal, so the integrations are too),
+    /// with the incremental engine issuing no more model queries.
+    #[test]
+    fn incremental_engine_matches_oracle_on_random_churn(transfers in arb_transfers()) {
+        macro_rules! check {
+            ($model:expr) => {{
+                let (fast, fast_stats) = drain($model, &transfers, false);
+                let (slow, slow_stats) = drain($model, &transfers, true);
+                prop_assert_eq!(fast.len(), slow.len());
+                for (&(ka, ta), &(kb, tb)) in fast.iter().zip(&slow) {
+                    prop_assert_eq!(ka, kb);
+                    prop_assert_eq!(ta.to_bits(), tb.to_bits(),
+                        "key {}: {} vs {}", ka, ta, tb);
+                }
+                prop_assert!(fast_stats.model_queries <= slow_stats.model_queries);
+            }};
+        }
+        check!(GigabitEthernetModel::default());
+        check!(MyrinetModel::default());
+        check!(InfinibandModel::default());
+    }
+}
+
+#[test]
+fn zero_size_flash_is_served_by_patches_not_rebuilds() {
+    // A zero-size transfer arrives and completes inside one event step.
+    // Its arrival and departure are separated by one settle, so the engine
+    // serves the flash with two incremental patches (`Arrived` then
+    // `Departed`); only the very first settle of the run may rebuild.
+    // (Pure cancellation — arrival and departure with *no* settle between,
+    // an empty delta — is covered by the `PenaltyCache` unit tests.)
+    let mut net = FluidNetwork::new(MyrinetModel::default(), NetworkParams::new(1.0, 0.0));
+    net.add(0, Communication::new(0u32, 1u32, 1000), 0.0);
+    net.advance_to(10.0);
+    net.add(1, Communication::new(2u32, 3u32, 0), 10.0);
+    let done = net.advance_to(10.0);
+    assert_eq!(done.len(), 1, "zero-size flow completes instantly");
+    assert_eq!(done[0].key, 1);
+    let rest = net.run_to_completion();
+    assert_eq!(rest.len(), 1);
+    assert!((rest[0].completion - 1000.0).abs() < 1e-9);
+    let stats = net.cache_stats();
+    assert_eq!(
+        stats.rebuild_queries(),
+        1,
+        "only the first settle may rebuild: {stats:?}"
+    );
+    assert!(stats.delta_queries >= 2, "{stats:?}");
+}
+
+#[test]
+fn same_endpoint_pair_arrival_and_departure_in_one_batch() {
+    // Flow A (0→1) completes at t=100 exactly when flow B with the *same
+    // endpoint pair* opens its gate: the cache sees a mixed batch
+    // (degrading to a rebuild) and both engines must agree.
+    for full in [false, true] {
+        let mut net = FluidNetwork::new(MyrinetModel::default(), NetworkParams::new(1.0, 0.0));
+        if full {
+            net = net.with_full_recompute();
+        }
+        net.add(0, Communication::new(0u32, 1u32, 100), 0.0);
+        net.add(1, Communication::new(0u32, 1u32, 100), 100.0);
+        let done = net.run_to_completion();
+        assert_eq!(done.len(), 2);
+        assert!((done[0].completion - 100.0).abs() < 1e-9, "full={full}");
+        assert!((done[1].completion - 200.0).abs() < 1e-9, "full={full}");
+    }
+}
+
+#[test]
+fn completion_batches_report_keys_in_order_and_patch_survivors() {
+    // Four equal flows from one source complete simultaneously while two
+    // more (staggered) survive: the batch must come out in key order and
+    // the survivors' penalties must drop from 6 to 2 — an incremental
+    // `Departed` patch over the slab.
+    let mut net = FluidNetwork::new(MyrinetModel::default(), NetworkParams::new(1.0, 0.0));
+    for k in 0..4u64 {
+        net.add(10 + k, Communication::new(0u32, 1 + k as u32, 600), 0.0);
+    }
+    net.add(2, Communication::new(0u32, 8u32, 1000), 0.0);
+    net.add(1, Communication::new(0u32, 9u32, 1000), 0.0);
+    // all six share source 0: penalty 6 each; the four 600-byte flows
+    // complete together at t = 3600.
+    let batch = net.advance_to(3600.0);
+    assert_eq!(batch.len(), 4);
+    let keys: Vec<u64> = batch.iter().map(|c| c.key).collect();
+    assert_eq!(keys, vec![10, 11, 12, 13], "batch sorted by caller key");
+    // survivors continue at penalty 2: 400 bytes left × 2 = 800 s
+    let rest = net.run_to_completion();
+    assert_eq!(rest.len(), 2);
+    for c in &rest {
+        assert!((c.completion - 4400.0).abs() < 1e-9, "{c:?}");
+    }
+    let stats = net.cache_stats();
+    assert!(
+        stats.delta_queries >= 1,
+        "the departure batch must reach the model as a positional delta: {stats:?}"
+    );
+}

@@ -16,7 +16,7 @@
 //! communications conflict iff they have the *same source* or the *same
 //! destination*. Income/outgo pairs do **not** conflict under this rule
 //! (full-duplex links); this reading is the only one that reproduces the
-//! paper's Fig. 6 table — see `DESIGN.md §1`.
+//! paper's Fig. 6 table — see `ARCHITECTURE.md`.
 
 use crate::bitset::BitSet;
 use crate::comm::Communication;

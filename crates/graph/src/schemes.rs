@@ -2,7 +2,7 @@
 //!
 //! Topologies were reconstructed from the mangled xymatrix figures and
 //! verified numerically against every number the paper prints (see
-//! `DESIGN.md §1` for the forensics). All constructors default to the
+//! `ARCHITECTURE.md` for the forensics). All constructors default to the
 //! paper's 20 MB payload unless noted; use
 //! [`CommGraph::with_uniform_size`] to rescale.
 

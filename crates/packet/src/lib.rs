@@ -24,8 +24,8 @@
 //! transmitting, its reception path (DMA/memory) is limited to
 //! `host_budget − link_rate`, which reproduces the paper's income/outgo
 //! measurements (Fig. 2 schemes 4–6: an incoming flow pays 1.14–1.45
-//! depending on fabric). See `DESIGN.md §3` for the calibration and
-//! `EXPERIMENTS.md` for simulated-vs-paper tables including known
+//! depending on fabric). See the module docs of each fabric for the calibration and
+//! `report_all` (netbw-bench) for simulated-vs-paper tables including known
 //! deviations (the paper's scheme 5/6 rows contain strong TCP-unfairness
 //! outliers that a mean-behaviour simulator does not produce).
 //!

@@ -16,7 +16,10 @@ use netbw_graph::Communication;
 /// The engine probes [`NetworkBackend::next_event_time`] on every
 /// scheduling step, so implementations should make repeated probes cheap
 /// — the fluid backend serves them from its [`CacheStats`]-instrumented
-/// penalty cache.
+/// penalty cache, and since the slab refactor each population change is
+/// forwarded to the model as a positional delta
+/// ([`CacheStats::delta_queries`] counts the settles that offered the
+/// model such a delta to patch from, rather than a forced rebuild).
 pub trait NetworkBackend {
     /// Starts transfer `key` at absolute time `start`.
     fn add(&mut self, key: u64, comm: Communication, start: f64);

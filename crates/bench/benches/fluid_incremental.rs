@@ -14,7 +14,11 @@
 //! Two sizes: the 512-flow workload benched since PR 1, and a 2048-flow
 //! scale-up where the O(affected) patching dominates: per-event model
 //! work no longer grows with the fabric, so the gap over the
-//! full-recompute oracle widens.
+//! full-recompute oracle widens. Since the scratch refactor the models
+//! also keep their endpoint indices / union–find components alive in
+//! per-cache scratch state, and mixed arrival+departure batches stay
+//! positional — the printed counters split deltas *offered* from patches
+//! *performed* to prove it.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use netbw::prelude::*;
@@ -30,8 +34,14 @@ fn bench_churn_size(c: &mut Criterion, flows: usize, sample_size: usize) {
         assert_eq!(done, flows);
         println!(
             "churn{flows}/{name}: {flows} flows, {} model queries \
-             ({} carrying positional deltas), {} cache reuses",
-            stats.model_queries, stats.delta_queries, stats.reuses
+             ({} carrying positional deltas, {} patched, {} scratch rebuilds, \
+             {} budget fallbacks), {} cache reuses",
+            stats.model_queries,
+            stats.delta_queries,
+            stats.patched_queries,
+            stats.scratch_rebuilds,
+            stats.budget_fallbacks,
+            stats.reuses
         );
     }
 

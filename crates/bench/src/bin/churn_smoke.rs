@@ -1,13 +1,19 @@
 //! CI smoke check: the incremental penalty engine must stay ahead of the
-//! `with_full_recompute` oracle on the 512-flow churn workload.
+//! `with_full_recompute` oracle on the shared churn workloads.
 //!
 //! Run with `cargo run --release -p netbw-bench --bin churn_smoke`.
 //! Exits non-zero (panics) when the incremental engine loses its lead in
 //! model queries, delta share, or wall-clock time — the regression the
-//! bench baselines exist to catch. Pass `--flows N` to override the
-//! workload size. The workload itself is `netbw_bench::churn_transfers`,
-//! shared with the `fluid_incremental` bench so both measure the same
-//! scenario.
+//! bench baselines exist to catch. Two groups run by default: the 512-flow
+//! workload benched since PR 1 (GigE + Myrinet), and the 2048-flow Myrinet
+//! group where mixed arrival+departure batches used to dominate the
+//! rebuild count — there the guard demands that >90% of settle queries
+//! both carry positional deltas *and* are actually patched by the model
+//! (the regime chained mixed deltas and the per-cache scratch exist to
+//! fix). Pass `--flows N` to override the default group's size. The
+//! workload itself is `netbw_bench::churn_transfers`, shared with the
+//! `fluid_incremental` bench and the engine proptests so all of them
+//! measure the same scenario.
 
 use netbw::fluid::CacheStats;
 use netbw::graph::Communication;
@@ -35,14 +41,25 @@ fn timed_drain(
     best.expect("two runs happened")
 }
 
-fn check(name: &str, kind: ModelKind, flows: usize) {
+/// Drains one workload through both engines, printing the scratch-era
+/// counter set, and enforces the generic invariants: fewer model queries,
+/// a healthy positional-delta share, patches ≤ deltas, and no wall-clock
+/// regression. Returns the incremental stats for group-specific guards.
+fn check(name: &str, kind: ModelKind, flows: usize) -> CacheStats {
     let transfers = churn_transfers(flows, churn_stagger(kind));
     let (t_inc, s_inc) = timed_drain(kind, &transfers, false);
     let (t_full, s_full) = timed_drain(kind, &transfers, true);
     println!(
-        "{name}: {flows} flows | incremental {:?} ({} queries, {} carrying deltas, {} reuses) \
-         | full-recompute {:?} ({} queries)",
-        t_inc, s_inc.model_queries, s_inc.delta_queries, s_inc.reuses, t_full, s_full.model_queries,
+        "{name}: {flows} flows | incremental {t_inc:?} ({} queries: {} carrying deltas, \
+         {} patched, {} scratch rebuilds, {} budget fallbacks; {} reuses) \
+         | full-recompute {t_full:?} ({} queries)",
+        s_inc.model_queries,
+        s_inc.delta_queries,
+        s_inc.patched_queries,
+        s_inc.scratch_rebuilds,
+        s_inc.budget_fallbacks,
+        s_inc.reuses,
+        s_full.model_queries,
     );
     assert!(
         s_inc.model_queries < s_full.model_queries,
@@ -51,19 +68,28 @@ fn check(name: &str, kind: ModelKind, flows: usize) {
         s_inc.model_queries,
         s_full.model_queries
     );
-    // Most settles should reach the model as positional deltas (model-side
-    // reuse of those deltas is pinned by the poison unit tests in
-    // netbw-core); at high concurrency mixed batches legitimately rebuild,
-    // so require a healthy share rather than a majority.
+    // Most settles should reach the model as positional deltas — since
+    // mixed-delta chaining, rebuilds are essentially just the first
+    // settle — and a patch can only happen where a delta was offered.
     assert!(
         s_inc.delta_queries > s_inc.model_queries / 4,
         "{name}: too few queries carried positional deltas: {s_inc:?}"
+    );
+    assert!(
+        s_inc.patched_queries <= s_inc.delta_queries,
+        "{name}: more patches than deltas makes no sense: {s_inc:?}"
     );
     assert!(
         t_inc <= t_full,
         "{name}: incremental engine fell behind the full-recompute oracle \
          ({t_inc:?} vs {t_full:?})"
     );
+    s_inc
+}
+
+/// Share of model queries satisfying `count`, as a fraction.
+fn share(count: u64, stats: &CacheStats) -> f64 {
+    count as f64 / stats.model_queries.max(1) as f64
 }
 
 fn main() {
@@ -79,5 +105,26 @@ fn main() {
     }
     check("gige", ModelKind::GigabitEthernet, flows);
     check("myrinet", ModelKind::Myrinet, flows);
-    println!("churn smoke: incremental engine ahead on both models");
+
+    // The high-concurrency Myrinet group: wide staggering makes gate
+    // openings and completions coincide, so before mixed-delta chaining
+    // only ~33% of these settles carried deltas (744/2237). The guard
+    // pins the fix: >90% must carry deltas and >90% must actually patch.
+    let s = check("myrinet-2048", ModelKind::Myrinet, 2048);
+    let delta_share = share(s.delta_queries, &s);
+    let patch_share = share(s.patched_queries, &s);
+    println!(
+        "myrinet-2048: delta share {:.1}%, patch share {:.1}%",
+        delta_share * 100.0,
+        patch_share * 100.0
+    );
+    assert!(
+        delta_share > 0.9,
+        "myrinet-2048: delta share regressed to {delta_share:.3}: {s:?}"
+    );
+    assert!(
+        patch_share > 0.9,
+        "myrinet-2048: patch share regressed to {patch_share:.3}: {s:?}"
+    );
+    println!("churn smoke: incremental engine ahead on all groups");
 }

@@ -11,7 +11,10 @@
 //! (see `ARCHITECTURE.md`); the Criterion benches in `benches/` measure
 //! the machinery underneath.
 
+use netbw::graph::Communication;
 use netbw::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
 /// Prints a section header in the harness output.
 pub fn section(title: &str) {
@@ -23,6 +26,10 @@ pub fn show(table: &Table) {
     print!("{}", table.to_markdown());
 }
 
+/// The canonical seed of the shared churn workloads (also the paper's
+/// publication year + month, for what it's worth).
+pub const CHURN_SEED: u64 = 20080;
+
 /// The canonical churn workload shared by the `fluid_incremental` bench
 /// and the `churn_smoke` CI guard — keeping it in one place means both
 /// provably measure the same scenario. `flows` bounded-degree transfers
@@ -30,12 +37,143 @@ pub fn show(table: &Table) {
 /// `stagger` seconds so many are in flight at any instant and the
 /// population churns at every event.
 pub fn churn_transfers(flows: usize, stagger: f64) -> Vec<(u64, netbw::graph::Communication, f64)> {
-    let g = netbw::graph::schemes::random_bounded(flows / 2, flows, 3, 3, 10_000, 20080);
+    churn_transfers_seeded(flows, stagger, CHURN_SEED)
+}
+
+/// [`churn_transfers`] with an explicit seed — the entry point the
+/// engine-level proptests use, so tests and benches draw their schedules
+/// from one generator instead of hand-rolling divergent workloads.
+pub fn churn_transfers_seeded(
+    flows: usize,
+    stagger: f64,
+    seed: u64,
+) -> Vec<(u64, netbw::graph::Communication, f64)> {
+    let g = netbw::graph::schemes::random_bounded(flows.max(4) / 2, flows, 3, 3, 10_000, seed);
     g.comms()
         .iter()
         .enumerate()
         .map(|(i, &c)| (i as u64, c, stagger * i as f64))
         .collect()
+}
+
+/// One settle-to-settle step of a churn scenario: flows that leave the
+/// population, then flows that join it — in the exact chain order the
+/// engine's `PopulationDelta` machinery prescribes (departures against the
+/// previous population first, then arrivals against the new one).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChurnStep {
+    /// Strictly increasing positions (into the previous population) of
+    /// the departing flows.
+    pub departed: Vec<usize>,
+    /// Arriving flows with their strictly increasing positions in the
+    /// *new* population (arrivals need not append at the tail — slab slot
+    /// reuse inserts them anywhere).
+    pub arrived: Vec<(usize, Communication)>,
+}
+
+impl ChurnStep {
+    /// Applies the step to `prev`, returning the new population and the
+    /// positional delta describing the transition — `Arrived`, `Departed`
+    /// or chained `Mixed`, whichever matches the step's shape.
+    pub fn apply(&self, prev: &[Communication]) -> (Vec<Communication>, PopulationDelta) {
+        let survivors: Vec<Communication> = prev
+            .iter()
+            .enumerate()
+            .filter(|(p, _)| !self.departed.contains(p))
+            .map(|(_, &c)| c)
+            .collect();
+        let mut comms = Vec::with_capacity(survivors.len() + self.arrived.len());
+        let mut next_survivor = survivors.into_iter();
+        let mut next_arrival = self.arrived.iter().peekable();
+        while comms.len() < prev.len() - self.departed.len() + self.arrived.len() {
+            if next_arrival.peek().is_some_and(|(i, _)| *i == comms.len()) {
+                comms.push(next_arrival.next().unwrap().1);
+            } else {
+                comms.push(next_survivor.next().expect("arrival positions in range"));
+            }
+        }
+        let delta = match (self.departed.is_empty(), self.arrived.is_empty()) {
+            (true, _) => PopulationDelta::Arrived(self.arrived.iter().map(|&(i, _)| i).collect()),
+            (false, true) => PopulationDelta::Departed(self.departed.clone()),
+            (false, false) => PopulationDelta::Mixed {
+                departed: self.departed.clone(),
+                arrived: self.arrived.iter().map(|&(i, _)| i).collect(),
+            },
+        };
+        (comms, delta)
+    }
+
+    /// How many flows this step changes (departures plus arrivals).
+    pub fn changed_count(&self) -> usize {
+        self.departed.len() + self.arrived.len()
+    }
+}
+
+/// A seeded multi-settle churn scenario: a starting population plus a
+/// schedule of arrival/departure/mixed-batch steps. This is the
+/// settle-form twin of [`churn_transfers`], used by the model-level
+/// proptests that pin scratch-backed incremental evaluation against the
+/// full recompute across whole settle sequences.
+#[derive(Debug, Clone)]
+pub struct ChurnScenario {
+    /// The population of the first settle.
+    pub initial: Vec<Communication>,
+    /// The settle-to-settle transitions, in order.
+    pub steps: Vec<ChurnStep>,
+}
+
+impl ChurnScenario {
+    /// Generates a scenario over a `nodes`-node fabric: `initial` starting
+    /// flows, then `steps` transitions, each departing up to 3 flows
+    /// and/or arriving up to 3 new ones (so pure-arrival, pure-departure
+    /// and mixed batches all occur). Deterministic in `seed`.
+    pub fn generate(seed: u64, nodes: u32, initial: usize, steps: usize) -> ChurnScenario {
+        let nodes = nodes.max(2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let comm = |rng: &mut StdRng| {
+            let s = rng.random_range(0..nodes);
+            let mut d = rng.random_range(0..nodes - 1);
+            if d >= s {
+                d += 1;
+            }
+            Communication::new(s, d, 100 + rng.random_range(0..900u32) as u64)
+        };
+        let initial: Vec<Communication> = (0..initial).map(|_| comm(&mut rng)).collect();
+        let mut population = initial.len();
+        let mut out_steps = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            let mut departed: Vec<usize> = Vec::new();
+            let mut arrived: Vec<(usize, Communication)> = Vec::new();
+            let n_dep = (rng.random_range(0..4u32) as usize).min(population);
+            for _ in 0..n_dep {
+                let p = rng.random_range(0..population as u32) as usize;
+                if !departed.contains(&p) {
+                    departed.push(p);
+                }
+            }
+            departed.sort_unstable();
+            let survivors = population - departed.len();
+            let mut n_arr = rng.random_range(0..4u32) as usize;
+            if departed.is_empty() && n_arr == 0 {
+                n_arr = 1; // every step changes the population
+            }
+            for _ in 0..n_arr {
+                let new_len = survivors + arrived.len() + 1;
+                let mut i = rng.random_range(0..new_len as u32) as usize;
+                while arrived.iter().any(|&(j, _)| j == i) {
+                    i = (i + 1) % new_len;
+                }
+                arrived.push((i, comm(&mut rng)));
+            }
+            arrived.sort_unstable_by_key(|&(i, _)| i);
+            population = survivors + arrived.len();
+            out_steps.push(ChurnStep { departed, arrived });
+        }
+        ChurnScenario {
+            initial,
+            steps: out_steps,
+        }
+    }
 }
 
 /// The stagger used with [`churn_transfers`] per model: GigE's closed
@@ -97,5 +235,53 @@ mod tests {
         assert_eq!(pairs.len(), 3);
         let names: Vec<&str> = pairs.iter().map(|(f, _)| f.name).collect();
         assert_eq!(names, vec!["gige", "myrinet", "infiniband"]);
+    }
+
+    #[test]
+    fn churn_scenario_is_deterministic_in_its_seed() {
+        let a = ChurnScenario::generate(7, 8, 6, 20);
+        let b = ChurnScenario::generate(7, 8, 6, 20);
+        assert_eq!(a.initial, b.initial);
+        assert_eq!(a.steps, b.steps);
+        let c = ChurnScenario::generate(8, 8, 6, 20);
+        assert_ne!(a.initial, c.initial);
+    }
+
+    #[test]
+    fn churn_scenario_steps_produce_verifiable_deltas() {
+        // Every generated step must pass the core alignment verifier —
+        // the same check the models run before trusting a delta — and the
+        // schedule must exercise all three positional delta shapes.
+        let scenario = ChurnScenario::generate(42, 10, 8, 60);
+        let mut population = scenario.initial.clone();
+        let (mut arrivals, mut departures, mut mixed) = (0, 0, 0);
+        for step in &scenario.steps {
+            let (next, delta) = step.apply(&population);
+            match &delta {
+                PopulationDelta::Arrived(_) => arrivals += 1,
+                PopulationDelta::Departed(_) => departures += 1,
+                PopulationDelta::Mixed { .. } => mixed += 1,
+                PopulationDelta::Rebuilt => unreachable!("steps are positional"),
+            }
+            let al = netbw::core::incremental::align(&next, &delta, &population)
+                .expect("generated deltas must verify");
+            assert_eq!(al.arrived.len() + al.departed.len(), step.changed_count());
+            population = next;
+        }
+        assert!(arrivals > 0, "no pure-arrival steps in 60");
+        assert!(departures > 0, "no pure-departure steps in 60");
+        assert!(mixed > 0, "no mixed steps in 60");
+    }
+
+    #[test]
+    fn seeded_transfers_match_the_canonical_workload() {
+        assert_eq!(
+            churn_transfers(64, 25.0),
+            churn_transfers_seeded(64, 25.0, CHURN_SEED)
+        );
+        assert_ne!(
+            churn_transfers_seeded(64, 25.0, 1),
+            churn_transfers_seeded(64, 25.0, 2)
+        );
     }
 }

@@ -28,9 +28,10 @@
 //! predicted column of Fig. 4 — see `calibrate` for re-estimating them
 //! from measurements.
 
-use crate::incremental::{patch_endpoints, EndpointIndex};
+use crate::incremental::{endpoint_scratch_query, EndpointIndex, EndpointScratch};
 use crate::model::{scatter_penalties, split_intra_node, PenaltyModel, PopulationDelta};
 use crate::penalty::Penalty;
+use crate::scratch::{ModelScratch, QueryOutcome};
 use netbw_graph::Communication;
 
 /// The paper's quantitative Gigabit Ethernet model.
@@ -84,34 +85,32 @@ impl GigabitEthernetModel {
     /// `comms` must be the network (inter-node) subset of a population;
     /// intra-node entries never contribute to NIC degrees.
     pub fn po(&self, comms: &[Communication], i: usize) -> f64 {
-        self.po_indexed(comms, i, &EndpointIndex::build(comms))
+        self.po_indexed(&comms[i], &EndpointIndex::build(comms))
     }
 
     /// The reception-side penalty `pi` of communication `i` in `comms`
     /// (network subset, as for [`Self::po`]).
     pub fn pi(&self, comms: &[Communication], i: usize) -> f64 {
-        self.pi_indexed(comms, i, &EndpointIndex::build(comms))
+        self.pi_indexed(&comms[i], &EndpointIndex::build(comms))
     }
 
-    /// `po` over a pre-built endpoint index — the O(group) hot path shared
-    /// by the batch evaluation and the incremental patch (and by the
-    /// InfiniBand extension, which reuses the closed form with `γ = 0`).
-    pub(crate) fn po_indexed(
-        &self,
-        comms: &[Communication],
-        i: usize,
-        index: &EndpointIndex,
-    ) -> f64 {
-        let ci = &comms[i];
+    /// `po` over an endpoint index — the O(group) hot path shared by the
+    /// batch evaluation and the incremental patch (and by the InfiniBand
+    /// extension, which reuses the closed form with `γ = 0`). The index
+    /// hands out counterpart multisets, so no slice positions are needed —
+    /// which is what lets the scratch keep one index alive across settles.
+    pub(crate) fn po_indexed(&self, ci: &Communication, index: &EndpointIndex) -> f64 {
         let group = index.outgoing(ci.src);
         let delta_o = group.len();
         if delta_o == 1 {
             return 1.0;
         }
         // Δi of each comm leaving vs; the max defines Cmo.
-        let din = |k: usize| index.in_degree(comms[k].dst);
-        let max_di = group.iter().map(|&k| din(k)).max().unwrap_or(1);
-        let card_cmo = group.iter().filter(|&&k| din(k) == max_di).count();
+        let max_di = group.iter().map(|&d| index.in_degree(d)).max().unwrap_or(1);
+        let card_cmo = group
+            .iter()
+            .filter(|&&d| index.in_degree(d) == max_di)
+            .count();
         let in_cmo = index.in_degree(ci.dst) == max_di;
         let base = delta_o as f64 * self.beta;
         if in_cmo {
@@ -121,22 +120,22 @@ impl GigabitEthernetModel {
         }
     }
 
-    /// `pi` over a pre-built endpoint index; see [`Self::po_indexed`].
-    pub(crate) fn pi_indexed(
-        &self,
-        comms: &[Communication],
-        i: usize,
-        index: &EndpointIndex,
-    ) -> f64 {
-        let ci = &comms[i];
+    /// `pi` over an endpoint index; see [`Self::po_indexed`].
+    pub(crate) fn pi_indexed(&self, ci: &Communication, index: &EndpointIndex) -> f64 {
         let group = index.incoming(ci.dst);
         let delta_i = group.len();
         if delta_i == 1 {
             return 1.0;
         }
-        let dout = |k: usize| index.out_degree(comms[k].src);
-        let max_do = group.iter().map(|&k| dout(k)).max().unwrap_or(1);
-        let card_cmi = group.iter().filter(|&&k| dout(k) == max_do).count();
+        let max_do = group
+            .iter()
+            .map(|&s| index.out_degree(s))
+            .max()
+            .unwrap_or(1);
+        let card_cmi = group
+            .iter()
+            .filter(|&&s| index.out_degree(s) == max_do)
+            .count();
         let in_cmi = index.out_degree(ci.src) == max_do;
         let base = delta_i as f64 * self.beta;
         if in_cmi {
@@ -146,17 +145,9 @@ impl GigabitEthernetModel {
         }
     }
 
-    /// `max(po, pi)` of network communication `i` via the index.
-    fn penalty_indexed(
-        &self,
-        network: &[Communication],
-        i: usize,
-        index: &EndpointIndex,
-    ) -> Penalty {
-        Penalty::new(
-            self.po_indexed(network, i, index)
-                .max(self.pi_indexed(network, i, index)),
-        )
+    /// `max(po, pi)` of one network communication via the index.
+    fn penalty_indexed(&self, c: &Communication, index: &EndpointIndex) -> Penalty {
+        Penalty::new(self.po_indexed(c, index).max(self.pi_indexed(c, index)))
     }
 }
 
@@ -168,31 +159,39 @@ impl PenaltyModel for GigabitEthernetModel {
     fn penalties(&self, comms: &[Communication]) -> Vec<Penalty> {
         let (indices, network) = split_intra_node(comms);
         let index = EndpointIndex::build(&network);
-        let net: Vec<Penalty> = (0..network.len())
-            .map(|i| self.penalty_indexed(&network, i, &index))
+        let net: Vec<Penalty> = network
+            .iter()
+            .map(|c| self.penalty_indexed(c, &index))
             .collect();
         scatter_penalties(comms.len(), &indices, &net)
     }
 
-    /// O(affected) patch: only communications whose source group or
-    /// destination group was reached by the change (the two-hop endpoint
-    /// neighbourhood — see [`crate::incremental::affected_endpoints`]) are
-    /// re-evaluated; every other survivor keeps its previous penalty
-    /// bit-for-bit.
-    fn penalties_after_change(
+    fn new_scratch(&self) -> Box<dyn ModelScratch> {
+        Box::new(EndpointScratch::default())
+    }
+
+    /// O(affected) patch over the per-cache [`EndpointScratch`]: the
+    /// endpoint index survives between settles, and only communications
+    /// whose source group or destination group was reached by the change
+    /// (the two-hop endpoint neighbourhood — see
+    /// [`crate::incremental::affected_endpoints`]) are re-evaluated; every
+    /// other survivor keeps its previous penalty bit-for-bit.
+    fn penalties_with_scratch(
         &self,
         comms: &[Communication],
-        delta: PopulationDelta,
+        delta: &PopulationDelta,
         previous: Option<(&[Communication], &[Penalty])>,
-    ) -> Vec<Penalty> {
-        patch_endpoints(
+        scratch: &mut dyn ModelScratch,
+    ) -> (Vec<Penalty>, QueryOutcome) {
+        endpoint_scratch_query(
             comms,
-            &delta,
+            delta,
             previous,
+            scratch,
             |aff, c| aff.touches(c),
-            |network, i, index| self.penalty_indexed(network, i, index),
+            |c, index| self.penalty_indexed(c, index),
+            || self.penalties(comms),
         )
-        .unwrap_or_else(|| self.penalties(comms))
     }
 }
 

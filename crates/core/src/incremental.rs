@@ -1,7 +1,7 @@
 //! Shared machinery for O(affected) incremental penalty updates.
 //!
-//! [`PenaltyModel::penalties_after_change`](crate::PenaltyModel::penalties_after_change)
-//! specializations all face the same three sub-problems, solved here once:
+//! [`PenaltyModel::penalties_with_scratch`](crate::PenaltyModel::penalties_with_scratch)
+//! specializations all face the same sub-problems, solved here once:
 //!
 //! 1. **Alignment** — pair every surviving communication of the new
 //!    population with its previous penalty, using the positional
@@ -9,11 +9,18 @@
 //!    *verifies* the invariants (length accounting plus per-entry equality
 //!    of paired communications); any inconsistency yields `None` and the
 //!    caller recomputes from scratch — a wrong hint can cost time, never
-//!    correctness.
+//!    correctness. Mixed batches are handled as two chained positional
+//!    deltas in one pass: departures against the previous population
+//!    first, then arrivals against the new one.
 //! 2. **Endpoint indexing** — models reason in per-node degree groups
 //!    (all communications leaving / entering a node). [`EndpointIndex`]
-//!    builds those groups in one linear pass so patch paths never fall back
-//!    to the quadratic scan-everything idiom.
+//!    stores, per node, the *counterpart multiset* of those groups (the
+//!    destinations of the communications leaving it, the sources of those
+//!    entering it). That representation is position-free, so the index
+//!    survives population churn: [`EndpointIndex::insert`] and
+//!    [`EndpointIndex::remove`] update it in O(group) per changed flow,
+//!    which is what lets a scratch keep it alive *across* settles instead
+//!    of rebuilding it O(n) each time.
 //! 3. **Affected-set computation** — given the changed communications,
 //!    [`affected_endpoints`] returns the source and destination nodes whose
 //!    groups can possibly produce a different penalty. For the closed-form
@@ -21,6 +28,12 @@
 //!    a flow arriving at (or leaving) `(s, d)` changes `Δo(s)` and `Δi(d)`
 //!    directly, and thereby the `Cmo`/`Cmi` asymmetry sets of every group
 //!    containing a communication into `d` or out of `s`.
+//! 4. **Scratch lifecycle** — [`EndpointScratch`] packages the previous
+//!    population, its penalties and the live index into the opaque
+//!    per-cache state of the closed-form models (GigE and its InfiniBand
+//!    extension), and [`patch_endpoints`] is the shared patch driver over
+//!    it: seed (from the `previous` hint) if cold, align, apply the delta
+//!    to the index, re-evaluate exactly the touched communications, commit.
 //!
 //! All helpers operate on the *network* (inter-node) subset of a
 //! population; intra-node communications have penalty 1 by contract and
@@ -28,6 +41,7 @@
 
 use crate::model::PopulationDelta;
 use crate::penalty::Penalty;
+use crate::scratch::{ModelScratch, QueryOutcome};
 use netbw_graph::{Communication, NodeId};
 use std::collections::{HashMap, HashSet};
 
@@ -40,61 +54,31 @@ pub struct Alignment {
     /// communication held in the previous population, or `None` if it just
     /// arrived.
     pub prev_of: Vec<Option<usize>>,
-    /// The communications that joined or left (arrivals are entries of the
-    /// new population, departures entries of the previous one).
-    pub changed: Vec<Communication>,
+    /// Arrived communications with their positions in the *new*
+    /// population.
+    pub arrived: Vec<(usize, Communication)>,
+    /// Departed communications with their positions in the *previous*
+    /// population.
+    pub departed: Vec<(usize, Communication)>,
 }
 
-/// The common prelude of every `penalties_after_change` specialization:
-/// unwraps `previous`, checks the penalty slice is aligned with it, and
-/// runs [`align`]. `None` — on any inconsistency — means "recompute
-/// fully".
-pub fn validated<'a>(
-    comms: &[Communication],
-    delta: &PopulationDelta,
-    previous: Option<(&'a [Communication], &'a [Penalty])>,
-) -> Option<(&'a [Communication], &'a [Penalty], Alignment)> {
-    let (prev_comms, prev_pens) = previous?;
-    if prev_pens.len() != prev_comms.len() {
-        return None;
+impl Alignment {
+    /// All changed communications (arrivals and departures), in no
+    /// particular order.
+    pub fn changed(&self) -> impl Iterator<Item = &Communication> {
+        self.departed
+            .iter()
+            .chain(self.arrived.iter())
+            .map(|(_, c)| c)
     }
-    let alignment = align(comms, delta, prev_comms)?;
-    Some((prev_comms, prev_pens, alignment))
-}
-
-/// The shared endpoint-patch scaffold used by the closed-form models
-/// (GigE and its InfiniBand extension): validate the hints, split off
-/// intra-node communications, build the endpoint index and affected
-/// sets, then re-evaluate exactly the communications `touches` selects —
-/// every other survivor keeps its previous penalty verbatim.
-///
-/// `None` means the hints were unusable and the caller must recompute in
-/// full. `penalty` evaluates one network communication over the index
-/// (it must be the same arithmetic the model's batch path uses, so
-/// patched and full answers stay bit-for-bit identical).
-pub fn patch_endpoints(
-    comms: &[Communication],
-    delta: &PopulationDelta,
-    previous: Option<(&[Communication], &[Penalty])>,
-    touches: impl Fn(&AffectedEndpoints, &Communication) -> bool,
-    penalty: impl Fn(&[Communication], usize, &EndpointIndex) -> Penalty,
-) -> Option<Vec<Penalty>> {
-    let (_, prev_pens, al) = validated(comms, delta, previous)?;
-    let (indices, network) = crate::model::split_intra_node(comms);
-    let index = EndpointIndex::build(&network);
-    let aff = affected_endpoints(&index, &al.changed, &network);
-    let mut out = vec![Penalty::ONE; comms.len()];
-    for (net_i, &orig) in indices.iter().enumerate() {
-        out[orig] = match al.prev_of[orig] {
-            Some(p) if !touches(&aff, &network[net_i]) => prev_pens[p],
-            _ => penalty(&network, net_i, &index),
-        };
-    }
-    Some(out)
 }
 
 /// Pairs `comms` with `prev` according to `delta`, verifying the
 /// [`PopulationDelta`] invariants along the way.
+///
+/// [`PopulationDelta::Mixed`] is treated as its chain semantics prescribe
+/// — departures applied to `prev` first, arrivals applied to the result —
+/// collapsed into a single merge scan over both slices.
 ///
 /// Returns `None` — meaning "do a full recompute" — for
 /// [`PopulationDelta::Rebuilt`], for out-of-range / non-increasing
@@ -105,69 +89,72 @@ pub fn align(
     delta: &PopulationDelta,
     prev: &[Communication],
 ) -> Option<Alignment> {
-    match delta {
-        PopulationDelta::Rebuilt => None,
-        PopulationDelta::Arrived(idx) => {
-            if !strictly_increasing_within(idx, comms.len())
-                || comms.len() != prev.len() + idx.len()
-            {
-                return None;
-            }
-            let mut prev_of = Vec::with_capacity(comms.len());
-            let mut changed = Vec::with_capacity(idx.len());
-            let mut next_arrival = idx.iter().copied().peekable();
-            let mut p = 0usize;
-            for (i, c) in comms.iter().enumerate() {
-                if next_arrival.peek() == Some(&i) {
-                    next_arrival.next();
-                    changed.push(*c);
-                    prev_of.push(None);
-                } else {
-                    if prev[p] != *c {
-                        return None;
-                    }
-                    prev_of.push(Some(p));
-                    p += 1;
-                }
-            }
-            Some(Alignment { prev_of, changed })
-        }
-        PopulationDelta::Departed(idx) => {
-            if !strictly_increasing_within(idx, prev.len()) || comms.len() + idx.len() != prev.len()
-            {
-                return None;
-            }
-            let mut prev_of = Vec::with_capacity(comms.len());
-            let mut changed = Vec::with_capacity(idx.len());
-            let mut next_departure = idx.iter().copied().peekable();
-            let mut i = 0usize;
-            for (p, c) in prev.iter().enumerate() {
-                if next_departure.peek() == Some(&p) {
-                    next_departure.next();
-                    changed.push(*c);
-                } else {
-                    if comms[i] != *c {
-                        return None;
-                    }
-                    prev_of.push(Some(p));
-                    i += 1;
-                }
-            }
-            Some(Alignment { prev_of, changed })
-        }
+    const NO_POSITIONS: &[usize] = &[];
+    let (departed_idx, arrived_idx): (&[usize], &[usize]) = match delta {
+        PopulationDelta::Rebuilt => return None,
+        PopulationDelta::Arrived(idx) => (NO_POSITIONS, idx),
+        PopulationDelta::Departed(idx) => (idx, NO_POSITIONS),
+        PopulationDelta::Mixed { departed, arrived } => (departed, arrived),
+    };
+    if !strictly_increasing_within(departed_idx, prev.len())
+        || !strictly_increasing_within(arrived_idx, comms.len())
+        || comms.len() + departed_idx.len() != prev.len() + arrived_idx.len()
+    {
+        return None;
     }
+    let mut prev_of = Vec::with_capacity(comms.len());
+    let mut arrived = Vec::with_capacity(arrived_idx.len());
+    let mut departed = Vec::with_capacity(departed_idx.len());
+    let mut next_arrival = arrived_idx.iter().copied().peekable();
+    let mut next_departure = departed_idx.iter().copied().peekable();
+    let mut p = 0usize;
+    for (i, c) in comms.iter().enumerate() {
+        if next_arrival.peek() == Some(&i) {
+            next_arrival.next();
+            arrived.push((i, *c));
+            prev_of.push(None);
+            continue;
+        }
+        // Skip over departures interleaved before the matching survivor.
+        while next_departure.peek() == Some(&p) {
+            next_departure.next();
+            departed.push((p, prev[p]));
+            p += 1;
+        }
+        if p >= prev.len() || prev[p] != *c {
+            return None;
+        }
+        prev_of.push(Some(p));
+        p += 1;
+    }
+    while next_departure.peek() == Some(&p) {
+        next_departure.next();
+        departed.push((p, prev[p]));
+        p += 1;
+    }
+    if p != prev.len() {
+        return None;
+    }
+    Some(Alignment {
+        prev_of,
+        arrived,
+        departed,
+    })
 }
 
 fn strictly_increasing_within(idx: &[usize], len: usize) -> bool {
     idx.windows(2).all(|w| w[0] < w[1]) && idx.iter().all(|&i| i < len)
 }
 
-/// Per-node occupancy groups over one communication population, built in a
-/// single pass. Positions refer to the slice the index was built from.
+/// Per-node occupancy groups over one communication population, stored as
+/// *counterpart multisets*: for each node, the destinations of the
+/// communications leaving it and the sources of those entering it. This
+/// representation carries no slice positions, so it stays valid across
+/// population churn and supports O(group) incremental updates.
 #[derive(Debug, Default, Clone)]
 pub struct EndpointIndex {
-    by_src: HashMap<NodeId, Vec<usize>>,
-    by_dst: HashMap<NodeId, Vec<usize>>,
+    by_src: HashMap<NodeId, Vec<NodeId>>,
+    by_dst: HashMap<NodeId, Vec<NodeId>>,
 }
 
 impl EndpointIndex {
@@ -176,23 +163,48 @@ impl EndpointIndex {
     /// entries would corrupt the degree counts.
     pub fn build(comms: &[Communication]) -> Self {
         let mut index = EndpointIndex::default();
-        for (i, c) in comms.iter().enumerate() {
-            debug_assert!(!c.is_intra_node(), "index over network subset only");
-            index.by_src.entry(c.src).or_default().push(i);
-            index.by_dst.entry(c.dst).or_default().push(i);
+        for c in comms {
+            index.insert(c);
         }
         index
     }
 
-    /// Positions of the communications leaving `node` (the `Cmo` candidate
-    /// group), empty if none.
-    pub fn outgoing(&self, node: NodeId) -> &[usize] {
+    /// Adds one network communication to the groups of its endpoints.
+    pub fn insert(&mut self, c: &Communication) {
+        debug_assert!(!c.is_intra_node(), "index over network subset only");
+        self.by_src.entry(c.src).or_default().push(c.dst);
+        self.by_dst.entry(c.dst).or_default().push(c.src);
+    }
+
+    /// Removes one occurrence of `c` from the groups of its endpoints.
+    /// Returns `false` — signalling a corrupt index the caller must
+    /// rebuild — if `c` is not present.
+    pub fn remove(&mut self, c: &Communication) -> bool {
+        fn take(map: &mut HashMap<NodeId, Vec<NodeId>>, key: NodeId, value: NodeId) -> bool {
+            let Some(group) = map.get_mut(&key) else {
+                return false;
+            };
+            let Some(pos) = group.iter().position(|&n| n == value) else {
+                return false;
+            };
+            group.swap_remove(pos);
+            if group.is_empty() {
+                map.remove(&key);
+            }
+            true
+        }
+        take(&mut self.by_src, c.src, c.dst) && take(&mut self.by_dst, c.dst, c.src)
+    }
+
+    /// Destination counterparts of the communications leaving `node` (the
+    /// `Cmo` candidate group), empty if none.
+    pub fn outgoing(&self, node: NodeId) -> &[NodeId] {
         self.by_src.get(&node).map(Vec::as_slice).unwrap_or(&[])
     }
 
-    /// Positions of the communications entering `node` (the `Cmi`
-    /// candidate group), empty if none.
-    pub fn incoming(&self, node: NodeId) -> &[usize] {
+    /// Source counterparts of the communications entering `node` (the
+    /// `Cmi` candidate group), empty if none.
+    pub fn incoming(&self, node: NodeId) -> &[NodeId] {
         self.by_dst.get(&node).map(Vec::as_slice).unwrap_or(&[])
     }
 
@@ -241,31 +253,158 @@ impl AffectedEndpoints {
 /// leaving a node that currently sends into `d`. Symmetrically for `pi`.
 /// Intra-node changed communications are invisible to the network and are
 /// skipped.
-pub fn affected_endpoints(
+pub fn affected_endpoints<'a>(
     index: &EndpointIndex,
-    changed: &[Communication],
-    comms: &[Communication],
+    changed: impl IntoIterator<Item = &'a Communication>,
 ) -> AffectedEndpoints {
     let mut out = AffectedEndpoints::default();
-    for c in changed.iter().filter(|c| !c.is_intra_node()) {
+    for c in changed.into_iter().filter(|c| !c.is_intra_node()) {
         out.changed_sources.insert(c.src);
         out.changed_dests.insert(c.dst);
     }
     for &d in &out.changed_dests {
         // Δi(d) changed: every group containing a comm into d sees a
-        // different Cmo maximum.
-        for &k in index.incoming(d) {
-            out.sources.insert(comms[k].src);
-        }
+        // different Cmo maximum — the index hands us those groups'
+        // source nodes directly.
+        out.sources.extend(index.incoming(d).iter().copied());
     }
     for &s in &out.changed_sources {
-        for &k in index.outgoing(s) {
-            out.dests.insert(comms[k].dst);
-        }
+        out.dests.extend(index.outgoing(s).iter().copied());
     }
     out.sources.extend(out.changed_sources.iter().copied());
     out.dests.extend(out.changed_dests.iter().copied());
     out
+}
+
+/// The per-cache scratch of the closed-form (endpoint-driven) models: the
+/// previously settled population with its penalties, plus the live
+/// [`EndpointIndex`] over its network subset. [`patch_endpoints`] keeps
+/// all three in sync across settles, so a settle never rebuilds the index
+/// from zero unless the hints were unusable.
+#[derive(Debug, Default)]
+pub struct EndpointScratch {
+    settled: bool,
+    prev: Vec<Communication>,
+    prev_pens: Vec<Penalty>,
+    index: EndpointIndex,
+}
+
+impl EndpointScratch {
+    /// True once the scratch describes a settled population.
+    pub fn is_settled(&self) -> bool {
+        self.settled
+    }
+
+    /// Re-seeds the scratch from a full population/penalty pair (a full
+    /// recompute, or the caller-provided `previous` hint): one O(n) index
+    /// build.
+    pub fn rebuild(&mut self, comms: &[Communication], pens: &[Penalty]) {
+        debug_assert_eq!(comms.len(), pens.len());
+        self.settled = true;
+        self.prev = comms.to_vec();
+        self.prev_pens = pens.to_vec();
+        self.index = EndpointIndex::default();
+        for c in comms.iter().filter(|c| !c.is_intra_node()) {
+            self.index.insert(c);
+        }
+    }
+}
+
+/// The shared patch driver of the closed-form models (GigE and its
+/// InfiniBand extension): seed the scratch from `previous` if it is cold,
+/// align the delta against the scratch's population, apply the change to
+/// the endpoint index, then re-evaluate exactly the communications
+/// `touches` selects — every other survivor keeps its previous penalty
+/// verbatim. On success the scratch is committed to the new population.
+///
+/// Returns `(penalties, seeded)` — `seeded` is true when the scratch had
+/// to be (re)built from the `previous` hint, i.e. the query still paid one
+/// O(n) index build. `None` means the hints and the scratch were both
+/// unusable: the caller must recompute in full and
+/// [`EndpointScratch::rebuild`] the scratch (the index may be left
+/// half-updated on this path).
+///
+/// `penalty` evaluates one network communication over the index; it must
+/// be the same arithmetic the model's batch path uses, so patched and full
+/// answers stay bit-for-bit identical.
+pub fn patch_endpoints(
+    comms: &[Communication],
+    delta: &PopulationDelta,
+    previous: Option<(&[Communication], &[Penalty])>,
+    scratch: &mut EndpointScratch,
+    touches: impl Fn(&AffectedEndpoints, &Communication) -> bool,
+    penalty: impl Fn(&Communication, &EndpointIndex) -> Penalty,
+) -> Option<(Vec<Penalty>, bool)> {
+    let mut seeded = false;
+    if !scratch.settled {
+        let (prev_comms, prev_pens) = previous?;
+        if prev_pens.len() != prev_comms.len() {
+            return None;
+        }
+        scratch.rebuild(prev_comms, prev_pens);
+        seeded = true;
+    }
+    let al = align(comms, delta, &scratch.prev)?;
+    for (_, c) in al.departed.iter().filter(|(_, c)| !c.is_intra_node()) {
+        if !scratch.index.remove(c) {
+            return None; // corrupt scratch: caller rebuilds
+        }
+    }
+    for (_, c) in al.arrived.iter().filter(|(_, c)| !c.is_intra_node()) {
+        scratch.index.insert(c);
+    }
+    let aff = affected_endpoints(&scratch.index, al.changed());
+    let mut out = Vec::with_capacity(comms.len());
+    for (i, c) in comms.iter().enumerate() {
+        out.push(if c.is_intra_node() {
+            Penalty::ONE
+        } else {
+            match al.prev_of[i] {
+                Some(p) if !touches(&aff, c) => scratch.prev_pens[p],
+                _ => penalty(c, &scratch.index),
+            }
+        });
+    }
+    scratch.prev = comms.to_vec();
+    scratch.prev_pens = out.clone();
+    Some((out, seeded))
+}
+
+/// The whole `penalties_with_scratch` implementation of the closed-form
+/// models, shared verbatim by GigE and its InfiniBand extension: downcast
+/// the opaque scratch (an unexpected type is treated as cold local state —
+/// correctness never depends on the scratch), run [`patch_endpoints`], and
+/// answer with `full()` — rebuilding the scratch from its result — when
+/// the patch is impossible.
+pub fn endpoint_scratch_query(
+    comms: &[Communication],
+    delta: &PopulationDelta,
+    previous: Option<(&[Communication], &[Penalty])>,
+    scratch: &mut dyn ModelScratch,
+    touches: impl Fn(&AffectedEndpoints, &Communication) -> bool,
+    penalty: impl Fn(&Communication, &EndpointIndex) -> Penalty,
+    full: impl Fn() -> Vec<Penalty>,
+) -> (Vec<Penalty>, QueryOutcome) {
+    let mut local = EndpointScratch::default();
+    let scratch = scratch
+        .as_any_mut()
+        .downcast_mut::<EndpointScratch>()
+        .unwrap_or(&mut local);
+    match patch_endpoints(comms, delta, previous, scratch, touches, penalty) {
+        Some((pens, seeded)) => (
+            pens,
+            QueryOutcome {
+                patched: true,
+                scratch_rebuilt: seeded,
+                budget_fallback: false,
+            },
+        ),
+        None => {
+            let pens = full();
+            scratch.rebuild(comms, &pens);
+            (pens, QueryOutcome::rebuild())
+        }
+    }
 }
 
 #[cfg(test)]
@@ -282,7 +421,8 @@ mod tests {
         let comms = [c(0, 1), c(4, 5), c(2, 3)];
         let al = align(&comms, &PopulationDelta::Arrived(vec![1]), &prev).unwrap();
         assert_eq!(al.prev_of, vec![Some(0), None, Some(1)]);
-        assert_eq!(al.changed, vec![c(4, 5)]);
+        assert_eq!(al.arrived, vec![(1, c(4, 5))]);
+        assert!(al.departed.is_empty());
     }
 
     #[test]
@@ -291,7 +431,46 @@ mod tests {
         let comms = [c(2, 3)];
         let al = align(&comms, &PopulationDelta::Departed(vec![0, 2]), &prev).unwrap();
         assert_eq!(al.prev_of, vec![Some(1)]);
-        assert_eq!(al.changed, vec![c(0, 1), c(4, 5)]);
+        assert_eq!(al.departed, vec![(0, c(0, 1)), (2, c(4, 5))]);
+        assert!(al.arrived.is_empty());
+    }
+
+    #[test]
+    fn mixed_alignment_chains_departures_then_arrivals() {
+        // prev: a b c; departed {a, c}; arrived {x at 0, y at 2}.
+        let prev = [c(0, 1), c(2, 3), c(4, 5)];
+        let comms = [c(6, 7), c(2, 3), c(8, 9)];
+        let al = align(
+            &comms,
+            &PopulationDelta::Mixed {
+                departed: vec![0, 2],
+                arrived: vec![0, 2],
+            },
+            &prev,
+        )
+        .unwrap();
+        assert_eq!(al.prev_of, vec![None, Some(1), None]);
+        assert_eq!(al.arrived, vec![(0, c(6, 7)), (2, c(8, 9))]);
+        assert_eq!(al.departed, vec![(0, c(0, 1)), (2, c(4, 5))]);
+        assert_eq!(al.changed().count(), 4);
+    }
+
+    #[test]
+    fn mixed_alignment_handles_full_turnover() {
+        // Every previous flow leaves, every new one arrives.
+        let prev = [c(0, 1), c(2, 3)];
+        let comms = [c(4, 5)];
+        let al = align(
+            &comms,
+            &PopulationDelta::Mixed {
+                departed: vec![0, 1],
+                arrived: vec![0],
+            },
+            &prev,
+        )
+        .unwrap();
+        assert_eq!(al.prev_of, vec![None]);
+        assert_eq!(al.departed.len(), 2);
     }
 
     #[test]
@@ -299,9 +478,9 @@ mod tests {
         let prev = [c(0, 1), c(2, 3)];
         let al = align(&prev, &PopulationDelta::Arrived(vec![]), &prev).unwrap();
         assert_eq!(al.prev_of, vec![Some(0), Some(1)]);
-        assert!(al.changed.is_empty());
+        assert_eq!(al.changed().count(), 0);
         let al = align(&prev, &PopulationDelta::Departed(vec![]), &prev).unwrap();
-        assert!(al.changed.is_empty());
+        assert_eq!(al.changed().count(), 0);
     }
 
     #[test]
@@ -325,16 +504,62 @@ mod tests {
         assert!(align(&comms, &PopulationDelta::Arrived(vec![0]), &prev).is_none());
         // departure survivor mismatch
         assert!(align(&[c(9, 8)], &PopulationDelta::Departed(vec![0]), &prev).is_none());
+        // mixed with inconsistent length accounting
+        assert!(align(
+            &comms,
+            &PopulationDelta::Mixed {
+                departed: vec![0],
+                arrived: vec![1]
+            },
+            &prev
+        )
+        .is_none());
+        // mixed pairing mismatch: claims prev[0] departed but comms[0]
+        // still equals it while comms[2] pairs against nothing
+        assert!(align(
+            &comms,
+            &PopulationDelta::Mixed {
+                departed: vec![0],
+                arrived: vec![1, 2]
+            },
+            &prev
+        )
+        .is_none());
     }
 
     #[test]
-    fn endpoint_index_groups_by_role() {
+    fn endpoint_index_groups_by_counterpart() {
         let comms = [c(0, 1), c(0, 2), c(3, 1)];
         let idx = EndpointIndex::build(&comms);
-        assert_eq!(idx.outgoing(NodeId(0)), &[0, 1]);
-        assert_eq!(idx.incoming(NodeId(1)), &[0, 2]);
+        assert_eq!(idx.outgoing(NodeId(0)), &[NodeId(1), NodeId(2)]);
+        assert_eq!(idx.incoming(NodeId(1)), &[NodeId(0), NodeId(3)]);
         assert_eq!(idx.out_degree(NodeId(3)), 1);
         assert_eq!(idx.in_degree(NodeId(5)), 0);
+    }
+
+    #[test]
+    fn endpoint_index_incremental_updates_match_rebuild() {
+        let mut idx = EndpointIndex::build(&[c(0, 1), c(0, 2)]);
+        idx.insert(&c(3, 1));
+        assert!(idx.remove(&c(0, 2)));
+        // multiset now {0→1, 3→1}
+        assert_eq!(idx.out_degree(NodeId(0)), 1);
+        assert_eq!(idx.in_degree(NodeId(1)), 2);
+        assert_eq!(idx.in_degree(NodeId(2)), 0);
+        // removing an absent comm reports corruption
+        assert!(!idx.remove(&c(7, 8)));
+        assert!(!idx.remove(&c(0, 2)));
+    }
+
+    #[test]
+    fn duplicate_pairs_are_counted_as_multiset() {
+        let mut idx = EndpointIndex::build(&[c(0, 1), c(0, 1)]);
+        assert_eq!(idx.out_degree(NodeId(0)), 2);
+        assert!(idx.remove(&c(0, 1)));
+        assert_eq!(idx.out_degree(NodeId(0)), 1);
+        assert!(idx.remove(&c(0, 1)));
+        assert_eq!(idx.out_degree(NodeId(0)), 0);
+        assert!(!idx.remove(&c(0, 1)));
     }
 
     #[test]
@@ -345,7 +570,7 @@ mod tests {
         // sends to (only 1). Node 4's flows are untouched.
         let comms = [c(0, 1), c(2, 1), c(2, 3), c(4, 5)];
         let idx = EndpointIndex::build(&comms);
-        let aff = affected_endpoints(&idx, &[c(6, 1)], &comms);
+        let aff = affected_endpoints(&idx, &[c(6, 1)]);
         assert!(aff.sources.contains(&NodeId(0)));
         assert!(aff.sources.contains(&NodeId(2)));
         assert!(aff.sources.contains(&NodeId(6)));
@@ -359,8 +584,54 @@ mod tests {
     fn intra_node_changes_affect_nothing() {
         let comms = [c(0, 1), c(2, 3)];
         let idx = EndpointIndex::build(&comms);
-        let aff = affected_endpoints(&idx, &[Communication::new(5u32, 5u32, 9)], &comms);
+        let aff = affected_endpoints(&idx, &[Communication::new(5u32, 5u32, 9)]);
         assert!(aff.sources.is_empty() && aff.dests.is_empty());
         assert!(!aff.touches(&c(0, 1)));
+    }
+
+    #[test]
+    fn scratch_seeds_then_patches_without_hints() {
+        let prev = vec![c(0, 1), c(2, 3)];
+        let prev_pens = vec![Penalty::new(2.0), Penalty::new(3.0)];
+        let mut scratch = EndpointScratch::default();
+        assert!(!scratch.is_settled());
+        // cold + no hint: unusable
+        assert!(patch_endpoints(
+            &prev,
+            &PopulationDelta::Arrived(vec![]),
+            None,
+            &mut scratch,
+            |aff, c| aff.touches(c),
+            |_, _| Penalty::ONE,
+        )
+        .is_none());
+        // cold + hint: seeds, then reuses the untouched survivor verbatim
+        let comms = vec![c(0, 1), c(2, 3), c(6, 7)];
+        let (pens, seeded) = patch_endpoints(
+            &comms,
+            &PopulationDelta::Arrived(vec![2]),
+            Some((&prev, &prev_pens)),
+            &mut scratch,
+            |aff, c| aff.touches(c),
+            |_, _| Penalty::new(9.0),
+        )
+        .unwrap();
+        assert!(seeded);
+        assert_eq!(pens[0], Penalty::new(2.0));
+        assert_eq!(pens[1], Penalty::new(3.0));
+        assert_eq!(pens[2], Penalty::new(9.0));
+        // warm: the next settle patches with no hint at all
+        let (pens, seeded) = patch_endpoints(
+            &comms[1..],
+            &PopulationDelta::Departed(vec![0]),
+            None,
+            &mut scratch,
+            |aff, c| aff.touches(c),
+            |_, _| Penalty::new(4.0),
+        )
+        .unwrap();
+        assert!(!seeded);
+        assert_eq!(pens[0], Penalty::new(3.0)); // untouched island reused
+        assert_eq!(pens[1], Penalty::new(9.0));
     }
 }

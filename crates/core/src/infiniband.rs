@@ -36,9 +36,12 @@
 //! side and two on the receive side, as measured.
 
 use crate::gige::GigabitEthernetModel;
-use crate::incremental::{patch_endpoints, AffectedEndpoints, EndpointIndex};
+use crate::incremental::{
+    endpoint_scratch_query, AffectedEndpoints, EndpointIndex, EndpointScratch,
+};
 use crate::model::{scatter_penalties, split_intra_node, PenaltyModel, PopulationDelta};
 use crate::penalty::Penalty;
+use crate::scratch::{ModelScratch, QueryOutcome};
 use netbw_graph::Communication;
 
 /// Extension model for InfiniBand (InfiniHost III class hardware).
@@ -81,18 +84,16 @@ impl InfinibandModel {
         }
     }
 
-    /// Penalty of network communication `i` over a pre-built endpoint
-    /// index — shared by the batch evaluation and the incremental patch.
+    /// Penalty of one network communication over an endpoint index —
+    /// shared by the batch evaluation and the incremental patch.
     fn penalty_indexed(
         &self,
-        network: &[Communication],
-        i: usize,
+        c: &Communication,
         index: &EndpointIndex,
         fair: &GigabitEthernetModel,
     ) -> Penalty {
-        let c = &network[i];
-        let po = fair.po_indexed(network, i, index);
-        let pi = fair.pi_indexed(network, i, index);
+        let po = fair.po_indexed(c, index);
+        let pi = fair.pi_indexed(c, index);
         let opposing_at_src = index.in_degree(c.src);
         let opposing_at_dst = index.out_degree(c.dst);
         let tx_dx = 1.0 + self.delta_tx * (opposing_at_src.saturating_sub(1)) as f64;
@@ -122,31 +123,38 @@ impl PenaltyModel for InfinibandModel {
         // Reuse the GigE po/pi machinery with γ = 0.
         let fair = GigabitEthernetModel::new(self.beta, 0.0, 0.0);
         let index = EndpointIndex::build(&network);
-        let net: Vec<Penalty> = (0..network.len())
-            .map(|i| self.penalty_indexed(&network, i, &index, &fair))
+        let net: Vec<Penalty> = network
+            .iter()
+            .map(|c| self.penalty_indexed(c, &index, &fair))
             .collect();
         scatter_penalties(comms.len(), &indices, &net)
     }
 
-    /// O(affected) patch, like the GigE one but with the duplex-coupling
-    /// reach added to the affected test: a changed flow also reaches every
-    /// flow whose source it enters (`tx_dx`) or whose destination it
-    /// leaves (`rx_dx`).
-    fn penalties_after_change(
+    fn new_scratch(&self) -> Box<dyn ModelScratch> {
+        Box::new(EndpointScratch::default())
+    }
+
+    /// O(affected) patch over the per-cache [`EndpointScratch`], like the
+    /// GigE one but with the duplex-coupling reach added to the affected
+    /// test: a changed flow also reaches every flow whose source it enters
+    /// (`tx_dx`) or whose destination it leaves (`rx_dx`).
+    fn penalties_with_scratch(
         &self,
         comms: &[Communication],
-        delta: PopulationDelta,
+        delta: &PopulationDelta,
         previous: Option<(&[Communication], &[Penalty])>,
-    ) -> Vec<Penalty> {
+        scratch: &mut dyn ModelScratch,
+    ) -> (Vec<Penalty>, QueryOutcome) {
         let fair = GigabitEthernetModel::new(self.beta, 0.0, 0.0);
-        patch_endpoints(
+        endpoint_scratch_query(
             comms,
-            &delta,
+            delta,
             previous,
+            scratch,
             Self::touches,
-            |network, i, index| self.penalty_indexed(network, i, index, &fair),
+            |c, index| self.penalty_indexed(c, index, &fair),
+            || self.penalties(comms),
         )
-        .unwrap_or_else(|| self.penalties(comms))
     }
 }
 

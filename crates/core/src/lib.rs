@@ -26,10 +26,15 @@
 //! times for whole schemes come from the progressive solver in
 //! `netbw-fluid`, which re-evaluates the model as communications finish.
 //! When the population evolves by arrivals and departures, the solver uses
-//! the batch-delta entry point
-//! [`PenaltyModel::penalties_after_change`]: each model patches only the
-//! endpoints ([`incremental`]) or conflict components the change reaches,
-//! instead of recomputing the whole fabric.
+//! the stateful batch-delta entry point
+//! [`PenaltyModel::penalties_with_scratch`]: each model keeps an opaque
+//! per-cache [`scratch`] alive between settles (endpoint indices for the
+//! closed-form models, union–find conflict components plus a cached
+//! Moon–Moser budget certification for Myrinet) and patches only the
+//! endpoints ([`incremental`]) or conflict components the change reaches —
+//! simultaneous arrival+departure batches included, as chained
+//! [`PopulationDelta::Mixed`] deltas — instead of recomputing the whole
+//! fabric.
 //!
 //! # Example
 //!
@@ -55,6 +60,7 @@ pub mod infiniband;
 pub mod model;
 pub mod myrinet;
 pub mod penalty;
+pub mod scratch;
 pub mod sensitivity;
 pub mod states;
 
@@ -63,6 +69,7 @@ pub use infiniband::InfinibandModel;
 pub use model::{ModelKind, PenaltyModel, PopulationDelta};
 pub use myrinet::{MyrinetAnalysis, MyrinetModel};
 pub use penalty::Penalty;
+pub use scratch::{ModelScratch, NoScratch, QueryOutcome};
 pub use states::StateSetEnumeration;
 
 /// Convenient glob-import of the most used items.
@@ -73,4 +80,5 @@ pub mod prelude {
     pub use crate::model::{ModelKind, PenaltyModel, PopulationDelta};
     pub use crate::myrinet::MyrinetModel;
     pub use crate::penalty::Penalty;
+    pub use crate::scratch::{ModelScratch, QueryOutcome};
 }

@@ -1,6 +1,7 @@
 //! The [`PenaltyModel`] abstraction shared by all predictive models.
 
 use crate::penalty::Penalty;
+use crate::scratch::{ModelScratch, NoScratch, QueryOutcome};
 use netbw_graph::Communication;
 
 /// An instantaneous bandwidth-sharing model.
@@ -27,34 +28,61 @@ pub trait PenaltyModel: Send + Sync {
     /// Penalties for the given set of concurrent communications.
     fn penalties(&self, comms: &[Communication]) -> Vec<Penalty>;
 
-    /// Penalties for a population that evolved from the previously queried
-    /// one as described by `delta` — the batch-delta entry point of the
-    /// incremental fluid engine.
+    /// Creates the opaque per-cache scratch state for
+    /// [`Self::penalties_with_scratch`]. The query issuer (one penalty
+    /// cache) owns it and hands it back on every query; models with
+    /// nothing to keep return the default [`NoScratch`].
+    fn new_scratch(&self) -> Box<dyn ModelScratch> {
+        Box::new(NoScratch)
+    }
+
+    /// The stateful batch-delta entry point of the incremental fluid
+    /// engine: penalties for a population that evolved from the previously
+    /// queried one as described by `delta`, with `scratch` carrying the
+    /// model's own state between settles (endpoint indices for the
+    /// closed-form models, union–find conflict components plus a cached
+    /// budget certification for Myrinet — see [`crate::incremental`] and
+    /// the per-model docs).
     ///
     /// `previous` carries the last-queried population and its penalties
-    /// (`None` on the first query), so models stay stateless: everything
-    /// needed to patch instead of recompute arrives with the call. The
-    /// default implementation recomputes from scratch; models whose
-    /// penalties are cheap to patch override this to update only the
-    /// communications the change can affect — the GigE closed form touches
-    /// one source and one destination group per changed flow, the Myrinet
-    /// model re-enumerates only the conflict components the changed flows
-    /// belong to. See [`crate::incremental`] for the shared alignment and
-    /// affected-set machinery.
+    /// (`None` on the first query); a cold scratch is *seeded* from it, so
+    /// stateless callers (and the [`Self::penalties_after_change`]
+    /// convenience wrapper) still get incremental patches. The default
+    /// implementation recomputes from scratch and reports a non-patched
+    /// [`QueryOutcome`].
     ///
     /// The contract is identical to [`Self::penalties`]: the result must
     /// equal `self.penalties(comms)` bit-for-bit. Implementations must
-    /// treat `delta`/`previous` as *hints*: when they are inconsistent with
-    /// `comms` (see the invariants on [`PopulationDelta`]) the model falls
-    /// back to a full recompute rather than producing wrong penalties.
+    /// treat `delta`, `previous` *and the scratch* as hints: on any
+    /// inconsistency (see the invariants on [`PopulationDelta`]) the model
+    /// falls back to a full recompute — and rebuilds the scratch — rather
+    /// than producing wrong penalties.
+    fn penalties_with_scratch(
+        &self,
+        comms: &[Communication],
+        delta: &PopulationDelta,
+        previous: Option<(&[Communication], &[Penalty])>,
+        scratch: &mut dyn ModelScratch,
+    ) -> (Vec<Penalty>, QueryOutcome) {
+        let _ = (delta, previous, scratch);
+        (self.penalties(comms), QueryOutcome::default())
+    }
+
+    /// Stateless convenience wrapper around
+    /// [`Self::penalties_with_scratch`]: runs the query over a fresh
+    /// scratch (seeded from `previous`), discarding the scratch and the
+    /// outcome. Kept as the ergonomic entry point for tests and one-shot
+    /// callers; long-lived callers hold a scratch and use the stateful
+    /// entry point directly.
     fn penalties_after_change(
         &self,
         comms: &[Communication],
         delta: PopulationDelta,
         previous: Option<(&[Communication], &[Penalty])>,
     ) -> Vec<Penalty> {
-        let _ = (delta, previous);
-        self.penalties(comms)
+        let mut scratch = self.new_scratch();
+        self.penalties_with_scratch(comms, &delta, previous, scratch.as_mut())
+            .0
     }
 
     /// Penalty of one communication inside a population. Convenience used
@@ -82,6 +110,13 @@ pub trait PenaltyModel: Send + Sync {
 /// * [`PopulationDelta::Departed`] holds **strictly increasing** positions
 ///   into the *previous* population slice; the survivors make up the new
 ///   slice exactly, in the same relative order.
+/// * [`PopulationDelta::Mixed`] chains the two: it is exactly
+///   `Departed(departed)` applied to the previous population, followed by
+///   `Arrived(arrived)` applied to the intermediate result — both position
+///   vectors strictly increasing, `departed` into the *previous* slice,
+///   `arrived` into the *new* one. Simultaneous arrival+departure batches
+///   (a completion coinciding with a gate opening) stay positional instead
+///   of degrading to [`PopulationDelta::Rebuilt`].
 ///
 /// Consumers must not trust these invariants blindly:
 /// [`crate::incremental::align`] verifies them (including per-entry
@@ -96,7 +131,19 @@ pub enum PopulationDelta {
     /// Positions (in the previous population) of departed communications
     /// (completions).
     Departed(Vec<usize>),
-    /// First query, or an arbitrary mix of arrivals and departures.
+    /// A simultaneous arrival+departure batch, expressed as two chained
+    /// positional deltas: departures first (positions in the *previous*
+    /// population), then arrivals (positions in the *new* one).
+    Mixed {
+        /// Positions (in the previous population) of departed
+        /// communications; applied first.
+        departed: Vec<usize>,
+        /// Positions (in the new population) of arrived communications;
+        /// applied second.
+        arrived: Vec<usize>,
+    },
+    /// First query, or a transition the cache could not explain
+    /// positionally.
     Rebuilt,
 }
 
@@ -105,6 +152,9 @@ impl PopulationDelta {
     pub fn is_empty(&self) -> bool {
         match self {
             PopulationDelta::Arrived(idx) | PopulationDelta::Departed(idx) => idx.is_empty(),
+            PopulationDelta::Mixed { departed, arrived } => {
+                departed.is_empty() && arrived.is_empty()
+            }
             PopulationDelta::Rebuilt => false,
         }
     }
@@ -116,6 +166,18 @@ impl<M: PenaltyModel + ?Sized> PenaltyModel for &M {
     }
     fn penalties(&self, comms: &[Communication]) -> Vec<Penalty> {
         (**self).penalties(comms)
+    }
+    fn new_scratch(&self) -> Box<dyn ModelScratch> {
+        (**self).new_scratch()
+    }
+    fn penalties_with_scratch(
+        &self,
+        comms: &[Communication],
+        delta: &PopulationDelta,
+        previous: Option<(&[Communication], &[Penalty])>,
+        scratch: &mut dyn ModelScratch,
+    ) -> (Vec<Penalty>, QueryOutcome) {
+        (**self).penalties_with_scratch(comms, delta, previous, scratch)
     }
     fn penalties_after_change(
         &self,
@@ -133,6 +195,18 @@ impl<M: PenaltyModel + ?Sized> PenaltyModel for Box<M> {
     }
     fn penalties(&self, comms: &[Communication]) -> Vec<Penalty> {
         (**self).penalties(comms)
+    }
+    fn new_scratch(&self) -> Box<dyn ModelScratch> {
+        (**self).new_scratch()
+    }
+    fn penalties_with_scratch(
+        &self,
+        comms: &[Communication],
+        delta: &PopulationDelta,
+        previous: Option<(&[Communication], &[Penalty])>,
+        scratch: &mut dyn ModelScratch,
+    ) -> (Vec<Penalty>, QueryOutcome) {
+        (**self).penalties_with_scratch(comms, delta, previous, scratch)
     }
     fn penalties_after_change(
         &self,
@@ -283,7 +357,17 @@ mod tests {
         use PopulationDelta::*;
         assert!(Arrived(vec![]).is_empty());
         assert!(Departed(vec![]).is_empty());
+        assert!(Mixed {
+            departed: vec![],
+            arrived: vec![]
+        }
+        .is_empty());
         assert!(!Arrived(vec![0]).is_empty());
+        assert!(!Mixed {
+            departed: vec![0],
+            arrived: vec![]
+        }
+        .is_empty());
         assert!(!Rebuilt.is_empty());
     }
 
@@ -306,6 +390,10 @@ mod tests {
                 for delta in [
                     PopulationDelta::Arrived(vec![1]),
                     PopulationDelta::Departed(vec![0, 2]),
+                    PopulationDelta::Mixed {
+                        departed: vec![0],
+                        arrived: vec![1],
+                    },
                     PopulationDelta::Rebuilt,
                 ] {
                     assert_eq!(
@@ -338,6 +426,79 @@ mod tests {
                 Some((prior.as_slice(), prior_penalties.as_slice())),
             );
             assert_eq!(got, full, "{kind}");
+        }
+    }
+
+    #[test]
+    fn penalties_after_change_honours_consistent_mixed_hints() {
+        // prior[1] departed while comms[1] arrived: one chained mixed
+        // delta. Patched answers must equal the full evaluation.
+        let comms = vec![
+            Communication::new(0u32, 1u32, 10),
+            Communication::new(0u32, 2u32, 10),
+            Communication::new(3u32, 2u32, 10),
+        ];
+        let prior = [comms[0], Communication::new(4u32, 5u32, 10), comms[2]];
+        for kind in ModelKind::ALL {
+            let model = kind.build();
+            let full = model.penalties(&comms);
+            let prior_penalties = model.penalties(&prior);
+            let got = model.penalties_after_change(
+                &comms,
+                PopulationDelta::Mixed {
+                    departed: vec![1],
+                    arrived: vec![1],
+                },
+                Some((prior.as_slice(), prior_penalties.as_slice())),
+            );
+            assert_eq!(got, full, "{kind}");
+        }
+    }
+
+    #[test]
+    fn scratch_state_carries_between_settles() {
+        // Drive two settles through one scratch: the second query patches
+        // from state the scratch kept (no `previous` hint supplied at all)
+        // and still matches the full evaluation bit-for-bit.
+        let first = vec![
+            Communication::new(0u32, 1u32, 10),
+            Communication::new(2u32, 3u32, 10),
+        ];
+        let mut second = first.clone();
+        second.push(Communication::new(0u32, 4u32, 10));
+        // The three specialized models must actually *use* the scratch:
+        // with no `previous` hint, only state carried inside the scratch
+        // can make the second query a patch.
+        let specialized = [
+            ModelKind::GigabitEthernet,
+            ModelKind::Myrinet,
+            ModelKind::Infiniband,
+        ];
+        for kind in ModelKind::ALL {
+            let model = kind.build();
+            let mut scratch = model.new_scratch();
+            let (p1, o1) = model.penalties_with_scratch(
+                &first,
+                &PopulationDelta::Rebuilt,
+                None,
+                scratch.as_mut(),
+            );
+            assert_eq!(p1, model.penalties(&first), "{kind}");
+            assert!(!o1.patched, "{kind}: first settle cannot patch");
+            let (p2, o2) = model.penalties_with_scratch(
+                &second,
+                &PopulationDelta::Arrived(vec![2]),
+                None,
+                scratch.as_mut(),
+            );
+            assert_eq!(p2, model.penalties(&second), "{kind}");
+            if specialized.contains(&kind) {
+                assert!(o2.patched, "{kind}: second settle must patch from scratch");
+                assert!(
+                    !o2.scratch_rebuilt,
+                    "{kind}: warm scratch must not be rebuilt"
+                );
+            }
         }
     }
 }

@@ -20,16 +20,17 @@
 //! On the paper's Fig. 5 example this yields exactly the Fig. 6 table:
 //! sums `1,2,2,2,2,3`, minima `1,1,1,2,2,2`, penalties `5,5,5,2.5,2.5,2.5`.
 
-use crate::incremental::validated;
+use crate::incremental::align;
 use crate::model::{scatter_penalties, split_intra_node, PenaltyModel, PopulationDelta};
 use crate::penalty::Penalty;
+use crate::scratch::{ModelScratch, QueryOutcome};
 use crate::states::{
     count_components, enumerate_components, StateSetEnumeration, DEFAULT_STATE_SET_BUDGET,
 };
 use netbw_graph::conflict::{ConflictGraph, ConflictRule};
 use netbw_graph::{Communication, NodeId};
 use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The paper's Myrinet 2000 model.
@@ -180,24 +181,74 @@ impl MyrinetModel {
         }
         (state_count, emission)
     }
+}
 
-    /// True when every conflict component of `network` is small enough
-    /// that its state-set enumeration *provably* fits `budget` (by the
-    /// Moon–Moser bound on the number of maximal independent sets). This
-    /// certifies that a full evaluation of the population did not (and
-    /// would not) fall back to the max-conflict approximation — the
-    /// precondition for reusing its penalties during a patch.
-    fn certified_under_budget(
-        network: &[Communication],
-        rule: ConflictRule,
-        budget: usize,
-    ) -> bool {
-        let (comp_of, comp_count) = conflict_component_ids(network, rule);
-        let mut sizes = vec![0usize; comp_count];
-        for &id in &comp_of {
-            sizes[id] += 1;
+/// The Myrinet model's per-cache scratch: the previously settled
+/// population, its penalties, and the union–find conflict-component
+/// structure kept alive across settles — component membership, per-
+/// component sizes, and a *cached Moon–Moser budget certification*
+/// (`over_budget` counts the components whose worst-case state-set count
+/// exceeds the enumeration budget, so headroom is re-certified only when a
+/// touched component changes, never by an O(n) pass over the previous
+/// population).
+///
+/// Component ids are never reused (`next_comp` is monotonic), so a stale
+/// `src_comp`/`dst_comp` entry — left behind when a node's last flow
+/// departs — can only name a dead component, which marks nothing.
+#[derive(Debug, Default)]
+struct MyrinetScratch {
+    settled: bool,
+    /// The previously settled population (full, intra-node included).
+    prev: Vec<Communication>,
+    prev_pens: Vec<Penalty>,
+    /// Network position per full position (`usize::MAX` for intra-node).
+    net_pos: Vec<usize>,
+    /// Conflict-component id per previous network position.
+    comp_of: Vec<usize>,
+    /// Live components and their sizes (the Moon–Moser certification
+    /// input).
+    comp_sizes: HashMap<usize, usize>,
+    /// How many live components fail the Moon–Moser certification; zero
+    /// means the previous penalties are provably exact and reusable.
+    over_budget: usize,
+    /// Component containing the flows leaving / entering each node.
+    src_comp: HashMap<NodeId, usize>,
+    dst_comp: HashMap<NodeId, usize>,
+    next_comp: usize,
+}
+
+impl MyrinetScratch {
+    /// Rebuilds every piece of scratch state from a full
+    /// population/penalty pair: one O(n·α) union–find pass.
+    fn rebuild(&mut self, comms: &[Communication], pens: &[Penalty], model: &MyrinetModel) {
+        debug_assert_eq!(comms.len(), pens.len());
+        self.settled = true;
+        self.prev = comms.to_vec();
+        self.prev_pens = pens.to_vec();
+        self.net_pos = vec![usize::MAX; comms.len()];
+        let mut network = Vec::with_capacity(comms.len());
+        for (i, c) in comms.iter().enumerate() {
+            if !c.is_intra_node() {
+                self.net_pos[i] = network.len();
+                network.push(*c);
+            }
         }
-        sizes.iter().all(|&n| mis_upper_bound(n) <= budget as u128)
+        let (comp_of, comp_count) = conflict_component_ids(&network, model.rule);
+        self.comp_sizes.clear();
+        self.src_comp.clear();
+        self.dst_comp.clear();
+        for (k, c) in network.iter().enumerate() {
+            *self.comp_sizes.entry(comp_of[k]).or_insert(0) += 1;
+            self.src_comp.insert(c.src, comp_of[k]);
+            self.dst_comp.insert(c.dst, comp_of[k]);
+        }
+        self.over_budget = self
+            .comp_sizes
+            .values()
+            .filter(|&&n| mis_upper_bound(n) > model.budget as u128)
+            .count();
+        self.comp_of = comp_of;
+        self.next_comp = comp_count;
     }
 }
 
@@ -298,10 +349,77 @@ impl PenaltyModel for MyrinetModel {
     /// identical penalties to [`MyrinetModel::analyse`] at a fraction of
     /// the memory.
     fn penalties(&self, comms: &[Communication]) -> Vec<Penalty> {
+        self.penalties_flagged(comms).0
+    }
+
+    fn new_scratch(&self) -> Box<dyn ModelScratch> {
+        Box::new(MyrinetScratch::default())
+    }
+
+    /// Component-level patch over the per-cache `MyrinetScratch`: the
+    /// union–find component structure survives between settles, only the
+    /// conflict components reached by the changed flows are re-enumerated,
+    /// and every other component keeps its previous penalties bit-for-bit.
+    ///
+    /// Reuse is gated on the scratch's *cached* Moon–Moser budget
+    /// certification (every component of the previous population provably
+    /// small enough that its enumeration fit the budget): a budget hit
+    /// anywhere degrades the whole answer to the max-conflict
+    /// approximation, so previous penalties can only be trusted when no
+    /// component could have hit it. When certification or any consistency
+    /// check fails, the model falls back to the full evaluation — with the
+    /// refusal reported in [`QueryOutcome::budget_fallback`] — keeping the
+    /// [`PenaltyModel::penalties`] contract exact in every regime.
+    fn penalties_with_scratch(
+        &self,
+        comms: &[Communication],
+        delta: &PopulationDelta,
+        previous: Option<(&[Communication], &[Penalty])>,
+        scratch: &mut dyn ModelScratch,
+    ) -> (Vec<Penalty>, QueryOutcome) {
+        let mut local = MyrinetScratch::default();
+        let scratch = scratch
+            .as_any_mut()
+            .downcast_mut::<MyrinetScratch>()
+            .unwrap_or(&mut local);
+        match self.patch_scratch(comms, delta, previous, scratch) {
+            Ok((pens, seeded)) => (
+                pens,
+                QueryOutcome {
+                    patched: true,
+                    scratch_rebuilt: seeded,
+                    budget_fallback: false,
+                },
+            ),
+            Err(budget_refusal) => {
+                let (pens, fell_back) = self.penalties_flagged(comms);
+                scratch.rebuild(comms, &pens, self);
+                (
+                    pens,
+                    QueryOutcome {
+                        patched: false,
+                        scratch_rebuilt: true,
+                        budget_fallback: budget_refusal || fell_back,
+                    },
+                )
+            }
+        }
+    }
+}
+
+impl MyrinetModel {
+    /// The [`PenaltyModel::penalties`] evaluation, also reporting whether
+    /// the enumeration hit its budget and degraded to the max-conflict
+    /// approximation — a local flag, so callers attributing fallbacks to
+    /// *this* query never race with other users of a shared model
+    /// instance (the `fallbacks` atomic is a cumulative model-wide
+    /// counter, not a per-query signal).
+    fn penalties_flagged(&self, comms: &[Communication]) -> (Vec<Penalty>, bool) {
         let (indices, network) = split_intra_node(comms);
         let graph = ConflictGraph::build(&network, self.rule);
         let mut state_count = vec![1u64; network.len()];
         let mut emission = vec![1u64; network.len()];
+        let mut fell_back = false;
         match count_components(&graph, self.budget) {
             Ok(comps) => {
                 for c in &comps {
@@ -313,104 +431,189 @@ impl PenaltyModel for MyrinetModel {
             }
             Err(_) => {
                 self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                fell_back = true;
                 (state_count, emission) = Self::fallback_tables(&network);
             }
         }
-        Self::penalties_from_tables(comms.len(), &indices, &network, &state_count, &emission)
+        let pens =
+            Self::penalties_from_tables(comms.len(), &indices, &network, &state_count, &emission);
+        (pens, fell_back)
     }
 
-    /// Component-level patch: only the conflict components reached by the
-    /// changed flows are re-enumerated; every other component keeps its
-    /// previous penalties bit-for-bit.
-    ///
-    /// Reuse is gated on a budget certification of the *previous*
-    /// population (every conflict component small enough — by the
-    /// Moon–Moser bound — that its enumeration provably fit the budget): a
-    /// budget hit anywhere degrades the whole answer to the max-conflict
-    /// approximation, so previous penalties can only be trusted when no
-    /// component could have hit it. When certification or any consistency
-    /// check fails, the model falls back to the full evaluation, keeping
-    /// the [`PenaltyModel::penalties`] contract exact in every regime.
-    fn penalties_after_change(
+    /// The component patch proper. `Ok((penalties, seeded))` on success
+    /// (`seeded` when the scratch had to be built from the `previous` hint
+    /// first); `Err(budget_refusal)` when the caller must recompute in
+    /// full and rebuild the scratch — with `budget_refusal` true when the
+    /// refusal was the budget certification or an enumeration blowing its
+    /// budget, rather than unusable hints.
+    fn patch_scratch(
         &self,
         comms: &[Communication],
-        delta: PopulationDelta,
+        delta: &PopulationDelta,
         previous: Option<(&[Communication], &[Penalty])>,
-    ) -> Vec<Penalty> {
-        let Some((prev_comms, prev_pens, al)) = validated(comms, &delta, previous) else {
-            return self.penalties(comms);
-        };
-        let (_, prev_network) = split_intra_node(prev_comms);
-        if !Self::certified_under_budget(&prev_network, self.rule, self.budget) {
-            return self.penalties(comms);
+        s: &mut MyrinetScratch,
+    ) -> Result<(Vec<Penalty>, bool), bool> {
+        let mut seeded = false;
+        if !s.settled {
+            let (prev_comms, prev_pens) = previous.ok_or(false)?;
+            if prev_pens.len() != prev_comms.len() {
+                return Err(false);
+            }
+            s.rebuild(prev_comms, prev_pens, self);
+            seeded = true;
+        }
+        let al = align(comms, delta, &s.prev).ok_or(false)?;
+        // Cached certification: with any previous component over the
+        // Moon–Moser budget bound, the previous penalties may be the
+        // max-conflict approximation and must not be mixed with exact
+        // re-enumerations.
+        if s.over_budget > 0 {
+            return Err(true);
         }
 
-        let (indices, network) = split_intra_node(comms);
-        let (comp_of, comp_count) = conflict_component_ids(&network, self.rule);
-        // Mark the components the change reaches: a changed flow conflicts
-        // (under the rule) with members of every component it touched, and
-        // any component split off by a departure still contains one of the
-        // departed flow's former conflict partners.
-        let mut marked = vec![false; comp_count];
-        for ch in al.changed.iter().filter(|c| !c.is_intra_node()) {
-            for (k, c) in network.iter().enumerate() {
-                if self.rule.conflicts(ch, c) {
-                    marked[comp_of[k]] = true;
+        // Mark the components the change reaches. Departures mark their
+        // own component (any component split off by a departure still
+        // contains one of the departed flow's former conflict partners);
+        // arrivals mark every component holding a flow they conflict with,
+        // found through the per-node component maps instead of a scan.
+        let mut marked: HashSet<usize> = HashSet::new();
+        for (p, _) in al.departed.iter().filter(|(_, c)| !c.is_intra_node()) {
+            marked.insert(s.comp_of[s.net_pos[*p]]);
+        }
+        for (_, c) in al.arrived.iter().filter(|(_, c)| !c.is_intra_node()) {
+            let roles: &[(&HashMap<NodeId, usize>, NodeId)] = match self.rule {
+                // Strict: an arrival (s, d) conflicts with flows sharing
+                // its source (as source) or its destination (as
+                // destination).
+                ConflictRule::Strict => &[(&s.src_comp, c.src), (&s.dst_comp, c.dst)],
+                // SharedNode: any flow touching either endpoint, in any
+                // role.
+                ConflictRule::SharedNode => &[
+                    (&s.src_comp, c.src),
+                    (&s.dst_comp, c.src),
+                    (&s.src_comp, c.dst),
+                    (&s.dst_comp, c.dst),
+                ],
+            };
+            for (map, node) in roles {
+                if let Some(&id) = map.get(node) {
+                    marked.insert(id);
                 }
             }
         }
-        let marked_vertices: Vec<usize> =
-            (0..network.len()).filter(|&k| marked[comp_of[k]]).collect();
 
-        // Re-enumerate only the marked components (the sub-population's
-        // conflict components are exactly the marked components, since
-        // marking is closed over whole components).
-        let mut state_count = vec![0u64; network.len()];
-        let mut emission = vec![0u64; network.len()];
-        if !marked_vertices.is_empty() {
-            let sub: Vec<Communication> = marked_vertices.iter().map(|&k| network[k]).collect();
+        // The re-enumeration sub-population: survivors of marked
+        // components plus every arrival. Its conflict graph is exact — a
+        // sub member's conflict partners are all in the sub as well.
+        let mut sub: Vec<Communication> = Vec::new();
+        let mut sub_full_pos: Vec<usize> = Vec::new();
+        let mut in_sub = vec![false; comms.len()];
+        for (i, c) in comms.iter().enumerate() {
+            if c.is_intra_node() {
+                continue;
+            }
+            let member = match al.prev_of[i] {
+                None => true,
+                Some(p) => marked.contains(&s.comp_of[s.net_pos[p]]),
+            };
+            if member {
+                in_sub[i] = true;
+                sub_full_pos.push(i);
+                sub.push(*c);
+            }
+        }
+
+        let mut sub_state = vec![1u64; sub.len()];
+        let mut sub_emission = vec![1u64; sub.len()];
+        let mut sub_comp_of = vec![0usize; sub.len()];
+        let mut sub_comp_sizes: Vec<usize> = Vec::new();
+        if !sub.is_empty() {
             let graph = ConflictGraph::build(&sub, self.rule);
             match count_components(&graph, self.budget) {
                 Ok(comps) => {
                     for comp in &comps {
+                        let id = sub_comp_sizes.len();
+                        sub_comp_sizes.push(comp.vertices.len());
                         for (j, &v) in comp.vertices.iter().enumerate() {
-                            let k = marked_vertices[v];
-                            state_count[k] = comp.count;
-                            emission[k] = comp.emission[j];
+                            sub_state[v] = comp.count;
+                            sub_emission[v] = comp.emission[j];
+                            sub_comp_of[v] = id;
                         }
                     }
                 }
                 // An affected component blew the budget: the full
                 // evaluation degrades globally, so produce exactly that.
-                Err(_) => return self.penalties(comms),
+                Err(_) => return Err(true),
             }
         }
 
-        // κ over the marked subset is exact: a source group always lives
-        // inside a single conflict component.
+        // κ over the sub-population is exact: a source group always lives
+        // inside a single conflict component, and marked components are
+        // wholly contained in the sub.
         let mut min_by_source: HashMap<NodeId, u64> = HashMap::new();
-        for &k in &marked_vertices {
+        for (v, c) in sub.iter().enumerate() {
             min_by_source
-                .entry(network[k].src)
-                .and_modify(|m| *m = (*m).min(emission[k]))
-                .or_insert(emission[k]);
+                .entry(c.src)
+                .and_modify(|m| *m = (*m).min(sub_emission[v]))
+                .or_insert(sub_emission[v]);
         }
 
         let mut out = vec![Penalty::ONE; comms.len()];
-        for (k, &orig) in indices.iter().enumerate() {
-            if marked[comp_of[k]] {
-                out[orig] =
-                    Penalty::new(state_count[k] as f64 / min_by_source[&network[k].src] as f64);
-            } else {
-                match al.prev_of[orig] {
-                    Some(p) => out[orig] = prev_pens[p],
-                    // An unmarked arrival cannot happen (an arrival always
-                    // conflicts with itself); recompute if it somehow does.
-                    None => return self.penalties(comms),
+        for (i, c) in comms.iter().enumerate() {
+            if c.is_intra_node() || in_sub[i] {
+                continue;
+            }
+            let p = al.prev_of[i].expect("non-sub network entries are survivors");
+            out[i] = s.prev_pens[p];
+        }
+        for (v, &i) in sub_full_pos.iter().enumerate() {
+            out[i] = Penalty::new(sub_state[v] as f64 / min_by_source[&sub[v].src] as f64);
+        }
+
+        // Commit the new population to the scratch: marked components die,
+        // the sub enumeration's components join under fresh (never reused)
+        // ids, untouched components carry their ids, sizes — and
+        // certification — over.
+        for id in &marked {
+            if let Some(size) = s.comp_sizes.remove(id) {
+                if mis_upper_bound(size) > self.budget as u128 {
+                    s.over_budget -= 1;
                 }
             }
         }
-        out
+        let base = s.next_comp;
+        s.next_comp += sub_comp_sizes.len();
+        for (j, &size) in sub_comp_sizes.iter().enumerate() {
+            s.comp_sizes.insert(base + j, size);
+            if mis_upper_bound(size) > self.budget as u128 {
+                s.over_budget += 1;
+            }
+        }
+        let mut net_pos = vec![usize::MAX; comms.len()];
+        let mut comp_of = Vec::with_capacity(sub.len() + comms.len());
+        let mut sub_v = 0usize;
+        for (i, c) in comms.iter().enumerate() {
+            if c.is_intra_node() {
+                continue;
+            }
+            net_pos[i] = comp_of.len();
+            if in_sub[i] {
+                comp_of.push(base + sub_comp_of[sub_v]);
+                sub_v += 1;
+            } else {
+                let p = al.prev_of[i].expect("non-sub network entries are survivors");
+                comp_of.push(s.comp_of[s.net_pos[p]]);
+            }
+        }
+        for (v, c) in sub.iter().enumerate() {
+            s.src_comp.insert(c.src, base + sub_comp_of[v]);
+            s.dst_comp.insert(c.dst, base + sub_comp_of[v]);
+        }
+        s.prev = comms.to_vec();
+        s.prev_pens = out.clone();
+        s.net_pos = net_pos;
+        s.comp_of = comp_of;
+        Ok((out, seeded))
     }
 }
 

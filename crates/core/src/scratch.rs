@@ -1,0 +1,107 @@
+//! Opaque, caller-owned model scratch state.
+//!
+//! The penalty models themselves are shared across threads (`PenaltyModel:
+//! Send + Sync`), so they cannot accumulate per-population state — but the
+//! incremental patch machinery wants exactly that: GigE and InfiniBand keep
+//! an endpoint index alive across settles, Myrinet its union–find conflict
+//! components plus a cached Moon–Moser budget certification. The solution
+//! is to move the state *out* of the model and into whoever issues the
+//! queries: a [`ModelScratch`] is created once per penalty cache by
+//! [`PenaltyModel::new_scratch`](crate::PenaltyModel::new_scratch), handed
+//! back on every
+//! [`penalties_with_scratch`](crate::PenaltyModel::penalties_with_scratch)
+//! call, and downcast by the owning model to its concrete scratch type.
+//! A model must treat an unexpected scratch type as empty — correctness
+//! can never depend on what the scratch holds, only speed can.
+//!
+//! Every query also reports a [`QueryOutcome`], which is how patch
+//! behaviour becomes observable: the fluid engine's `CacheStats`
+//! distinguishes deltas *offered* from patches *performed*, and counts
+//! scratch rebuilds and Myrinet budget fallbacks from these flags.
+
+use std::any::Any;
+
+/// Opaque per-cache scratch state, owned by the query issuer (the fluid
+/// engine's `PenaltyCache`) and interpreted only by the model that created
+/// it. The blanket impl makes any `Any + Send` type usable as a scratch.
+pub trait ModelScratch: Any + Send {
+    /// Upcast for downcasting to the concrete scratch type.
+    fn as_any(&self) -> &dyn Any;
+    /// Mutable upcast for downcasting to the concrete scratch type.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T: Any + Send> ModelScratch for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The scratch of models that keep no state between queries (the
+/// baselines, and the default trait implementations).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoScratch;
+
+/// How a scratch-backed query was answered — the observability half of the
+/// scratch machinery.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryOutcome {
+    /// The penalties were *patched* in O(affected) from the previous
+    /// settle (survivors outside the change's reach kept their values
+    /// verbatim). `false` means a full recompute answered the query.
+    pub patched: bool,
+    /// The model rebuilt (or first built, or re-seeded from the `previous`
+    /// hint) its scratch state with a full O(n) pass this query.
+    pub scratch_rebuilt: bool,
+    /// A budget certification refused penalty reuse, or the state-set
+    /// enumeration hit its budget (Myrinet only; always `false` for the
+    /// closed-form models).
+    pub budget_fallback: bool,
+}
+
+impl QueryOutcome {
+    /// An O(affected) patch over warm scratch state.
+    pub fn patch() -> Self {
+        QueryOutcome {
+            patched: true,
+            ..QueryOutcome::default()
+        }
+    }
+
+    /// A full recompute that also rebuilt the scratch.
+    pub fn rebuild() -> Self {
+        QueryOutcome {
+            scratch_rebuilt: true,
+            ..QueryOutcome::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_send_type_is_a_scratch() {
+        // Downcasting must go through `&dyn ModelScratch` (as the models
+        // do) — calling `as_any` on the `Box` itself would upcast the box,
+        // not its contents.
+        let mut boxed: Box<dyn ModelScratch> = Box::new(42usize);
+        assert_eq!(*(*boxed).as_any().downcast_ref::<usize>().unwrap(), 42);
+        *(*boxed).as_any_mut().downcast_mut::<usize>().unwrap() += 1;
+        assert_eq!(*(*boxed).as_any().downcast_ref::<usize>().unwrap(), 43);
+        assert!((*boxed).as_any().downcast_ref::<NoScratch>().is_none());
+    }
+
+    #[test]
+    fn outcome_constructors() {
+        assert!(QueryOutcome::patch().patched);
+        assert!(!QueryOutcome::patch().scratch_rebuilt);
+        assert!(QueryOutcome::rebuild().scratch_rebuilt);
+        assert!(!QueryOutcome::rebuild().patched);
+        assert!(!QueryOutcome::default().budget_fallback);
+    }
+}

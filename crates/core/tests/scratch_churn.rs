@@ -1,0 +1,146 @@
+//! Multi-settle scratch equivalence: scratch-backed incremental
+//! evaluation must equal the full recompute **bit-for-bit across whole
+//! settle sequences**, with the scratch state carried *between* settles —
+//! not just for single-delta transitions. Workloads come from the shared
+//! churn-scenario generator in `netbw-bench`, so these proptests and the
+//! churn bench exercise the same kind of schedules (arrival, departure and
+//! chained mixed batches alike).
+
+use netbw_bench::ChurnScenario;
+use netbw_core::{
+    GigabitEthernetModel, InfinibandModel, ModelKind, MyrinetModel, PenaltyModel, PopulationDelta,
+};
+use proptest::prelude::*;
+
+/// Drives a whole scenario through one scratch, checking every settle
+/// against the stateless full evaluation. Returns how many settles the
+/// model answered with a patch and how many it refused on budget grounds.
+fn check_scenario<M: PenaltyModel>(
+    model: &M,
+    scenario: &ChurnScenario,
+) -> Result<(u64, u64), String> {
+    let mut scratch = model.new_scratch();
+    let mut population = scenario.initial.clone();
+    let (mut patched, mut budget) = (0u64, 0u64);
+    let (pens, outcome) = model.penalties_with_scratch(
+        &population,
+        &PopulationDelta::Rebuilt,
+        None,
+        scratch.as_mut(),
+    );
+    if pens != model.penalties(&population) {
+        return Err(format!("{}: first settle diverged", model.name()));
+    }
+    if outcome.patched {
+        return Err(format!("{}: first settle cannot patch", model.name()));
+    }
+    for (step_no, step) in scenario.steps.iter().enumerate() {
+        let (next, delta) = step.apply(&population);
+        // No `previous` hint: only the scratch can make this incremental.
+        let (pens, outcome) = model.penalties_with_scratch(&next, &delta, None, scratch.as_mut());
+        let full = model.penalties(&next);
+        if pens != full {
+            return Err(format!(
+                "{}: settle {step_no} diverged under {delta:?}\n got {pens:?}\nwant {full:?}",
+                model.name()
+            ));
+        }
+        if outcome.patched {
+            patched += 1;
+        }
+        if outcome.budget_fallback {
+            budget += 1;
+        }
+        population = next;
+    }
+    Ok((patched, budget))
+}
+
+proptest! {
+    /// Scratch-backed incremental == full recompute, bit-for-bit, across
+    /// 40-settle sequences of arrival/departure/mixed batches, for all
+    /// three specialized models — and the overwhelming majority of
+    /// settles must actually be answered by patches (the scratch is not
+    /// allowed to silently degrade to recompute-every-time).
+    #[test]
+    fn scratch_matches_full_recompute_across_settle_sequences(
+        seed in 0u64..1_000_000_000,
+        nodes in 4u32..12,
+        initial in 0usize..12,
+    ) {
+        let scenario = ChurnScenario::generate(seed, nodes, initial, 40);
+        for kind in [ModelKind::GigabitEthernet, ModelKind::Infiniband, ModelKind::Myrinet] {
+            let model = kind.build();
+            let (patched, budget) = check_scenario(&model, &scenario)?;
+            // Every warm settle must be answered by a patch — except
+            // Myrinet settles whose population legitimately fails the
+            // Moon-Moser certification (dense drifting populations can
+            // outgrow the budget); nothing may fail silently.
+            prop_assert!(
+                patched + budget == 40,
+                "{kind}: {patched} patched + {budget} budget refusals != 40"
+            );
+            if kind != ModelKind::Myrinet {
+                prop_assert!(budget == 0, "{kind}: closed forms have no budget");
+            }
+        }
+    }
+
+    /// The `SharedNode` ablation rule drives a different arrival-marking
+    /// table in the Myrinet component patch (flows conflict through *any*
+    /// shared endpoint, in any role): same bit-for-bit pin, and every
+    /// non-patched settle must be a visible budget refusal — SharedNode
+    /// merges components aggressively, so refusals are legitimate.
+    #[test]
+    fn shared_node_rule_scratch_matches_full_recompute(
+        seed in 0u64..1_000_000_000,
+        nodes in 4u32..12,
+        initial in 0usize..10,
+    ) {
+        let scenario = ChurnScenario::generate(seed, nodes, initial, 30);
+        let model = MyrinetModel::with_rule(netbw_graph::conflict::ConflictRule::SharedNode);
+        let (patched, budget) = check_scenario(&model, &scenario)?;
+        prop_assert!(
+            patched + budget == 30,
+            "shared-node: {patched} patched + {budget} budget refusals != 30"
+        );
+    }
+
+    /// Same sequences through a budget-starved Myrinet: the certification
+    /// must refuse every reuse (nothing patches), and the answers must
+    /// still match the (fallback-regime) full evaluation exactly.
+    #[test]
+    fn budget_starved_myrinet_stays_exact_without_patching(
+        seed in 0u64..1_000_000_000,
+        nodes in 4u32..10,
+    ) {
+        let scenario = ChurnScenario::generate(seed, nodes, 8, 15);
+        let model = MyrinetModel::with_budget(2);
+        let (patched, budget) = check_scenario(&model, &scenario)?;
+        // With an 8-flow initial population over ≤9 nodes some component
+        // exceeds the Moon-Moser budget of 2 almost always; settles whose
+        // population certifies may legitimately patch, but every refusal
+        // must be visible as a budget fallback.
+        prop_assert!(patched + budget == 15, "{patched} + {budget} != 15");
+    }
+}
+
+#[test]
+fn specialized_models_patch_mixed_batches() {
+    // A deterministic pin (independent of the proptest RNG) that chained
+    // mixed deltas are patched — not just accepted — by all three
+    // specialized models.
+    let scenario = ChurnScenario::generate(1234, 8, 6, 30);
+    let mixed_steps = scenario
+        .steps
+        .iter()
+        .filter(|s| !s.departed.is_empty() && !s.arrived.is_empty())
+        .count();
+    assert!(mixed_steps > 0, "seed 1234 must produce mixed steps");
+    let gige = GigabitEthernetModel::default();
+    let ib = InfinibandModel::default();
+    let myrinet = MyrinetModel::default();
+    assert_eq!(check_scenario(&gige, &scenario), Ok((30, 0)));
+    assert_eq!(check_scenario(&ib, &scenario), Ok((30, 0)));
+    assert_eq!(check_scenario(&myrinet, &scenario), Ok((30, 0)));
+}

@@ -8,9 +8,21 @@
 //! tracks *which* flows changed: population members are identified by
 //! stable [`FlowKey`]s, pending arrivals and departures are accumulated as
 //! key sets, and [`PenaltyCache::refresh`] turns them into a positional
-//! [`PopulationDelta`] that lets
-//! [`PenaltyModel::penalties_after_change`] patch only the affected part
+//! [`PopulationDelta`] — simultaneous arrival+departure batches become
+//! chained [`PopulationDelta::Mixed`] deltas (departures first, then
+//! arrivals) instead of degrading to a rebuild — that lets
+//! [`PenaltyModel::penalties_with_scratch`] patch only the affected part
 //! of the fabric instead of recomputing all of it.
+//!
+//! The cache also owns the model's opaque **scratch**
+//! ([`netbw_core::ModelScratch`], created lazily via
+//! [`PenaltyModel::new_scratch`]): the state the models keep *between*
+//! settles — endpoint indices for GigE/InfiniBand, union–find conflict
+//! components plus a cached Moon–Moser budget certification for Myrinet —
+//! lives here, not in the (thread-shared) model. Every query reports a
+//! [`netbw_core::QueryOutcome`], so the stats distinguish deltas *offered*
+//! from patches *performed* and count scratch rebuilds and budget
+//! fallbacks.
 //!
 //! Two bookkeeping niceties fall out of stable keys:
 //!
@@ -22,7 +34,7 @@
 //!   `Departed` delta instead of a rebuild.
 
 use crate::slab::FlowKey;
-use netbw_core::{Penalty, PenaltyModel, PopulationDelta};
+use netbw_core::{ModelScratch, Penalty, PenaltyModel, PopulationDelta};
 use netbw_graph::Communication;
 use std::collections::HashSet;
 
@@ -35,21 +47,34 @@ pub struct CacheStats {
     pub reuses: u64,
     /// Population changes observed (arrivals, gate openings, departures).
     pub invalidations: u64,
-    /// Model queries that carried a positional delta (`Arrived` or
-    /// `Departed`), giving the model the chance to patch in O(affected).
-    /// The model may still recompute in full if it cannot honour the hint
-    /// (failed alignment, or Myrinet's budget certification refusing
-    /// reuse) — this counts deltas *offered*, not patches *performed*;
-    /// model-side reuse is pinned by the poison unit tests in core.
+    /// Model queries that carried a positional delta (`Arrived`,
+    /// `Departed` or chained `Mixed`), giving the model the chance to
+    /// patch in O(affected). This counts deltas *offered*;
+    /// [`CacheStats::patched_queries`] counts the patches the model
+    /// actually *performed*.
     pub delta_queries: u64,
+    /// Model queries the model answered with an O(affected) patch (the
+    /// [`netbw_core::QueryOutcome::patched`] flag). Always ≤
+    /// [`CacheStats::delta_queries`]: a delta-carrying query may still
+    /// recompute in full when the model cannot honour the hint (failed
+    /// alignment, or Myrinet's budget certification refusing reuse).
+    pub patched_queries: u64,
+    /// Queries in which the model (re)built its per-cache scratch state
+    /// with a full O(n) pass — the first settle, every forced rebuild, and
+    /// any bookkeeping surprise.
+    pub scratch_rebuilds: u64,
+    /// Queries in which Myrinet's Moon–Moser budget certification refused
+    /// penalty reuse or the state-set enumeration hit its budget (always 0
+    /// for the closed-form models).
+    pub budget_fallbacks: u64,
     /// Settles where pending changes cancelled out (arrive + depart
     /// between settles): revalidated without touching the model.
     pub cancelled_refreshes: u64,
 }
 
 impl CacheStats {
-    /// Model queries that had to rebuild from scratch (first query, mixed
-    /// arrival/departure batches, forced full recomputes).
+    /// Model queries that had to rebuild from scratch (first query, forced
+    /// full recomputes, or transitions no positional delta could explain).
     pub fn rebuild_queries(&self) -> u64 {
         self.model_queries - self.delta_queries
     }
@@ -58,8 +83,11 @@ impl CacheStats {
 /// Cached penalties for the currently contending population.
 ///
 /// Owned by [`crate::FluidNetwork`]; `active` holds the stable slab keys
-/// of the contending flows, `penalties` is aligned with it.
-#[derive(Debug, Default)]
+/// of the contending flows, `penalties` is aligned with it. The cache also
+/// owns the model's opaque scratch state (created lazily on the first
+/// refresh), which is what makes warm settles O(affected) on the model
+/// side.
+#[derive(Default)]
 pub struct PenaltyCache {
     active: Vec<FlowKey>,
     comms: Vec<Communication>,
@@ -69,7 +97,21 @@ pub struct PenaltyCache {
     pending_arrivals: HashSet<FlowKey>,
     pending_departures: HashSet<FlowKey>,
     pending_rebuild: bool,
+    scratch: Option<Box<dyn ModelScratch>>,
     stats: CacheStats,
+}
+
+impl std::fmt::Debug for PenaltyCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PenaltyCache")
+            .field("active", &self.active)
+            .field("penalties", &self.penalties)
+            .field("valid", &self.valid)
+            .field("settled_once", &self.settled_once)
+            .field("has_scratch", &self.scratch.is_some())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
 }
 
 impl PenaltyCache {
@@ -135,53 +177,55 @@ impl PenaltyCache {
     }
 
     /// Derives the [`PopulationDelta`] for a refresh against `new_active`,
-    /// consuming the pending change sets. Falls back to
-    /// [`PopulationDelta::Rebuilt`] whenever the pending sets do not
-    /// cleanly explain the transition (mixed batches, first settle, or any
-    /// key that fails to line up).
+    /// consuming the pending change sets. A simultaneous arrival+departure
+    /// batch becomes a chained [`PopulationDelta::Mixed`] (departures
+    /// applied against the previous population first, then arrivals
+    /// against the new one); the cache only falls back to
+    /// [`PopulationDelta::Rebuilt`] on the first settle, on a forced
+    /// rebuild, or when a pending key fails to line up with either
+    /// population.
     fn take_delta(&mut self, new_active: &[FlowKey]) -> PopulationDelta {
         let rebuild = std::mem::take(&mut self.pending_rebuild);
         let arrivals = std::mem::take(&mut self.pending_arrivals);
         let departures = std::mem::take(&mut self.pending_departures);
-        if rebuild || !self.settled_once || (!arrivals.is_empty() && !departures.is_empty()) {
+        if rebuild || !self.settled_once {
             return PopulationDelta::Rebuilt;
         }
-        if departures.is_empty() {
-            // Arrivals only (possibly none, if everything cancelled out).
-            let idx: Vec<usize> = new_active
-                .iter()
-                .enumerate()
-                .filter(|(_, k)| arrivals.contains(k))
-                .map(|(i, _)| i)
-                .collect();
-            if idx.len() == arrivals.len() && new_active.len() == self.active.len() + idx.len() {
-                PopulationDelta::Arrived(idx)
-            } else {
-                PopulationDelta::Rebuilt
-            }
-        } else {
-            let idx: Vec<usize> = self
-                .active
-                .iter()
-                .enumerate()
-                .filter(|(_, k)| departures.contains(k))
-                .map(|(i, _)| i)
-                .collect();
-            if idx.len() == departures.len() && new_active.len() + idx.len() == self.active.len() {
-                PopulationDelta::Departed(idx)
-            } else {
-                PopulationDelta::Rebuilt
-            }
+        let arrived: Vec<usize> = new_active
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| arrivals.contains(k))
+            .map(|(i, _)| i)
+            .collect();
+        let departed: Vec<usize> = self
+            .active
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| departures.contains(k))
+            .map(|(i, _)| i)
+            .collect();
+        let consistent = arrived.len() == arrivals.len()
+            && departed.len() == departures.len()
+            && new_active.len() + departed.len() == self.active.len() + arrived.len();
+        if !consistent {
+            return PopulationDelta::Rebuilt;
+        }
+        match (departed.is_empty(), arrived.is_empty()) {
+            (true, _) => PopulationDelta::Arrived(arrived),
+            (false, true) => PopulationDelta::Departed(departed),
+            (false, false) => PopulationDelta::Mixed { departed, arrived },
         }
     }
 
     /// Re-queries `model` for the new population and revalidates. The
     /// pending change sets are distilled into a positional
-    /// [`PopulationDelta`], and the previously settled population (with
-    /// its penalties) is forwarded to the model's batch-delta entry point
-    /// so stateless models can patch; `comms` must be aligned with
-    /// `active`. When the pending changes cancel out exactly, the model is
-    /// not queried at all.
+    /// [`PopulationDelta`] (chained mixed deltas included), and the query
+    /// goes to the model's stateful batch-delta entry point
+    /// [`PenaltyModel::penalties_with_scratch`] over the scratch this
+    /// cache owns — the previously settled population is still forwarded
+    /// as a seeding hint; `comms` must be aligned with `active`. When the
+    /// pending changes cancel out exactly, the model is not queried at
+    /// all.
     pub fn refresh<M: PenaltyModel>(
         &mut self,
         model: &M,
@@ -201,7 +245,10 @@ impl PenaltyCache {
         let previous = self
             .settled_once
             .then_some((self.comms.as_slice(), self.penalties.as_slice()));
-        self.penalties = model.penalties_after_change(&comms, delta, previous);
+        let scratch = self.scratch.get_or_insert_with(|| model.new_scratch());
+        let (penalties, outcome) =
+            model.penalties_with_scratch(&comms, &delta, previous, scratch.as_mut());
+        self.penalties = penalties;
         debug_assert_eq!(self.penalties.len(), comms.len());
         self.active = active;
         self.comms = comms;
@@ -211,6 +258,39 @@ impl PenaltyCache {
         if incremental {
             self.stats.delta_queries += 1;
         }
+        if outcome.patched {
+            self.stats.patched_queries += 1;
+        }
+        if outcome.scratch_rebuilt {
+            self.stats.scratch_rebuilds += 1;
+        }
+        if outcome.budget_fallback {
+            self.stats.budget_fallbacks += 1;
+        }
+    }
+
+    /// The stateless oracle refresh used by
+    /// [`crate::FluidNetwork::with_full_recompute`]: one full model
+    /// evaluation, no delta, no scratch — exactly the pre-refactor
+    /// query-every-iteration behaviour, so the oracle's wall-clock stays
+    /// an honest baseline (it must not pay for scratch rebuilds it never
+    /// benefits from). Pending change sets are still consumed so they
+    /// cannot leak into a later delta.
+    pub fn refresh_full<M: PenaltyModel>(
+        &mut self,
+        model: &M,
+        active: Vec<FlowKey>,
+        comms: Vec<Communication>,
+    ) {
+        debug_assert_eq!(active.len(), comms.len());
+        let _ = self.take_delta(&active);
+        self.penalties = model.penalties(&comms);
+        debug_assert_eq!(self.penalties.len(), comms.len());
+        self.active = active;
+        self.comms = comms;
+        self.valid = true;
+        self.settled_once = true;
+        self.stats.model_queries += 1;
     }
 }
 
@@ -244,8 +324,11 @@ mod tests {
         assert_eq!(cache.active(), keys.as_slice());
         assert_eq!(cache.penalties().len(), 2);
         assert_eq!(cache.stats().model_queries, 1);
-        // the first settle has no previous population to patch from
+        // the first settle has no previous population to patch from: the
+        // model recomputes and builds its scratch
         assert_eq!(cache.stats().delta_queries, 0);
+        assert_eq!(cache.stats().patched_queries, 0);
+        assert_eq!(cache.stats().scratch_rebuilds, 1);
     }
 
     #[test]
@@ -261,6 +344,10 @@ mod tests {
         cache.refresh(&model, keys.clone(), all.clone());
         assert_eq!(cache.stats().model_queries, 2);
         assert_eq!(cache.stats().delta_queries, 1);
+        // the delta was not just offered, the patch actually happened —
+        // over the scratch built at the first settle
+        assert_eq!(cache.stats().patched_queries, 1);
+        assert_eq!(cache.stats().scratch_rebuilds, 1);
         assert_eq!(cache.penalties(), model.penalties(&all).as_slice());
     }
 
@@ -275,11 +362,15 @@ mod tests {
         cache.refresh(&model, keys[1..].to_vec(), all[1..].to_vec());
         assert_eq!(cache.stats().model_queries, 2);
         assert_eq!(cache.stats().delta_queries, 1);
+        assert_eq!(cache.stats().patched_queries, 1);
         assert_eq!(cache.penalties(), model.penalties(&all[1..]).as_slice());
     }
 
     #[test]
-    fn mixed_batches_degrade_to_rebuild() {
+    fn mixed_batches_patch_incrementally() {
+        // A departure and an arrival in the same settle reach the model as
+        // one chained Mixed delta — and the model patches it instead of
+        // rebuilding, matching the full-recompute oracle bit-for-bit.
         let model = MyrinetModel::default();
         let mut all = comms();
         all.push(Communication::new(3u32, 4u32, 50));
@@ -292,7 +383,17 @@ mod tests {
         let new_comms = vec![all[0], all[2]];
         cache.refresh(&model, new_active, new_comms.clone());
         assert_eq!(cache.stats().model_queries, 2);
-        assert_eq!(cache.stats().delta_queries, 0, "mixed => rebuild");
+        assert_eq!(
+            cache.stats().delta_queries,
+            1,
+            "mixed settles now carry a chained positional delta"
+        );
+        assert_eq!(
+            cache.stats().patched_queries,
+            1,
+            "and the model patches them instead of rebuilding"
+        );
+        assert_eq!(cache.stats().scratch_rebuilds, 1, "only the first settle");
         assert_eq!(cache.penalties(), model.penalties(&new_comms).as_slice());
     }
 
@@ -346,6 +447,49 @@ mod tests {
         assert_eq!(cache.stats().model_queries, 2);
         assert_eq!(cache.stats().delta_queries, 0);
         assert_eq!(cache.stats().cancelled_refreshes, 0);
+    }
+
+    #[test]
+    fn myrinet_budget_fallback_is_visible_and_exact() {
+        // A conflict component too big for the Moon–Moser budget: the
+        // model must refuse penalty reuse (the previous values may be the
+        // max-conflict approximation), the refusal must show up in
+        // `CacheStats::budget_fallbacks`, and the answers must still match
+        // the full-recompute oracle exactly.
+        let model = MyrinetModel::with_budget(2);
+        // One 4-flow component out of node 0 (Moon–Moser bound 4 > 2).
+        let all: Vec<Communication> = (0..5)
+            .map(|i| Communication::new(0u32, 1 + i as u32, 100))
+            .collect();
+        let (_, keys) = keyed(&all);
+        let mut cache = PenaltyCache::new();
+        cache.refresh(&model, keys[..4].to_vec(), all[..4].to_vec());
+        let first = cache.stats();
+        assert_eq!(
+            first.budget_fallbacks, 1,
+            "the first settle's enumeration blows the budget: {first:?}"
+        );
+        assert_eq!(cache.penalties(), model.penalties(&all[..4]).as_slice());
+        // An arrival offers a delta, but certification refuses the patch.
+        cache.note_arrival(keys[4]);
+        cache.refresh(&model, keys.clone(), all.clone());
+        let stats = cache.stats();
+        assert_eq!(stats.delta_queries, 1, "delta offered: {stats:?}");
+        assert_eq!(stats.patched_queries, 0, "but not patched: {stats:?}");
+        assert_eq!(stats.budget_fallbacks, 2, "refusal counted: {stats:?}");
+        assert_eq!(stats.scratch_rebuilds, 2, "every refusal rebuilds");
+        assert_eq!(cache.penalties(), model.penalties(&all).as_slice());
+        // Within budget, nothing of the sort fires: a fresh cache over the
+        // default budget patches the same workload.
+        let exact = MyrinetModel::default();
+        let mut cache = PenaltyCache::new();
+        cache.refresh(&exact, keys[..4].to_vec(), all[..4].to_vec());
+        cache.note_arrival(keys[4]);
+        cache.refresh(&exact, keys.clone(), all.clone());
+        let stats = cache.stats();
+        assert_eq!(stats.budget_fallbacks, 0, "{stats:?}");
+        assert_eq!(stats.patched_queries, 1, "{stats:?}");
+        assert_eq!(cache.penalties(), exact.penalties(&all).as_slice());
     }
 
     #[test]

@@ -30,13 +30,16 @@
 //!   slab: completions never renumber survivors, so population identity
 //!   survives churn;
 //! * [`cache`] — the [`PenaltyCache`] settles once per population change
-//!   (every `next_event_time` probe in between is served from cache) and
+//!   (every `next_event_time` probe in between is served from cache),
 //!   distills the pending arrivals/departures into a positional
-//!   [`netbw_core::PopulationDelta`];
+//!   [`netbw_core::PopulationDelta`] (simultaneous batches become chained
+//!   `Mixed` deltas), and owns the model's opaque per-cache scratch;
 //! * `netbw-core`'s
-//!   [`penalties_after_change`](netbw_core::PenaltyModel::penalties_after_change)
-//!   — the models consume that delta and patch only the affected endpoints
-//!   (GigE, InfiniBand) or conflict components (Myrinet), in O(affected)
+//!   [`penalties_with_scratch`](netbw_core::PenaltyModel::penalties_with_scratch)
+//!   — the models consume that delta over state they keep alive between
+//!   settles (endpoint indices for GigE/InfiniBand, union–find conflict
+//!   components plus a cached budget certification for Myrinet) and patch
+//!   only the affected endpoints or conflict components, in O(affected)
 //!   model work per event instead of a full-fabric recompute.
 //!
 //! [`FluidNetwork::with_full_recompute`] preserves the pre-refactor

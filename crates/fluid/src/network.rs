@@ -186,15 +186,19 @@ impl<M: PenaltyModel> FluidNetwork<M> {
     fn resettle(&self) -> MutexGuard<'_, PenaltyCache> {
         let mut cache = self.cache.lock().expect("penalty cache lock");
         if self.full_recompute || !cache.is_valid() {
-            if self.full_recompute {
-                cache.invalidate_rebuild();
-            }
             let active = self.active_flows();
             let comms: Vec<Communication> = active
                 .iter()
                 .map(|&k| self.slots.get(k).expect("active flow lives in slab").comm)
                 .collect();
-            cache.refresh(&self.model, active, comms);
+            if self.full_recompute {
+                // Oracle mode: the pre-refactor full query, bypassing the
+                // delta/scratch machinery entirely.
+                cache.invalidate_rebuild();
+                cache.refresh_full(&self.model, active, comms);
+            } else {
+                cache.refresh(&self.model, active, comms);
+            }
         } else {
             cache.note_reuse();
         }

@@ -1,9 +1,12 @@
 //! End-to-end equivalence of the incremental fluid engine against the
 //! full-recompute oracle, plus the `PopulationDelta` edge cases the slab
 //! refactor must not regress: empty (cancelled) deltas, simultaneous
-//! arrival+departure of the same endpoint pair, and completion-batch
-//! ordering.
+//! arrival+departure of the same endpoint pair (now served as a chained
+//! mixed delta), and completion-batch ordering. Schedules come from the
+//! shared churn generator in `netbw-bench` — the same source the churn
+//! bench and the `churn_smoke` CI guard draw from.
 
+use netbw_bench::churn_transfers_seeded;
 use netbw_core::{GigabitEthernetModel, InfinibandModel, MyrinetModel, PenaltyModel};
 use netbw_fluid::{FluidNetwork, NetworkParams};
 use netbw_graph::Communication;
@@ -35,18 +38,13 @@ fn drain<M: PenaltyModel>(
     (done, stats)
 }
 
+/// Schedules from the shared churn generator: seeded bounded-degree
+/// fabrics, with staggers from dense (0: every flow arrives at once) to
+/// sparse — the same generator the churn bench and `churn_smoke` use.
 fn arb_transfers() -> impl Strategy<Value = Vec<(u64, Communication, f64)>> {
-    proptest::collection::vec((0u32..6, 0u32..6, 0u64..400, 0u64..2000), 1..24).prop_map(|raw| {
-        raw.into_iter()
-            .enumerate()
-            .map(|(i, (src, dst, size, start))| {
-                (
-                    i as u64,
-                    Communication::new(src, dst, size),
-                    start as f64 / 10.0,
-                )
-            })
-            .collect()
+    (0u64..1_000_000, 2usize..24, 0usize..4).prop_map(|(seed, flows, stagger_pick)| {
+        let stagger = [0.0, 0.5, 5.0, 40.0][stagger_pick];
+        churn_transfers_seeded(flows, stagger, seed)
     })
 }
 
@@ -54,7 +52,10 @@ proptest! {
     /// Incremental == full recompute on random churn for all three
     /// specialized models: identical completion times (bitwise — the
     /// penalties are bit-for-bit equal, so the integrations are too),
-    /// with the incremental engine issuing no more model queries.
+    /// with the incremental engine issuing no more model queries, every
+    /// settle after the first reaching the model as a positional delta
+    /// (mixed batches included), and every offered delta actually
+    /// patched.
     #[test]
     fn incremental_engine_matches_oracle_on_random_churn(transfers in arb_transfers()) {
         macro_rules! check {
@@ -68,6 +69,10 @@ proptest! {
                         "key {}: {} vs {}", ka, ta, tb);
                 }
                 prop_assert!(fast_stats.model_queries <= slow_stats.model_queries);
+                prop_assert!(fast_stats.rebuild_queries() <= 1,
+                    "only the first settle may rebuild: {:?}", fast_stats);
+                prop_assert_eq!(fast_stats.patched_queries, fast_stats.delta_queries,
+                    "every offered delta must be patched at these sizes: {:?}", fast_stats);
             }};
         }
         check!(GigabitEthernetModel::default());
@@ -106,8 +111,9 @@ fn zero_size_flash_is_served_by_patches_not_rebuilds() {
 #[test]
 fn same_endpoint_pair_arrival_and_departure_in_one_batch() {
     // Flow A (0→1) completes at t=100 exactly when flow B with the *same
-    // endpoint pair* opens its gate: the cache sees a mixed batch
-    // (degrading to a rebuild) and both engines must agree.
+    // endpoint pair* opens its gate: the cache sees a mixed batch — now
+    // served as a chained positional delta that the model patches — and
+    // both engines must agree.
     for full in [false, true] {
         let mut net = FluidNetwork::new(MyrinetModel::default(), NetworkParams::new(1.0, 0.0));
         if full {
@@ -119,6 +125,18 @@ fn same_endpoint_pair_arrival_and_departure_in_one_batch() {
         assert_eq!(done.len(), 2);
         assert!((done[0].completion - 100.0).abs() < 1e-9, "full={full}");
         assert!((done[1].completion - 200.0).abs() < 1e-9, "full={full}");
+        if !full {
+            let stats = net.cache_stats();
+            assert_eq!(
+                stats.rebuild_queries(),
+                1,
+                "the mixed settle must stay positional: {stats:?}"
+            );
+            assert_eq!(
+                stats.patched_queries, stats.delta_queries,
+                "and must actually be patched: {stats:?}"
+            );
+        }
     }
 }
 

@@ -16,10 +16,14 @@ use netbw_graph::Communication;
 /// The engine probes [`NetworkBackend::next_event_time`] on every
 /// scheduling step, so implementations should make repeated probes cheap
 /// — the fluid backend serves them from its [`CacheStats`]-instrumented
-/// penalty cache, and since the slab refactor each population change is
-/// forwarded to the model as a positional delta
-/// ([`CacheStats::delta_queries`] counts the settles that offered the
-/// model such a delta to patch from, rather than a forced rebuild).
+/// penalty cache. Each population change is forwarded to the model as a
+/// positional delta (simultaneous arrival+departure batches included, as
+/// chained mixed deltas), and the cache owns the model's per-cache
+/// scratch state: [`CacheStats::delta_queries`] counts the settles that
+/// *offered* the model a delta, [`CacheStats::patched_queries`] the
+/// settles the model actually answered with an O(affected) patch, and
+/// [`CacheStats::scratch_rebuilds`] / [`CacheStats::budget_fallbacks`]
+/// expose scratch rebuilds and Myrinet's Moon–Moser budget refusals.
 pub trait NetworkBackend {
     /// Starts transfer `key` at absolute time `start`.
     fn add(&mut self, key: u64, comm: Communication, start: f64);
@@ -125,6 +129,30 @@ mod tests {
             "probes must not re-query the model: {stats:?}"
         );
         assert!(stats.reuses >= 10);
+    }
+
+    #[test]
+    fn fluid_backend_surfaces_patch_observability() {
+        // The scratch-era counters (patches performed, scratch rebuilds,
+        // budget fallbacks) must be visible through the backend trait:
+        // three staggered arrivals = first settle rebuilds the scratch,
+        // later settles patch.
+        use netbw_core::MyrinetModel;
+        let mut b: Box<dyn NetworkBackend> = Box::new(FluidNetwork::new(
+            MyrinetModel::default(),
+            NetworkParams::unit(),
+        ));
+        for k in 0..3u64 {
+            b.add(k, Communication::new(0u32, 1 + k as u32, 100), k as f64);
+        }
+        while let Some(t) = b.next_event_time() {
+            b.advance_to(t);
+        }
+        let stats = b.cache_stats().expect("fluid exposes stats");
+        assert_eq!(stats.scratch_rebuilds, 1, "{stats:?}");
+        assert!(stats.patched_queries > 0, "{stats:?}");
+        assert_eq!(stats.patched_queries, stats.delta_queries, "{stats:?}");
+        assert_eq!(stats.budget_fallbacks, 0, "{stats:?}");
     }
 
     #[test]

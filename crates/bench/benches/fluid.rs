@@ -14,18 +14,19 @@ fn bench_fluid(c: &mut Criterion) {
         schemes::mk2().with_uniform_size(1000),
     ] {
         group.bench_with_input(BenchmarkId::new("myrinet", g.name()), &g, |b, g| {
-            let solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
+            let mut solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
             b.iter(|| black_box(solver.solve(black_box(g))))
         });
         group.bench_with_input(BenchmarkId::new("gige", g.name()), &g, |b, g| {
-            let solver = FluidSolver::new(GigabitEthernetModel::default(), NetworkParams::unit());
+            let mut solver =
+                FluidSolver::new(GigabitEthernetModel::default(), NetworkParams::unit());
             b.iter(|| black_box(solver.solve(black_box(g))))
         });
     }
     for n in [16usize, 32, 64] {
         let g = schemes::random_bounded(n, n, 3, 3, 1000, 7);
         group.bench_with_input(BenchmarkId::new("random-myrinet", n), &g, |b, g| {
-            let solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
+            let mut solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
             b.iter(|| black_box(solver.solve(black_box(g))))
         });
     }

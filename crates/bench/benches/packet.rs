@@ -18,7 +18,7 @@ fn bench_packet(c: &mut Criterion) {
             ("fig5", schemes::fig5().with_uniform_size(4 * MB)),
             ("mk2", schemes::mk2().with_uniform_size(4 * MB)),
         ] {
-            let fab = PacketFabric::new(cfg, 8);
+            let mut fab = PacketFabric::new(cfg, 8);
             group.bench_with_input(BenchmarkId::new(cfg.name, name), &g, |b, g| {
                 b.iter(|| black_box(fab.run_scheme(black_box(g))))
             });

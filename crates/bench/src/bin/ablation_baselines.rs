@@ -1,9 +1,14 @@
 //! ABL-3 — model accuracy against the baselines of §II on every paper
 //! scheme and a random battery: the paper's models vs the contention-blind
 //! linear model (LogP/LogGP family) and the Kim & Lee max-conflict model.
+//!
+//! The three-model battery runs through an `EvalSession`: each worker
+//! keeps arena fabrics and reusable solvers, `Tref` is measured once per
+//! `(fabric, size)` across the whole battery (shared memo), and the
+//! work-stealing executor balances the uneven scheme costs.
+//! `SweepStats` print at the end.
 
 use netbw::core::baseline::{LinearModel, MaxConflictModel};
-use netbw::eval::{compare_scheme, parallel_map};
 use netbw::graph::units::MB;
 use netbw::prelude::*;
 use netbw::workloads::{paper_battery, random_battery};
@@ -13,15 +18,18 @@ fn main() {
     let mut schemes = paper_battery(8 * MB);
     schemes.extend(random_battery(6, 8, 10, 8 * MB, 42));
 
+    let linear = LinearModel;
+    let max_conflict = MaxConflictModel;
+    let session = EvalSession::new();
     for (fabric, model) in netbw_bench::fabric_model_pairs() {
         section(&format!(
             "Eabs [%] per scheme on the {} fabric",
             fabric.name
         ));
-        let rows = parallel_map(&schemes, 0, |scheme| {
-            let own = compare_scheme(model.as_ref(), fabric, scheme).eabs;
-            let lin = compare_scheme(&LinearModel, fabric, scheme).eabs;
-            let max = compare_scheme(&MaxConflictModel, fabric, scheme).eabs;
+        let rows = session.sweep(&schemes, |worker, scheme| {
+            let own = worker.compare_scheme(model.as_ref(), fabric, scheme).eabs;
+            let lin = worker.compare_scheme(&linear, fabric, scheme).eabs;
+            let max = worker.compare_scheme(&max_conflict, fabric, scheme).eabs;
             (scheme.name().to_string(), own, lin, max)
         });
         let mut t = Table::new([
@@ -56,4 +64,6 @@ fn main() {
          delays' under sharing; the max-conflict multiplier over-penalises; the\n\
          paper's models sit well below both."
     );
+    section("Sweep execution stats");
+    println!("{}", session.stats());
 }

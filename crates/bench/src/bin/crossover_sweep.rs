@@ -1,23 +1,23 @@
 //! Size-sweep and placement-crossover analysis: model accuracy versus
 //! message size, and the payload size above which co-locating ring
 //! neighbours (RRP) beats spreading them (RRN) — the integrator question
-//! of the paper's introduction, quantified.
+//! of the paper's introduction, quantified. Both grids run through one
+//! `EvalSession` (size points and HPL replays in parallel on the
+//! work-stealing executor); its `SweepStats` print at the end.
 
-use netbw::eval::{compare_hpl, size_sweep};
 use netbw::graph::schemes;
 use netbw::graph::units::{KB, MB};
 use netbw::prelude::*;
 use netbw_bench::{section, show};
 
 fn main() {
+    let session = EvalSession::new();
+    let model = MyrinetModel::default();
+    let fabric = FabricConfig::myrinet2000();
+
     section("Model accuracy vs message size (Myrinet, outgoing ladder k=3)");
     let sizes = [64 * KB, 256 * KB, MB, 4 * MB, 16 * MB];
-    let pts = size_sweep(
-        &MyrinetModel::default(),
-        FabricConfig::myrinet2000(),
-        &schemes::outgoing_ladder(3),
-        &sizes,
-    );
+    let pts = session.size_sweep(&model, fabric, &schemes::outgoing_ladder(3), &sizes);
     let mut t = Table::new(["size", "Eabs [%]", "worst measured penalty"]);
     for p in &pts {
         t.push([
@@ -30,27 +30,32 @@ fn main() {
 
     section("RRN vs RRP across HPL problem sizes (predicted makespans, Myrinet)");
     let cluster = ClusterSpec::smp(4);
-    let mut t = Table::new(["N", "RRN makespan [s]", "RRP makespan [s]", "winner"]);
-    for n in [512usize, 1024, 2048, 4096] {
+    let ns = [512usize, 1024, 2048, 4096];
+    let jobs: Vec<(usize, PlacementPolicy)> = ns
+        .iter()
+        .flat_map(|&n| {
+            [
+                (n, PlacementPolicy::RoundRobinNode),
+                (n, PlacementPolicy::RoundRobinProcessor),
+            ]
+        })
+        .collect();
+    let makespans = session.sweep(&jobs, |worker, (n, policy)| {
         let hpl = HplConfig {
-            n,
+            n: *n,
             nb: 128,
             tasks: 8,
             ..HplConfig::paper()
         };
-        let run = |policy: &PlacementPolicy| {
-            compare_hpl(
-                &hpl,
-                &cluster,
-                policy,
-                MyrinetModel::default(),
-                FabricConfig::myrinet2000(),
-            )
+        worker
+            .compare_hpl(&hpl, &cluster, policy, &model, fabric)
             .expect("replays")
             .makespan_predicted
-        };
-        let rrn = run(&PlacementPolicy::RoundRobinNode);
-        let rrp = run(&PlacementPolicy::RoundRobinProcessor);
+    });
+    let mut t = Table::new(["N", "RRN makespan [s]", "RRP makespan [s]", "winner"]);
+    for (i, &n) in ns.iter().enumerate() {
+        let rrn = makespans[2 * i];
+        let rrp = makespans[2 * i + 1];
         t.push([
             n.to_string(),
             format!("{rrn:.3}"),
@@ -64,4 +69,6 @@ fn main() {
          message on-node. The gap widens with N as panels grow linearly while\n\
          compute per task shrinks relative to the communication volume."
     );
+    section("Sweep execution stats");
+    println!("{}", session.stats());
 }

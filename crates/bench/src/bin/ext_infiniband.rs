@@ -1,8 +1,9 @@
 //! EXT-1 — the InfiniBand extension model (the paper's announced future
 //! work) evaluated against the simulated InfiniHost III fabric and against
-//! the paper's published Fig. 2 measurements.
+//! the paper's published Fig. 2 measurements. The fabric battery runs
+//! through an `EvalSession` (arena fabrics, shared `Tref` memo,
+//! work-stealing executor); its `SweepStats` print at the end.
 
-use netbw::eval::{compare_scheme, parallel_map};
 use netbw::graph::schemes;
 use netbw::graph::units::MB;
 use netbw::prelude::*;
@@ -43,15 +44,11 @@ fn main() {
             schemes::mk2().with_uniform_size(8 * MB),
         ])
         .collect();
-    let rows = parallel_map(&battery, 0, |g| {
-        (
-            g.name().to_string(),
-            compare_scheme(&model, FabricConfig::infinihost3(), g).eabs,
-        )
-    });
+    let session = EvalSession::new();
+    let cmps = session.compare_schemes(&model, FabricConfig::infinihost3(), &battery);
     let mut t = Table::new(["scheme", "Eabs [%]"]);
-    for (name, eabs) in rows {
-        t.push([name, format!("{eabs:.1}")]);
+    for cmp in &cmps {
+        t.push([cmp.scheme.clone(), format!("{:.1}", cmp.eabs)]);
     }
     show(&t);
     println!(
@@ -59,4 +56,6 @@ fn main() {
          internally inconsistent (three overlapped incoming flows cannot all beat 2β);\n\
          the model answers 2.95 there. See the report_all annotations."
     );
+    section("Sweep execution stats");
+    println!("{}", session.stats());
 }

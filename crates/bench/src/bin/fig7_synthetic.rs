@@ -3,7 +3,6 @@
 //! plus the exact fluid-solver reproduction of the paper's predicted
 //! column at tref = 0.0354 s.
 
-use netbw::eval::compare_scheme;
 use netbw::graph::schemes;
 use netbw::graph::units::MB;
 use netbw::prelude::*;
@@ -11,7 +10,7 @@ use netbw_bench::{section, show};
 
 fn paper_predicted(scheme: &CommGraph) {
     // the paper's tref: 0.0354 s (≈ 8 MB on Myrinet 2000)
-    let solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
+    let mut solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
     let sized = scheme.clone().with_uniform_size(10_000);
     let res = solver.solve(&sized);
     let mut t = Table::new([
@@ -58,7 +57,17 @@ fn paper_predicted(scheme: &CommGraph) {
 }
 
 fn main() {
-    for scheme in [schemes::mk1(), schemes::mk2()] {
+    // One session for both measured-vs-predicted comparisons: the 8 MB
+    // Myrinet Tref is measured once, and on a shared worker MK2 also
+    // reuses MK1's fabric and solver.
+    let session = EvalSession::new();
+    let model = MyrinetModel::default();
+    let sized: Vec<CommGraph> = [schemes::mk1(), schemes::mk2()]
+        .into_iter()
+        .map(|s| s.with_uniform_size(8 * MB))
+        .collect();
+    let cmps = session.compare_schemes(&model, FabricConfig::myrinet2000(), &sized);
+    for (scheme, cmp) in [schemes::mk1(), schemes::mk2()].into_iter().zip(&cmps) {
         section(&format!(
             "Fig. 7 {} — fluid reproduction of the paper's predicted column",
             scheme.name().to_uppercase()
@@ -69,11 +78,6 @@ fn main() {
             "Fig. 7 {} — Tm (simulated Myrinet fabric) vs Tp (model), 8 MB",
             scheme.name().to_uppercase()
         ));
-        let cmp = compare_scheme(
-            &MyrinetModel::default(),
-            FabricConfig::myrinet2000(),
-            &scheme.clone().with_uniform_size(8 * MB),
-        );
         show(&cmp.to_table());
         println!("Average of absolute errors Eabs = {:.1} %", cmp.eabs);
         println!(
@@ -81,4 +85,6 @@ fn main() {
             if scheme.name() == "mk1" { "2.6" } else { "9.5" }
         );
     }
+    section("Sweep execution stats");
+    println!("{}", session.stats());
 }

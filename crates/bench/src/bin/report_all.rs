@@ -1,21 +1,27 @@
 //! One command, the whole paper: runs every reproduction experiment and
 //! prints a consolidated markdown report (a lighter-weight, regenerated
-//! paper-comparison report).
+//! paper-comparison report). Every battery — the Fig. 2 scheme × fabric
+//! grid, the Fig. 7 synthetic comparisons, the Figs. 8/9 HPL policy grid —
+//! is driven through one shared `EvalSession`: fabrics and solvers are
+//! reused across the schemes of each battery (worker state lives for one
+//! sweep call), `Tref` measurements and the stats accumulate across the
+//! whole report, and the batteries run on the work-stealing executor;
+//! the session's `SweepStats` close the report.
 //!
 //! `cargo run --release -p netbw-bench --bin report_all`
 
 use netbw::core::MyrinetModel;
-use netbw::eval::{compare_hpl, compare_scheme, fig2_table};
 use netbw::graph::schemes;
 use netbw::graph::units::MB;
 use netbw::prelude::*;
 use netbw_bench::{fabric_model_pairs, section, show};
 
 fn main() {
+    let session = EvalSession::new();
     println!("# netbw — full reproduction report");
 
     section("Fig. 2 — measured penalties on the simulated fabrics (20 MB)");
-    show(&fig2_table(20 * MB));
+    show(&session.fig2_table(20 * MB));
 
     section("Fig. 6 — Myrinet penalty table (exact reproduction)");
     let analysis = MyrinetModel::default().analyse(schemes::fig5().comms());
@@ -33,58 +39,73 @@ fn main() {
     show(&t);
 
     section("Fig. 7 — synthetic graphs, model vs simulated fabric (8 MB)");
+    let pairs = fabric_model_pairs();
+    let jobs: Vec<(usize, netbw::graph::CommGraph)> = (0..pairs.len())
+        .flat_map(|i| {
+            [schemes::mk1(), schemes::mk2()]
+                .into_iter()
+                .map(move |s| (i, s.with_uniform_size(8 * MB)))
+        })
+        .collect();
+    let cmps = session.sweep(&jobs, |worker, (i, scheme)| {
+        let (fabric, model) = &pairs[*i];
+        worker.compare_scheme(model.as_ref(), *fabric, scheme)
+    });
     let mut t = Table::new(["scheme", "fabric", "model", "Eabs [%]"]);
-    for (fabric, model) in fabric_model_pairs() {
-        for scheme in [schemes::mk1(), schemes::mk2()] {
-            let cmp = compare_scheme(
-                model.as_ref(),
-                fabric,
-                &scheme.clone().with_uniform_size(8 * MB),
-            );
-            t.push([
-                scheme.name().to_string(),
-                fabric.name.to_string(),
-                model.name().to_string(),
-                format!("{:.1}", cmp.eabs),
-            ]);
-        }
+    for ((i, _), cmp) in jobs.iter().zip(&cmps) {
+        let (fabric, model) = &pairs[*i];
+        t.push([
+            cmp.scheme.clone(),
+            fabric.name.to_string(),
+            model.name().to_string(),
+            format!("{:.1}", cmp.eabs),
+        ]);
     }
     show(&t);
 
     section("Figs. 8/9 — HPL 20500 per-task prediction error (16 tasks, 8 nodes)");
     let hpl = HplConfig::paper();
     let cluster = ClusterSpec::smp(8);
-    let mut t = Table::new(["fabric", "policy", "mean Eabs [%]", "makespan Sm/Sp [s]"]);
-    for (fabric, model_name) in [
-        (FabricConfig::gige(), "gige"),
-        (FabricConfig::myrinet2000(), "myrinet"),
-    ] {
-        for policy in [
+    let gige_model = GigabitEthernetModel::default();
+    let myrinet_model = MyrinetModel::default();
+    let hpl_jobs: Vec<(&str, FabricConfig, PlacementPolicy)> = [
+        ("gige", FabricConfig::gige()),
+        ("myrinet", FabricConfig::myrinet2000()),
+    ]
+    .into_iter()
+    .flat_map(|(name, fabric)| {
+        [
             PlacementPolicy::RoundRobinNode,
             PlacementPolicy::RoundRobinProcessor,
             PlacementPolicy::Random(2008),
-        ] {
-            let cmp = if model_name == "gige" {
-                compare_hpl(
-                    &hpl,
-                    &cluster,
-                    &policy,
-                    GigabitEthernetModel::default(),
-                    fabric,
-                )
-            } else {
-                compare_hpl(&hpl, &cluster, &policy, MyrinetModel::default(), fabric)
-            }
-            .expect("HPL replays");
-            t.push([
-                model_name.to_string(),
-                policy.to_string(),
-                format!("{:.1}", cmp.mean_eabs()),
-                format!("{:.1}/{:.1}", cmp.makespan_measured, cmp.makespan_predicted),
-            ]);
-        }
+        ]
+        .into_iter()
+        .map(move |policy| (name, fabric, policy))
+    })
+    .collect();
+    let hpl_cmps = session.sweep(&hpl_jobs, |worker, (name, fabric, policy)| {
+        let model: &dyn PenaltyModel = if *name == "gige" {
+            &gige_model
+        } else {
+            &myrinet_model
+        };
+        worker
+            .compare_hpl(&hpl, &cluster, policy, model, *fabric)
+            .expect("HPL replays")
+    });
+    let mut t = Table::new(["fabric", "policy", "mean Eabs [%]", "makespan Sm/Sp [s]"]);
+    for ((name, _, policy), cmp) in hpl_jobs.iter().zip(&hpl_cmps) {
+        t.push([
+            name.to_string(),
+            policy.to_string(),
+            format!("{:.1}", cmp.mean_eabs()),
+            format!("{:.1}/{:.1}", cmp.makespan_measured, cmp.makespan_predicted),
+        ]);
     }
     show(&t);
 
     println!("\nEach table above is annotated with its paper figure and known deviations.");
+
+    section("Sweep execution stats (shared EvalSession across all batteries)");
+    println!("{}", session.stats());
 }

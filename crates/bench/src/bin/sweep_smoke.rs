@@ -1,0 +1,134 @@
+//! CI smoke check for the sweep execution engine: a ≥200-scheme battery
+//! through [`EvalSession`] must beat per-call construction, reuse its
+//! arena fabrics, and answer bit-for-bit like the per-call path.
+//!
+//! Run with `cargo run --release -p netbw-bench --bin sweep_smoke`.
+//! Exits non-zero (panics) when the session path regresses:
+//!
+//! * results must equal the per-call `compare_scheme` baseline exactly —
+//!   parallelism and state reuse may never change an answer;
+//! * the fabric arena must serve >90% of fabric requests by reuse, and
+//!   the `Tref` memo must collapse per-scheme reference measurements to
+//!   one per `(fabric, size)`;
+//! * median wall-clock: ≥2× faster than the sequential per-call baseline
+//!   when ≥4 cores are available, and never slower than it even on one
+//!   core (where the win is purely the reuse, not the parallelism).
+//!
+//! Medians land in `BENCH_sweep.json` so the perf trajectory is tracked
+//! next to the churn numbers.
+
+use netbw::eval::SchemeComparison;
+use netbw::graph::units::MB;
+use netbw::prelude::*;
+use netbw::workloads::{paper_battery, random_battery};
+use std::time::{Duration, Instant};
+
+const REPS: usize = 5;
+
+fn battery() -> Vec<CommGraph> {
+    let mut b = paper_battery(4 * MB);
+    b.extend(random_battery(200, 8, 4, 4 * MB, 4242));
+    b
+}
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+fn assert_identical(a: &SchemeComparison, b: &SchemeComparison) {
+    assert_eq!(a.scheme, b.scheme);
+    assert_eq!(a.measured, b.measured, "{}", a.scheme);
+    assert_eq!(a.predicted, b.predicted, "{}", a.scheme);
+    assert_eq!(a.erel, b.erel, "{}", a.scheme);
+    assert_eq!(a.eabs, b.eabs, "{}", a.scheme);
+}
+
+fn main() {
+    let battery = battery();
+    assert!(battery.len() >= 200, "battery shrank: {}", battery.len());
+    let model = GigabitEthernetModel::default();
+    let fabric = FabricConfig::gige();
+
+    // per-call baseline: a fresh fabric, Tref measurement and solver per
+    // scheme, sequential — what every caller did before the session API
+    let mut t_base = Vec::with_capacity(REPS);
+    let mut baseline = Vec::new();
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        baseline = battery
+            .iter()
+            .map(|g| netbw::eval::compare_scheme(&model, fabric, g))
+            .collect();
+        t_base.push(t0.elapsed());
+    }
+
+    // session path: work-stealing executor + per-worker arenas + shared memo
+    let mut t_sess = Vec::with_capacity(REPS);
+    let mut session_out = Vec::new();
+    let mut stats = SweepStats::default();
+    for _ in 0..REPS {
+        let session = EvalSession::new();
+        let t0 = Instant::now();
+        session_out = session.compare_schemes(&model, fabric, &battery);
+        t_sess.push(t0.elapsed());
+        stats = session.stats();
+    }
+
+    for (a, b) in session_out.iter().zip(&baseline) {
+        assert_identical(a, b);
+    }
+
+    let m_base = median(t_base);
+    let m_sess = median(t_sess);
+    let speedup = m_base.as_secs_f64() / m_sess.as_secs_f64();
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    println!(
+        "sweep_smoke: {} schemes | per-call baseline {m_base:?} | session {m_sess:?} \
+         ({speedup:.2}x on {cores} cores)",
+        battery.len(),
+    );
+    println!("sweep_smoke: {stats}");
+
+    let json = format!(
+        "{{\"schemes\": {}, \"cores\": {cores}, \"baseline_ms\": {:.3}, \"session_ms\": {:.3}, \
+         \"speedup\": {speedup:.3}, \"fabric_reuse_rate\": {:.4}, \"tref_hit_rate\": {:.4}, \
+         \"steals\": {}}}\n",
+        battery.len(),
+        m_base.as_secs_f64() * 1e3,
+        m_sess.as_secs_f64() * 1e3,
+        stats.fabric_reuse_rate(),
+        stats.tref_hit_rate(),
+        stats.steals,
+    );
+    std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
+    print!("sweep_smoke: BENCH_sweep.json = {json}");
+
+    assert_eq!(stats.items, battery.len() as u64, "items miscounted");
+    assert!(
+        stats.fabric_reuse_rate() > 0.9,
+        "fabric arena reuse regressed: {stats}"
+    );
+    // one Tref measurement per (fabric, size) per worker at worst —
+    // everything else must come from the memos
+    assert!(
+        stats.tref_misses <= cores as u64,
+        "Tref memo regressed: {stats}"
+    );
+    if cores >= 4 {
+        assert!(
+            speedup >= 2.0,
+            "session path must be ≥2x faster on ≥4 cores, got {speedup:.2}x \
+             ({m_base:?} vs {m_sess:?})"
+        );
+    } else {
+        assert!(
+            m_sess <= m_base,
+            "session path fell behind per-call construction even without \
+             parallelism ({m_sess:?} vs {m_base:?})"
+        );
+    }
+    println!("sweep smoke: session engine ahead on all guards");
+}

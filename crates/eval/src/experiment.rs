@@ -1,11 +1,12 @@
 //! Measured-vs-predicted experiments (Figs. 2, 4, 7, 8, 9).
 
-use crate::error::{mean_absolute_error, per_task_abs_error, relative_error};
+use crate::error::{mean_absolute_error, per_task_abs_error};
+use crate::session::{EvalSession, SweepWorker};
 use crate::table::{fnum, Table};
 use netbw_core::PenaltyModel;
-use netbw_fluid::{FluidNetwork, FluidSolver, NetworkParams};
+use netbw_fluid::{FluidNetwork, NetworkParams};
 use netbw_graph::CommGraph;
-use netbw_packet::{measure_penalties, FabricConfig, PacketFabric, PacketNetwork};
+use netbw_packet::{FabricConfig, PacketNetwork};
 use netbw_sim::{ClusterSpec, Placement, PlacementPolicy, Simulator};
 use netbw_workloads::HplConfig;
 
@@ -48,77 +49,22 @@ impl SchemeComparison {
 /// the fluid solver, then times are `penalty × Tref(size)` with `Tref`
 /// *measured on the same fabric* — exactly how the paper turns model
 /// penalties into predicted seconds.
+///
+/// One-shot wrapper over [`SweepWorker::compare_scheme`]; batteries
+/// should go through [`EvalSession::compare_schemes`], which reuses
+/// fabrics, `Tref` measurements and solvers across schemes and workers.
 pub fn compare_scheme(
     model: &dyn PenaltyModel,
     fabric: FabricConfig,
     scheme: &CommGraph,
 ) -> SchemeComparison {
-    let nodes = scheme
-        .nodes()
-        .iter()
-        .map(|n| n.idx() + 1)
-        .max()
-        .unwrap_or(2)
-        .max(2);
-    let fab = PacketFabric::new(fabric, nodes);
-    let measured = fab.run_scheme(scheme);
-
-    let solver = FluidSolver::new(model, NetworkParams::unit());
-    let eff = solver.effective_penalties(scheme);
-    let mut tref_cache: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
-    let predicted: Vec<f64> = scheme
-        .comms()
-        .iter()
-        .zip(&eff)
-        .map(|(c, p)| {
-            let tref = *tref_cache
-                .entry(c.size)
-                .or_insert_with(|| fab.reference_time(c.size));
-            p * tref
-        })
-        .collect();
-
-    let erel: Vec<f64> = predicted
-        .iter()
-        .zip(&measured)
-        .map(|(&tp, &tm)| relative_error(tp, tm))
-        .collect();
-    let eabs = mean_absolute_error(&erel);
-    SchemeComparison {
-        scheme: scheme.name().to_string(),
-        labels: scheme.labels().to_vec(),
-        measured,
-        predicted,
-        erel,
-        eabs,
-    }
+    SweepWorker::standalone().compare_scheme(model, fabric, scheme)
 }
 
 /// Regenerates the Fig. 2 table: measured penalties of the six schemes on
-/// all three fabrics.
+/// all three fabrics. One-shot wrapper over [`EvalSession::fig2_table`].
 pub fn fig2_table(size: u64) -> Table {
-    let mut t = Table::new(["scheme", "com.", "gige", "myrinet", "infiniband"]);
-    for s in 1..=6 {
-        let scheme = netbw_graph::schemes::fig2_scheme(s).with_uniform_size(size);
-        let per_fabric: Vec<Vec<f64>> = FabricConfig::paper_fabrics()
-            .iter()
-            .map(|cfg| measure_penalties(*cfg, &scheme).penalties)
-            .collect();
-        for (i, label) in scheme.labels().iter().enumerate() {
-            t.push([
-                if i == 0 {
-                    format!("{s}")
-                } else {
-                    String::new()
-                },
-                label.clone(),
-                fnum(per_fabric[0][i], 2),
-                fnum(per_fabric[1][i], 2),
-                fnum(per_fabric[2][i], 2),
-            ]);
-        }
-    }
-    t
+    EvalSession::sequential().fig2_table(size)
 }
 
 /// Per-task HPL comparison (Figs. 8 and 9): the same trace replayed once
@@ -169,6 +115,18 @@ pub fn compare_hpl(
     cluster: &ClusterSpec,
     policy: &PlacementPolicy,
     model: impl PenaltyModel,
+    fabric: FabricConfig,
+) -> Result<HplComparison, netbw_sim::SimError> {
+    compare_hpl_dyn(hpl, cluster, policy, &model, fabric)
+}
+
+/// Object-safe body of [`compare_hpl`], shared with the session path
+/// ([`SweepWorker::compare_hpl`]).
+pub(crate) fn compare_hpl_dyn(
+    hpl: &HplConfig,
+    cluster: &ClusterSpec,
+    policy: &PlacementPolicy,
+    model: &dyn PenaltyModel,
     fabric: FabricConfig,
 ) -> Result<HplComparison, netbw_sim::SimError> {
     let trace = hpl.trace();

@@ -18,12 +18,14 @@
 
 pub mod error;
 pub mod experiment;
+pub mod session;
 pub mod sizes;
 pub mod sweep;
 pub mod table;
 
 pub use error::{mean_absolute_error, per_task_abs_error, relative_error};
 pub use experiment::{compare_hpl, compare_scheme, fig2_table, HplComparison, SchemeComparison};
+pub use session::{EvalSession, SweepStats, SweepWorker};
 pub use sizes::{first_crossover, size_sweep, SizePoint};
-pub use sweep::parallel_map;
+pub use sweep::{parallel_map, ExecutorStats, SweepExecutor};
 pub use table::Table;

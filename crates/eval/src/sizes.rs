@@ -7,7 +7,7 @@
 //! tasks (RRN) — which is exactly the integrator question from the
 //! paper's introduction.
 
-use crate::experiment::compare_scheme;
+use crate::session::SweepWorker;
 use netbw_core::PenaltyModel;
 use netbw_graph::CommGraph;
 use netbw_packet::FabricConfig;
@@ -23,37 +23,42 @@ pub struct SizePoint {
     pub worst_measured_penalty: f64,
 }
 
+/// One sweep point through a worker's reusable state: the comparison and
+/// the worst-penalty normalisation share the worker's arena fabric and
+/// `Tref` memo (the pre-session path built a second fabric just to
+/// re-measure `Tref`).
+pub(crate) fn size_point<'a>(
+    worker: &mut SweepWorker<'a>,
+    model: &'a dyn PenaltyModel,
+    fabric: FabricConfig,
+    scheme: &CommGraph,
+    size: u64,
+) -> SizePoint {
+    let sized = scheme.clone().with_uniform_size(size);
+    let cmp = worker.compare_scheme(model, fabric, &sized);
+    let tref = worker.tref(fabric, size);
+    let worst = cmp.measured.iter().map(|&t| t / tref).fold(0.0, f64::max);
+    SizePoint {
+        size,
+        eabs: cmp.eabs,
+        worst_measured_penalty: worst,
+    }
+}
+
 /// Sweeps a scheme across message sizes, measuring model accuracy and
-/// worst-case sharing per size.
+/// worst-case sharing per size. One-shot wrapper over a standalone
+/// [`SweepWorker`]; parallel campaigns should use
+/// [`crate::EvalSession::size_sweep`].
 pub fn size_sweep(
     model: &dyn PenaltyModel,
     fabric: FabricConfig,
     scheme: &CommGraph,
     sizes: &[u64],
 ) -> Vec<SizePoint> {
+    let mut worker = SweepWorker::standalone();
     sizes
         .iter()
-        .map(|&size| {
-            let sized = scheme.clone().with_uniform_size(size);
-            let cmp = compare_scheme(model, fabric, &sized);
-            let fab = netbw_packet::PacketFabric::new(
-                fabric,
-                sized
-                    .nodes()
-                    .iter()
-                    .map(|n| n.idx() + 1)
-                    .max()
-                    .unwrap_or(2)
-                    .max(2),
-            );
-            let tref = fab.reference_time(size);
-            let worst = cmp.measured.iter().map(|&t| t / tref).fold(0.0, f64::max);
-            SizePoint {
-                size,
-                eabs: cmp.eabs,
-                worst_measured_penalty: worst,
-            }
-        })
+        .map(|&size| size_point(&mut worker, model, fabric, scheme, size))
         .collect()
 }
 

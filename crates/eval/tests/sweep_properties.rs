@@ -1,0 +1,144 @@
+//! Property tests for the sweep executor and the session path.
+//!
+//! The contract the sweep engine lives by: whatever the worker count and
+//! whatever the steal schedule, results are **bit-for-bit identical to
+//! the sequential path and keep input order** — parallelism and state
+//! reuse may never change an answer.
+
+use netbw_core::{GigabitEthernetModel, MyrinetModel};
+use netbw_eval::{compare_scheme, parallel_map, EvalSession, SweepExecutor};
+use netbw_graph::schemes;
+use netbw_graph::units::KB;
+use netbw_packet::FabricConfig;
+use proptest::prelude::*;
+
+/// A deterministic, float-heavy per-item function: any index mix-up or
+/// double-processing shows up as a bit-level mismatch.
+fn knead(x: u64, i: usize) -> f64 {
+    let a = (x as f64).sqrt() + (i as f64 + 1.0).ln();
+    (a * 1e9).sin() / (x as f64 + 1.5)
+}
+
+proptest! {
+    /// Sequential (1 worker) vs every parallel worker count: identical
+    /// output bits, input order preserved.
+    #[test]
+    fn executor_matches_sequential_bit_for_bit(
+        items in proptest::collection::vec(0u64..1_000_000, 0..200),
+        threads in 2usize..9,
+    ) {
+        let seq: Vec<f64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| knead(x, i))
+            .collect();
+        let par = parallel_map(&items, threads, |&x| x);
+        prop_assert_eq!(&par, &items, "parallel_map must keep input order");
+        let exec = SweepExecutor::new(threads);
+        let (stateful, stats) =
+            exec.map_init(&items, |_| (), |(), &x, i| knead(x, i));
+        prop_assert_eq!(seq, stateful);
+        prop_assert_eq!(
+            stats.per_worker_items.iter().sum::<u64>(),
+            items.len() as u64
+        );
+    }
+
+    /// Per-worker state is per-worker: summing worker-local counters over
+    /// any schedule accounts for every item exactly once.
+    #[test]
+    fn every_item_processed_exactly_once(
+        n in 0usize..300,
+        threads in 1usize..9,
+    ) {
+        let items: Vec<usize> = (0..n).collect();
+        let exec = SweepExecutor::new(threads);
+        let (out, stats) = exec.map_init(
+            &items,
+            |_| 0u64,
+            |count, &x, i| {
+                *count += 1;
+                assert_eq!(x, i);
+                x
+            },
+        );
+        prop_assert_eq!(out, items);
+        prop_assert_eq!(stats.per_worker_items.iter().sum::<u64>(), n as u64);
+        prop_assert!(stats.workers <= threads.max(1));
+    }
+}
+
+/// The session path (arenas + shared memo + reusable solvers, arbitrary
+/// worker counts) answers bit-for-bit like the per-call free function.
+#[test]
+fn session_equals_per_call_for_any_worker_count() {
+    let model = GigabitEthernetModel::default();
+    let fabric = FabricConfig::gige();
+    let battery: Vec<netbw_graph::CommGraph> = (1..=6)
+        .map(|s| schemes::fig2_scheme(s).with_uniform_size(256 * KB))
+        .chain([schemes::outgoing_ladder(3).with_uniform_size(512 * KB)])
+        .collect();
+    let want: Vec<_> = battery
+        .iter()
+        .map(|g| compare_scheme(&model, fabric, g))
+        .collect();
+    for threads in [1, 2, 5] {
+        let session = EvalSession::with_threads(threads);
+        let got = session.compare_schemes(&model, fabric, &battery);
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.scheme, w.scheme, "threads={threads}");
+            assert_eq!(g.measured, w.measured, "threads={threads} {}", w.scheme);
+            assert_eq!(g.predicted, w.predicted, "threads={threads} {}", w.scheme);
+            assert_eq!(g.erel, w.erel, "threads={threads} {}", w.scheme);
+            assert_eq!(g.eabs, w.eabs, "threads={threads} {}", w.scheme);
+        }
+        let stats = session.stats();
+        assert_eq!(stats.items, battery.len() as u64);
+    }
+}
+
+/// A panic in one item propagates to the caller even when other workers
+/// are mid-steal, and the executor does not deadlock on the way out.
+/// (`std::thread::scope` re-raises worker panics as "a scoped thread
+/// panicked", so no payload message to match on.)
+#[test]
+#[should_panic]
+fn panic_propagates_under_stealing() {
+    let items: Vec<u64> = (0..120).collect();
+    let exec = SweepExecutor::new(4);
+    let _ = exec.map_init(
+        &items,
+        |_| (),
+        |(), &x, _| {
+            if x == 0 {
+                // park worker 0 so its block gets stolen while the panic fires
+                std::thread::sleep(std::time::Duration::from_millis(40));
+            }
+            if x == 37 {
+                panic!("sweep item 37 exploded");
+            }
+            x
+        },
+    );
+}
+
+/// Myrinet through the session: the state-heavy model (union-find scratch,
+/// budget certification) also survives solver reuse bit-for-bit.
+#[test]
+fn myrinet_session_equals_per_call() {
+    let model = MyrinetModel::default();
+    let fabric = FabricConfig::myrinet2000();
+    let battery = [
+        schemes::mk1().with_uniform_size(256 * KB),
+        schemes::fig5().with_uniform_size(256 * KB),
+        schemes::mk2().with_uniform_size(128 * KB),
+    ];
+    let session = EvalSession::with_threads(2);
+    let got = session.compare_schemes(&model, fabric, &battery);
+    for (g, scheme) in got.iter().zip(&battery) {
+        let w = compare_scheme(&model, fabric, scheme);
+        assert_eq!(g.measured, w.measured, "{}", w.scheme);
+        assert_eq!(g.predicted, w.predicted, "{}", w.scheme);
+    }
+}

@@ -142,6 +142,24 @@ impl PenaltyCache {
         self.stats
     }
 
+    /// Returns the cache to its pre-first-settle state while keeping the
+    /// model scratch allocation and the cumulative stats. The next refresh
+    /// issues a full rebuild query (no positional delta can bridge a
+    /// reset), and the models re-seed their scratch from that query — so a
+    /// reset cache answers bit-for-bit like a fresh one while reusing the
+    /// scratch's allocations. This is what makes
+    /// [`crate::FluidSolver`]'s network reuse sound.
+    pub fn reset(&mut self) {
+        self.active.clear();
+        self.comms.clear();
+        self.penalties.clear();
+        self.valid = false;
+        self.settled_once = false;
+        self.pending_arrivals.clear();
+        self.pending_departures.clear();
+        self.pending_rebuild = false;
+    }
+
     /// Records that the flow `key` joined the contending population (a new
     /// transfer, or a latency gate opening).
     pub fn note_arrival(&mut self, key: FlowKey) {

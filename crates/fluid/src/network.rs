@@ -129,6 +129,19 @@ impl<M: PenaltyModel> FluidNetwork<M> {
         self.cache.lock().expect("penalty cache lock").stats()
     }
 
+    /// Returns the network to an idle state at time 0 while keeping every
+    /// allocation warm: the slab's slot storage, the penalty cache and the
+    /// model scratch it owns. A reset network produces bit-for-bit the
+    /// results a freshly built one would (the first settle after a reset
+    /// is a full rebuild query, exactly like a fresh cache's). Used by
+    /// [`crate::FluidSolver`] to amortize construction across a scheme
+    /// battery; cache stats accumulate across resets.
+    pub fn reset(&mut self) {
+        self.time = 0.0;
+        self.slots.clear();
+        self.cache.get_mut().expect("penalty cache lock").reset();
+    }
+
     /// Starts a transfer at `start`.
     ///
     /// # Panics

@@ -86,6 +86,17 @@ impl<T> Slab<T> {
         self.len
     }
 
+    /// Removes every entry while keeping the allocated capacity, leaving
+    /// the slab indistinguishable from a freshly built one (generations
+    /// restart at zero, so reused slabs hand out the same key sequence a
+    /// new slab would — which is what keeps network reuse bit-for-bit
+    /// reproducible). All previously issued keys become stale.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.free.clear();
+        self.len = 0;
+    }
+
     /// True when no slot is occupied.
     pub fn is_empty(&self) -> bool {
         self.len == 0

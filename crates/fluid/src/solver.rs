@@ -61,31 +61,44 @@ impl TransferResult {
 
 /// Batch fluid solver: all communications of a scheme start at time zero
 /// (the paper's synchronized-start methodology, §IV.B).
+///
+/// The solver owns one [`FluidNetwork`] and *reuses* it across solves
+/// (each solve starts with [`FluidNetwork::reset`]): the slab storage, the
+/// penalty cache and the model's scratch state stay allocated, so sweeping
+/// a battery of hundreds of schemes through one solver pays construction
+/// once. Reset networks answer bit-for-bit like fresh ones, which the
+/// sweep equivalence tests in `netbw-eval` pin.
 pub struct FluidSolver<M> {
-    model: M,
-    params: NetworkParams,
+    net: FluidNetwork<M>,
 }
 
 impl<M: PenaltyModel> FluidSolver<M> {
     /// Creates a solver from a model and base network parameters.
     pub fn new(model: M, params: NetworkParams) -> Self {
-        FluidSolver { model, params }
+        FluidSolver {
+            net: FluidNetwork::new(model, params).with_phase_recording(),
+        }
     }
 
     /// The network parameters in use.
     pub fn params(&self) -> &NetworkParams {
-        &self.params
+        self.net.params()
+    }
+
+    /// The model in use.
+    pub fn model(&self) -> &M {
+        self.net.model()
     }
 
     /// Solves a scheme with all communications starting at time 0. The
     /// result vector is aligned with `graph.comms()`.
-    pub fn solve(&self, graph: &CommGraph) -> Vec<TransferResult> {
+    pub fn solve(&mut self, graph: &CommGraph) -> Vec<TransferResult> {
         self.solve_with_starts(graph.comms(), &vec![0.0; graph.len()])
     }
 
     /// Solves a set of communications with explicit start times.
     pub fn solve_with_starts(
-        &self,
+        &mut self,
         comms: &[Communication],
         starts: &[f64],
     ) -> Vec<TransferResult> {
@@ -94,7 +107,7 @@ impl<M: PenaltyModel> FluidSolver<M> {
             starts.len(),
             "one start time per communication"
         );
-        let mut net = FluidNetwork::new(&self.model, self.params).with_phase_recording();
+        self.net.reset();
         // Insertion must respect time order for the network's invariant.
         let mut order: Vec<usize> = (0..comms.len()).collect();
         order.sort_by(|&a, &b| starts[a].total_cmp(&starts[b]));
@@ -102,9 +115,9 @@ impl<M: PenaltyModel> FluidSolver<M> {
         // start; since nothing advances during adds, any order works, but
         // keep it sorted for clarity.
         for &i in &order {
-            net.add(i as TransferKey, comms[i], starts[i]);
+            self.net.add(i as TransferKey, comms[i], starts[i]);
         }
-        let done = net.run_to_completion();
+        let done = self.net.run_to_completion();
         let mut out: Vec<Option<TransferResult>> = vec![None; comms.len()];
         for d in done {
             let i = d.key as usize;
@@ -121,11 +134,12 @@ impl<M: PenaltyModel> FluidSolver<M> {
 
     /// Per-communication effective penalties of a scheme solved from a
     /// synchronized start.
-    pub fn effective_penalties(&self, graph: &CommGraph) -> Vec<f64> {
-        self.solve(graph)
+    pub fn effective_penalties(&mut self, graph: &CommGraph) -> Vec<f64> {
+        let results = self.solve(graph);
+        results
             .iter()
             .zip(graph.comms())
-            .map(|(r, c)| r.effective_penalty(&self.params, c.size))
+            .map(|(r, c)| r.effective_penalty(self.net.params(), c.size))
             .collect()
     }
 }
@@ -150,7 +164,7 @@ mod tests {
     /// must reproduce a,b = 2.5·tref; c,g = 2·tref; d,f = 1.5·tref; e = tref.
     #[test]
     fn mk1_fluid_times_match_paper() {
-        let solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
+        let mut solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
         let mk1 = schemes::mk1().with_uniform_size(1000);
         let res = solver.solve(&mk1);
         let by_label: std::collections::HashMap<&str, f64> = mk1
@@ -173,7 +187,7 @@ mod tests {
     /// a–d = 0.1758, e = 0.0531, f,g = 0.0844, h,i = 0.1003, j = 0.0726.
     #[test]
     fn mk2_fluid_times_match_paper() {
-        let solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
+        let mut solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
         let mk2 = schemes::mk2().with_uniform_size(10_000);
         let res = solver.solve(&mk2);
         let tref = 10_000.0;
@@ -203,7 +217,7 @@ mod tests {
     fn gige_constant_penalty_schemes_scale_linearly() {
         // outgoing ladder: symmetric, penalties constant until the common
         // finish → completion = k·β·tref.
-        let solver = FluidSolver::new(GigabitEthernetModel::default(), NetworkParams::unit());
+        let mut solver = FluidSolver::new(GigabitEthernetModel::default(), NetworkParams::unit());
         for k in 2..=4 {
             let g = schemes::outgoing_ladder(k).with_uniform_size(100);
             let res = solver.solve(&g);
@@ -220,7 +234,7 @@ mod tests {
     #[test]
     fn effective_penalties_match_fig6_for_symmetric_cases() {
         // e in MK1 never shares: effective penalty exactly 1.
-        let solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
+        let mut solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
         let mk1 = schemes::mk1().with_uniform_size(500);
         let p = solver.effective_penalties(&mk1);
         let e = mk1.by_label("e").unwrap();
@@ -230,7 +244,7 @@ mod tests {
     #[test]
     fn latency_shifts_but_does_not_contend() {
         let params = NetworkParams::new(1.0, 5.0);
-        let solver = FluidSolver::new(MyrinetModel::default(), params);
+        let mut solver = FluidSolver::new(MyrinetModel::default(), params);
         let g = schemes::single().with_uniform_size(100);
         let res = solver.solve(&g);
         assert!((res[0].completion - 105.0).abs() < 1e-9);
@@ -240,7 +254,7 @@ mod tests {
 
     #[test]
     fn staggered_starts_are_respected() {
-        let solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
+        let mut solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
         let comms = vec![
             netbw_graph::Communication::new(0u32, 1u32, 100),
             netbw_graph::Communication::new(0u32, 2u32, 100),
@@ -254,7 +268,7 @@ mod tests {
 
     #[test]
     fn phases_partition_the_transfer_lifetime() {
-        let solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
+        let mut solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
         let mk1 = schemes::mk1().with_uniform_size(300);
         for r in solver.solve(&mk1) {
             assert!(!r.phases.is_empty());
@@ -267,9 +281,33 @@ mod tests {
     }
 
     #[test]
+    fn reused_solver_matches_fresh_solvers_bit_for_bit() {
+        // One solver swept across a battery must answer exactly like a
+        // fresh solver per scheme: the reset path may not leak any state
+        // (slab keys, cache validity, model scratch) between solves.
+        let mut reused = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
+        let battery = [
+            schemes::mk1().with_uniform_size(300),
+            schemes::fig5().with_uniform_size(777),
+            schemes::mk2().with_uniform_size(10_000),
+            schemes::mk1().with_uniform_size(300),
+        ];
+        for g in &battery {
+            let mut fresh = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
+            let a = reused.solve(g);
+            let b = fresh.solve(g);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.completion, y.completion, "{}", g.name());
+                assert_eq!(x.phases, y.phases, "{}", g.name());
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "one start time per communication")]
     fn start_length_mismatch_panics() {
-        let solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
+        let mut solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
         solver.solve_with_starts(&[netbw_graph::Communication::new(0u32, 1u32, 1)], &[]);
     }
 }

@@ -87,7 +87,7 @@ mod tests {
 
     #[test]
     fn single_transfer_utilization_is_one() {
-        let solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
+        let mut solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
         let g = schemes::single().with_uniform_size(100);
         let res = solver.solve(&g);
         let u = utilization(&res);
@@ -99,7 +99,7 @@ mod tests {
     #[test]
     fn two_sharing_transfers_keep_aggregate_at_one() {
         // two comms from one node under the Myrinet model: each rate 1/2
-        let solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
+        let mut solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
         let g = schemes::outgoing_ladder(2).with_uniform_size(100);
         let res = solver.solve(&g);
         let u = utilization(&res);
@@ -110,7 +110,7 @@ mod tests {
     #[test]
     fn penalty_series_tracks_phases() {
         // MK1's `a` has two phases: penalty 3 then 2
-        let solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
+        let mut solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
         let mk1 = schemes::mk1().with_uniform_size(1000);
         let res = solver.solve(&mk1);
         let a = mk1.by_label("a").unwrap();
@@ -126,7 +126,7 @@ mod tests {
     fn utilization_reflects_parallel_components() {
         // MK1 starts with three independent components running at once:
         // rates 1/3+1/3 (a,b) + 1/2+1/2 (c,g) + 1/1.5+1/1.5 (d,f) + 1 (e)
-        let solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
+        let mut solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
         let mk1 = schemes::mk1().with_uniform_size(1000);
         let res = solver.solve(&mk1);
         let u = utilization(&res);

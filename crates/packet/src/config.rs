@@ -137,6 +137,38 @@ impl FabricConfig {
     pub fn paper_fabrics() -> [FabricConfig; 3] {
         [Self::gige(), Self::myrinet2000(), Self::infinihost3()]
     }
+
+    /// Hashable identity of this configuration (`f64` fields compared by
+    /// bit pattern): the key under which fabric arenas and `Tref` memos
+    /// index their per-fabric state. Two configs with the same key behave
+    /// identically in every simulation.
+    pub fn key(&self) -> FabricKey {
+        FabricKey {
+            name: self.name,
+            rates: [
+                self.link_rate.to_bits(),
+                self.flow_cap.to_bits(),
+                self.host_budget.to_bits(),
+                self.prop_delay.to_bits(),
+                self.startup.to_bits(),
+            ],
+            segment: self.segment,
+            window: self.window,
+            circuit: self.circuit,
+        }
+    }
+}
+
+/// Opaque hashable identity of a [`FabricConfig`] (see
+/// [`FabricConfig::key`]). Used by `netbw_eval`'s session to key fabric
+/// arenas and shared `Tref` memos.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FabricKey {
+    name: &'static str,
+    rates: [u64; 5],
+    segment: u64,
+    window: usize,
+    circuit: bool,
 }
 
 #[cfg(test)]

@@ -68,6 +68,15 @@ impl<E> EventQueue<E> {
         self.seq += 1;
     }
 
+    /// Removes every pending event and restarts the deterministic
+    /// tie-breaking sequence, leaving the queue indistinguishable from a
+    /// freshly built one while keeping the heap allocation — reused
+    /// queues must replay identical schedules identically.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.seq = 0;
+    }
+
     /// Time of the earliest pending event.
     pub fn peek_time(&self) -> Option<f64> {
         self.heap.peek().map(|s| s.time)

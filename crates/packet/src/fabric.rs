@@ -118,6 +118,27 @@ impl PacketNetwork {
         &self.cfg
     }
 
+    /// Node capacity of the underlying topology.
+    pub fn node_capacity(&self) -> usize {
+        self.topo.nodes()
+    }
+
+    /// Returns the network to an idle state at time 0, keeping every
+    /// allocation (event heap, flow table, server horizons) warm. A reset
+    /// network replays any schedule bit-for-bit identically to a freshly
+    /// built one of the same capacity; on a crossbar, capacity itself does
+    /// not affect timing (every flow serializes through its own per-node
+    /// servers), which is what makes fabric arenas sound.
+    pub fn reset(&mut self) {
+        self.time = 0.0;
+        self.queue.clear();
+        self.flows.clear();
+        self.busy.fill(0.0);
+        self.host_busy.fill(0.0);
+        self.tx_flows.fill(0);
+        self.completed.clear();
+    }
+
     /// Number of unfinished transfers.
     pub fn in_flight(&self) -> usize {
         self.flows.iter().filter(|f| !f.done).count()
@@ -347,12 +368,48 @@ impl PacketNetwork {
     }
 }
 
+/// Reuse counters of a [`PacketFabric`]'s retained network scratch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FabricStats {
+    /// `PacketNetwork`s constructed (first run, and capacity growth).
+    pub networks_built: u64,
+    /// Runs served by resetting the retained network instead.
+    pub networks_reused: u64,
+}
+
 /// Batch façade over [`PacketNetwork`]: run whole schemes, measure
 /// reference times and penalties.
-#[derive(Clone, Debug)]
+///
+/// The fabric retains one [`PacketNetwork`] and reuses it across runs
+/// (resetting it between schemes, growing its crossbar capacity when a
+/// scheme needs more nodes), so driving a battery of hundreds of schemes
+/// through one fabric pays network construction once — the reuse that
+/// `netbw_eval`'s fabric arenas are built on. [`FabricStats`] counts
+/// builds vs reuses.
 pub struct PacketFabric {
     cfg: FabricConfig,
     nodes: usize,
+    scratch: Option<PacketNetwork>,
+    stats: FabricStats,
+}
+
+impl Clone for PacketFabric {
+    /// Clones the configuration and capacity; the retained network and the
+    /// reuse counters stay with the original.
+    fn clone(&self) -> Self {
+        PacketFabric::new(self.cfg, self.nodes)
+    }
+}
+
+impl std::fmt::Debug for PacketFabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PacketFabric")
+            .field("cfg", &self.cfg)
+            .field("nodes", &self.nodes)
+            .field("has_scratch", &self.scratch.is_some())
+            .field("stats", &self.stats)
+            .finish()
+    }
 }
 
 impl PacketFabric {
@@ -362,6 +419,8 @@ impl PacketFabric {
         PacketFabric {
             cfg,
             nodes: nodes.max(2),
+            scratch: None,
+            stats: FabricStats::default(),
         }
     }
 
@@ -370,22 +429,51 @@ impl PacketFabric {
         &self.cfg
     }
 
+    /// Current node capacity (grows when a scheme needs more nodes).
+    pub fn capacity(&self) -> usize {
+        self.nodes
+    }
+
+    /// Network build/reuse counters since construction.
+    pub fn stats(&self) -> FabricStats {
+        self.stats
+    }
+
+    /// The retained network, reset and large enough for `nodes` nodes.
+    fn network_for(&mut self, nodes: usize) -> &mut PacketNetwork {
+        let need = nodes.max(self.nodes);
+        if self
+            .scratch
+            .as_ref()
+            .is_some_and(|n| n.node_capacity() >= need)
+        {
+            self.stats.networks_reused += 1;
+            let net = self.scratch.as_mut().expect("capacity checked");
+            net.reset();
+            net
+        } else {
+            self.nodes = need;
+            self.stats.networks_built += 1;
+            self.scratch.insert(PacketNetwork::new(self.cfg, need))
+        }
+    }
+
     /// Completion times for a scheme, all communications starting at 0.
     /// The result is aligned with `graph.comms()`.
-    pub fn run_scheme(&self, graph: &CommGraph) -> Vec<f64> {
+    pub fn run_scheme(&mut self, graph: &CommGraph) -> Vec<f64> {
         let starts = vec![0.0; graph.len()];
         self.run_with_starts(graph.comms(), &starts)
     }
 
     /// Completion times with explicit start times.
-    pub fn run_with_starts(&self, comms: &[Communication], starts: &[f64]) -> Vec<f64> {
+    pub fn run_with_starts(&mut self, comms: &[Communication], starts: &[f64]) -> Vec<f64> {
         assert_eq!(comms.len(), starts.len());
         let max_node = comms
             .iter()
             .flat_map(|c| [c.src.idx(), c.dst.idx()])
             .max()
             .map_or(self.nodes, |m| (m + 1).max(self.nodes));
-        let mut net = PacketNetwork::new(self.cfg, max_node);
+        let net = self.network_for(max_node);
         let mut order: Vec<usize> = (0..comms.len()).collect();
         order.sort_by(|&a, &b| starts[a].total_cmp(&starts[b]));
         for &i in &order {
@@ -405,7 +493,7 @@ impl PacketFabric {
 
     /// The paper's reference time: one uncontended transfer of `size` bytes
     /// between two otherwise idle nodes (§IV.B).
-    pub fn reference_time(&self, size: u64) -> f64 {
+    pub fn reference_time(&mut self, size: u64) -> f64 {
         let comm = Communication::new(0u32, 1u32, size);
         self.run_with_starts(&[comm], &[0.0])[0]
     }
@@ -418,7 +506,7 @@ mod tests {
     use netbw_graph::units::MB;
 
     fn penalties(cfg: FabricConfig, graph: &CommGraph) -> Vec<f64> {
-        let fab = PacketFabric::new(cfg, graph.nodes().len().max(2));
+        let mut fab = PacketFabric::new(cfg, graph.nodes().len().max(2));
         let times = fab.run_scheme(graph);
         graph
             .comms()
@@ -431,7 +519,7 @@ mod tests {
     #[test]
     fn single_flow_achieves_cap() {
         for cfg in FabricConfig::paper_fabrics() {
-            let fab = PacketFabric::new(cfg, 2);
+            let mut fab = PacketFabric::new(cfg, 2);
             let t = fab.reference_time(20 * MB);
             let ideal = 20e6 / cfg.flow_cap;
             assert!(
@@ -557,7 +645,7 @@ mod tests {
     fn incremental_advance_matches_batch() {
         let cfg = FabricConfig::myrinet2000();
         let g = schemes::fig5().with_uniform_size(2 * MB);
-        let fab = PacketFabric::new(cfg, 6);
+        let mut fab = PacketFabric::new(cfg, 6);
         let batch = fab.run_scheme(&g);
 
         let mut net = PacketNetwork::new(cfg, 6);
@@ -581,7 +669,7 @@ mod tests {
         // second flow starts when the first is half done: both slower than
         // solo, faster than full overlap.
         let cfg = FabricConfig::gige();
-        let fab = PacketFabric::new(cfg, 3);
+        let mut fab = PacketFabric::new(cfg, 3);
         let comms = [
             Communication::new(0u32, 1u32, 8 * MB),
             Communication::new(0u32, 2u32, 8 * MB),
@@ -618,6 +706,36 @@ mod tests {
         for (a, b) in c.iter().zip(&s) {
             assert!((a - b).abs() / b < 0.15, "sparse: {a} vs {b}");
         }
+    }
+
+    #[test]
+    fn reused_fabric_matches_fresh_fabrics_bit_for_bit() {
+        // One fabric swept across a battery (with capacity growth in the
+        // middle) answers exactly like a fresh fabric per scheme.
+        let cfg = FabricConfig::myrinet2000();
+        let mut reused = PacketFabric::new(cfg, 2);
+        let battery = [
+            schemes::outgoing_ladder(2).with_uniform_size(MB),
+            schemes::mk2().with_uniform_size(2 * MB),
+            schemes::fig2_scheme(4).with_uniform_size(MB),
+            schemes::outgoing_ladder(2).with_uniform_size(MB),
+        ];
+        for g in &battery {
+            let a = reused.run_scheme(g);
+            let b = PacketFabric::new(cfg, 2).run_scheme(g);
+            assert_eq!(a, b, "{}", g.name());
+        }
+        assert_eq!(reused.reference_time(MB), {
+            let mut fresh = PacketFabric::new(cfg, 2);
+            fresh.reference_time(MB)
+        });
+        let stats = reused.stats();
+        assert_eq!(stats.networks_built + stats.networks_reused, 5);
+        assert!(
+            stats.networks_reused >= 3,
+            "only capacity growth may rebuild: {stats:?}"
+        );
+        assert!(reused.capacity() >= 5, "mk2 grew the crossbar");
     }
 
     #[test]

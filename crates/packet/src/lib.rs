@@ -38,8 +38,10 @@ pub mod des;
 pub mod fabric;
 pub mod measure;
 pub mod topology;
+pub mod tref;
 
-pub use config::FabricConfig;
-pub use fabric::{PacketFabric, PacketNetwork};
+pub use config::{FabricConfig, FabricKey};
+pub use fabric::{FabricStats, PacketFabric, PacketNetwork};
 pub use measure::{measure_penalties, PenaltyMeasurement, SchemeMeasurer};
 pub use topology::Topology;
+pub use tref::TrefCache;

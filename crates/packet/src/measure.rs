@@ -10,6 +10,7 @@
 
 use crate::config::FabricConfig;
 use crate::fabric::PacketFabric;
+use crate::tref::TrefCache;
 use netbw_graph::CommGraph;
 
 /// Result of measuring one scheme on one fabric.
@@ -37,24 +38,19 @@ pub fn measure_penalties(cfg: FabricConfig, graph: &CommGraph) -> PenaltyMeasure
         .max()
         .unwrap_or(2)
         .max(2);
-    let fab = PacketFabric::new(cfg, nodes);
+    let mut fab = PacketFabric::new(cfg, nodes);
     let times = fab.run_scheme(graph);
-    let mut tref_cache: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
+    let mut trefs = TrefCache::new();
     let penalties: Vec<f64> = graph
         .comms()
         .iter()
         .zip(&times)
-        .map(|(c, t)| {
-            let tref = *tref_cache
-                .entry(c.size)
-                .or_insert_with(|| fab.reference_time(c.size));
-            t / tref
-        })
+        .map(|(c, t)| t / trefs.reference_time(&mut fab, c.size))
         .collect();
     let tref = graph
         .comms()
         .first()
-        .map(|c| tref_cache[&c.size])
+        .and_then(|c| trefs.lookup(c.size))
         .unwrap_or(0.0);
     PenaltyMeasurement {
         fabric: cfg.name,

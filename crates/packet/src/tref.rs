@@ -1,0 +1,129 @@
+//! Memoized reference times — the paper's `Tref(size)` (§IV.B).
+//!
+//! Every measured-vs-predicted comparison normalises by the reference
+//! time *for each payload size*: one uncontended transfer between two
+//! otherwise idle nodes. Before this type, `measure_penalties` and
+//! `netbw_eval`'s `compare_scheme` each hand-rolled the same
+//! `HashMap<u64, f64>` per call, so a battery of hundreds of schemes
+//! re-simulated the identical reference transfer hundreds of times. A
+//! [`TrefCache`] makes the memo a first-class, observable object: the
+//! one-shot entry points keep one per call, and `netbw_eval`'s
+//! `EvalSession` keeps one per fabric per worker plus a shared
+//! cross-worker memo, so each `(fabric, size)` pair is measured once per
+//! battery.
+
+use crate::fabric::PacketFabric;
+use std::collections::HashMap;
+
+/// Memo of `Tref(size)` measurements for one fabric configuration.
+///
+/// The cache itself never runs a simulation: misses call back into the
+/// supplied closure (usually [`PacketFabric::reference_time`]), so the
+/// caller decides which fabric instance pays for the measurement.
+#[derive(Clone, Debug, Default)]
+pub struct TrefCache {
+    map: HashMap<u64, f64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl TrefCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        TrefCache::default()
+    }
+
+    /// The memoized reference time for `size`, if present. Does not count
+    /// as a hit; used to peek before consulting a shared memo.
+    pub fn lookup(&self, size: u64) -> Option<f64> {
+        self.map.get(&size).copied()
+    }
+
+    /// Seeds the memo (e.g. from a session-shared cache).
+    pub fn insert(&mut self, size: u64, tref: f64) {
+        self.map.insert(size, tref);
+    }
+
+    /// The reference time for `size`, measuring via `compute` on a miss.
+    pub fn get(&mut self, size: u64, compute: impl FnOnce(u64) -> f64) -> f64 {
+        if let Some(&t) = self.map.get(&size) {
+            self.hits += 1;
+            return t;
+        }
+        self.misses += 1;
+        let t = compute(size);
+        self.map.insert(size, t);
+        t
+    }
+
+    /// [`TrefCache::get`] measuring through `fab` on a miss.
+    pub fn reference_time(&mut self, fab: &mut PacketFabric, size: u64) -> f64 {
+        self.get(size, |s| fab.reference_time(s))
+    }
+
+    /// Number of distinct sizes memoized.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lookups served from the memo.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to measure.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FabricConfig;
+
+    #[test]
+    fn memoizes_per_size() {
+        let mut cache = TrefCache::new();
+        let mut computes = 0;
+        for &size in &[100u64, 200, 100, 100, 200] {
+            cache.get(size, |s| {
+                computes += 1;
+                s as f64
+            });
+        }
+        assert_eq!(computes, 2);
+        assert_eq!(cache.hits(), 3);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.lookup(100), Some(100.0));
+        assert_eq!(cache.lookup(300), None);
+    }
+
+    #[test]
+    fn measures_through_a_fabric_once() {
+        let mut fab = PacketFabric::new(FabricConfig::gige(), 2);
+        let mut cache = TrefCache::new();
+        let a = cache.reference_time(&mut fab, 1 << 20);
+        let b = cache.reference_time(&mut fab, 1 << 20);
+        assert_eq!(a, b);
+        assert!(a > 0.0);
+        assert_eq!(cache.misses(), 1);
+        // the second call never touched the fabric
+        assert_eq!(fab.stats().networks_built + fab.stats().networks_reused, 1);
+    }
+
+    #[test]
+    fn seeded_entries_hit() {
+        let mut cache = TrefCache::new();
+        cache.insert(64, 1.5);
+        let t = cache.get(64, |_| unreachable!("seeded"));
+        assert_eq!(t, 1.5);
+        assert_eq!(cache.hits(), 1);
+    }
+}

@@ -23,7 +23,7 @@ proptest! {
     #[test]
     fn completion_bounds(comms in arb_scheme()) {
         for cfg in [FabricConfig::gige(), FabricConfig::myrinet2000(), FabricConfig::infinihost3()] {
-            let fab = PacketFabric::new(cfg, 8);
+            let mut fab = PacketFabric::new(cfg, 8);
             let times = fab.run_with_starts(&comms, &vec![0.0; comms.len()]);
             let total_bytes: u64 = comms.iter().map(|c| c.size).sum();
             for (t, c) in times.iter().zip(&comms) {
@@ -42,7 +42,7 @@ proptest! {
     #[test]
     fn deterministic(comms in arb_scheme()) {
         let cfg = FabricConfig::myrinet2000();
-        let fab = PacketFabric::new(cfg, 8);
+        let mut fab = PacketFabric::new(cfg, 8);
         let a = fab.run_with_starts(&comms, &vec![0.0; comms.len()]);
         let b = fab.run_with_starts(&comms, &vec![0.0; comms.len()]);
         prop_assert_eq!(a, b);
@@ -52,7 +52,7 @@ proptest! {
     #[test]
     fn incremental_equals_batch(comms in arb_scheme(), step_ms in 1u64..500) {
         let cfg = FabricConfig::gige();
-        let fab = PacketFabric::new(cfg, 8);
+        let mut fab = PacketFabric::new(cfg, 8);
         let batch = fab.run_with_starts(&comms, &vec![0.0; comms.len()]);
 
         let mut net = PacketNetwork::new(cfg, 8);
@@ -77,7 +77,7 @@ proptest! {
     #[test]
     fn adding_disjoint_flow_never_helps(comms in arb_scheme()) {
         let cfg = FabricConfig::infinihost3();
-        let fab = PacketFabric::new(cfg, 12);
+        let mut fab = PacketFabric::new(cfg, 12);
         let base = fab.run_with_starts(&comms, &vec![0.0; comms.len()]);
         let mut more = comms.clone();
         more.push(Communication::new(10u32, 11u32, 1_000_000));
@@ -92,7 +92,7 @@ proptest! {
 #[test]
 fn tref_monotone_in_size() {
     for cfg in FabricConfig::paper_fabrics() {
-        let fab = PacketFabric::new(cfg, 2);
+        let mut fab = PacketFabric::new(cfg, 2);
         let mut last = 0.0;
         for size in [1_000u64, 100_000, 1_000_000, 10_000_000] {
             let t = fab.reference_time(size);

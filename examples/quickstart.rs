@@ -36,7 +36,7 @@ fn main() {
 
     // Completion times: the fluid solver integrates penalties over time,
     // re-evaluating the model as communications finish.
-    let solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::myrinet2000());
+    let mut solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::myrinet2000());
     println!("\npredicted completion times on Myrinet 2000:");
     for (r, (_, label, c)) in solver.solve(&scheme).iter().zip(scheme.iter()) {
         println!(
@@ -47,7 +47,7 @@ fn main() {
     }
 
     // And the "measured" counterpart from the packet-level fabric.
-    let fabric = PacketFabric::new(FabricConfig::myrinet2000(), 8);
+    let mut fabric = PacketFabric::new(FabricConfig::myrinet2000(), 8);
     let times = fabric.run_scheme(&scheme);
     let tref = fabric.reference_time(scheme.comms()[0].size);
     println!("\nsimulated Myrinet fabric (packet level):");

@@ -23,7 +23,7 @@
 //! | [`packet`] | `netbw-packet` | packet-level fabric simulators (the "hardware") |
 //! | [`workloads`] | `netbw-workloads` | HPL trace generator, synthetic batteries |
 //! | [`trace`] | `netbw-trace` | MPE-like event trace format |
-//! | [`eval`] | `netbw-eval` | Erel/Eabs metrics, measured-vs-predicted experiments |
+//! | [`eval`] | `netbw-eval` | Erel/Eabs metrics, measured-vs-predicted experiments, sweep execution engine |
 //!
 //! ## Quickstart
 //!
@@ -37,7 +37,7 @@
 //! assert_eq!(penalties[0].value(), 5.0);
 //!
 //! // completion times through the fluid solver
-//! let solver = FluidSolver::new(model, NetworkParams::myrinet2000());
+//! let mut solver = FluidSolver::new(model, NetworkParams::myrinet2000());
 //! let times = solver.solve(&scheme);
 //! assert!(times[0].completion > times[3].completion);
 //! ```
@@ -54,7 +54,7 @@ pub use netbw_workloads as workloads;
 /// One-stop import of the items most programs need.
 pub mod prelude {
     pub use netbw_core::prelude::*;
-    pub use netbw_eval::{compare_hpl, compare_scheme, fig2_table, Table};
+    pub use netbw_eval::{compare_hpl, compare_scheme, fig2_table, EvalSession, SweepStats, Table};
     pub use netbw_fluid::{FluidNetwork, FluidSolver, NetworkParams};
     pub use netbw_graph::prelude::*;
     pub use netbw_packet::{FabricConfig, PacketFabric, PacketNetwork};

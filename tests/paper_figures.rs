@@ -22,7 +22,7 @@ fn fig6_exact() {
 /// the paper to its printed 3-decimal precision.
 #[test]
 fn fig7_mk1_predicted_column() {
-    let solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
+    let mut solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
     let mk1 = schemes::mk1().with_uniform_size(1_000_000);
     let res = solver.solve(&mk1);
     let tref_units = 1_000_000.0;
@@ -49,7 +49,7 @@ fn fig7_mk1_predicted_column() {
 /// Fig. 7 MK2 predicted column, same convention.
 #[test]
 fn fig7_mk2_predicted_column() {
-    let solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
+    let mut solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
     let mk2 = schemes::mk2().with_uniform_size(1_000_000);
     let res = solver.solve(&mk2);
     let tref_units = 1_000_000.0;

@@ -86,7 +86,7 @@ proptest! {
     /// never accelerate), and phases integrate to exactly the message size.
     #[test]
     fn fluid_conserves_bytes(comms in arb_scheme()) {
-        let solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
+        let mut solver = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
         let results = solver.solve_with_starts(&comms, &vec![0.0; comms.len()]);
         for (r, c) in results.iter().zip(&comms) {
             prop_assert!(r.elapsed() >= c.size as f64 - 1e-6);
@@ -144,7 +144,7 @@ proptest! {
         let g = schemes::random_bounded(6, 6, 2, 2, 500_000, seed);
         if g.is_empty() { return Ok(()); }
         for cfg in [FabricConfig::gige(), FabricConfig::infinihost3()] {
-            let fab = PacketFabric::new(cfg, 8);
+            let mut fab = PacketFabric::new(cfg, 8);
             let times = fab.run_scheme(&g);
             for (t, c) in times.iter().zip(g.comms()) {
                 let floor = c.size as f64 / cfg.flow_cap;

@@ -22,26 +22,38 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use netbw::prelude::*;
-use netbw_bench::{churn_stagger, churn_transfers, drain_churn};
+use netbw_bench::{churn_stagger, churn_transfers, drain_churn_mode, EngineMode};
 use std::hint::black_box;
 
+const MODES: [(&str, EngineMode); 3] = [
+    ("incremental", EngineMode::Heap),
+    ("linear-timeline", EngineMode::LinearTimeline),
+    ("full-recompute", EngineMode::FullRecompute),
+];
+
 fn bench_churn_size(c: &mut Criterion, flows: usize, sample_size: usize) {
-    // One-off evidence that both engines do the same work with very
-    // different model-query profiles (the benched quantity is wall time).
-    for (name, full) in [("incremental", false), ("full-recompute", true)] {
+    // One-off evidence that all engines do the same work with very
+    // different model-query and event-scan profiles (the benched quantity
+    // is wall time).
+    for (name, mode) in MODES {
         let transfers = churn_transfers(flows, 25.0);
-        let (done, stats) = drain_churn(GigabitEthernetModel::default(), &transfers, full);
+        let (done, stats, timeline) =
+            drain_churn_mode(GigabitEthernetModel::default(), &transfers, mode);
         assert_eq!(done, flows);
         println!(
             "churn{flows}/{name}: {flows} flows, {} model queries \
              ({} carrying positional deltas, {} patched, {} scratch rebuilds, \
-             {} budget fallbacks), {} cache reuses",
+             {} budget fallbacks), {} cache reuses, {} heap pushes \
+             ({} lazy pops, {} rescans)",
             stats.model_queries,
             stats.delta_queries,
             stats.patched_queries,
             stats.scratch_rebuilds,
             stats.budget_fallbacks,
-            stats.reuses
+            stats.reuses,
+            timeline.heap_pushes,
+            timeline.lazy_pops,
+            timeline.rescans,
         );
     }
 
@@ -52,16 +64,13 @@ fn bench_churn_size(c: &mut Criterion, flows: usize, sample_size: usize) {
         ("myrinet", ModelKind::Myrinet),
     ] {
         let transfers = churn_transfers(flows, churn_stagger(kind));
-        group.bench_with_input(
-            BenchmarkId::new("incremental", model_name),
-            &kind,
-            |b, &kind| b.iter(|| black_box(drain_churn(kind.build(), &transfers, false).0)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("full-recompute", model_name),
-            &kind,
-            |b, &kind| b.iter(|| black_box(drain_churn(kind.build(), &transfers, true).0)),
-        );
+        for (mode_name, mode) in MODES {
+            group.bench_with_input(
+                BenchmarkId::new(mode_name, model_name),
+                &kind,
+                |b, &kind| b.iter(|| black_box(drain_churn_mode(kind.build(), &transfers, mode).0)),
+            );
+        }
     }
     group.finish();
 }

@@ -1,65 +1,107 @@
 //! CI smoke check: the incremental penalty engine must stay ahead of the
-//! `with_full_recompute` oracle on the shared churn workloads.
+//! `with_full_recompute` oracle on the shared churn workloads, and the
+//! event-driven heap timeline must stay ahead of the linear-scan engine
+//! it replaced.
 //!
 //! Run with `cargo run --release -p netbw-bench --bin churn_smoke`.
-//! Exits non-zero (panics) when the incremental engine loses its lead in
-//! model queries, delta share, or wall-clock time — the regression the
-//! bench baselines exist to catch. Two groups run by default: the 512-flow
-//! workload benched since PR 1 (GigE + Myrinet), and the 2048-flow Myrinet
-//! group where mixed arrival+departure batches used to dominate the
-//! rebuild count — there the guard demands that >90% of settle queries
-//! both carry positional deltas *and* are actually patched by the model
-//! (the regime chained mixed deltas and the per-cache scratch exist to
-//! fix). Pass `--flows N` to override the default group's size. The
-//! workload itself is `netbw_bench::churn_transfers`, shared with the
+//! Exits non-zero (panics) when an engine loses its lead in model
+//! queries, delta share, or wall-clock time — the regressions the bench
+//! baselines exist to catch. Groups:
+//!
+//! * the 512-flow workload benched since PR 1 (GigE + Myrinet), where
+//!   the heap engine must additionally never lose to the linear-scan
+//!   engine (within a small noise slack — at 512 flows the slab is tiny
+//!   and the O(n) scan is nearly free);
+//! * the 2048-flow Myrinet group pinning the mixed-delta/patch shares
+//!   (>90% of settles must carry positional deltas and actually patch);
+//! * the 100k-flow GigE group, where every flow is added up front so the
+//!   slab holds 100k slots while only a few hundred contend — the regime
+//!   the finish-time heap exists for. Both engines drain the same
+//!   fixed completion prefix (a full linear drain is O(events x slots)
+//!   and takes minutes); the heap must be ≥5x faster on the median and
+//!   then also drain the full workload in bounded time.
+//!
+//! The medians land in `BENCH_timeline.json` (uploaded as a CI artifact
+//! next to `BENCH_sweep.json`) so the perf trajectory is tracked.
+//! Pass `--flows N`, `--big N`, `--prefix K` to override group sizes.
+//! The workload itself is `netbw_bench::churn_transfers`, shared with the
 //! `fluid_incremental` bench and the engine proptests so all of them
 //! measure the same scenario.
 
-use netbw::fluid::CacheStats;
+use netbw::fluid::{CacheStats, TimelineStats};
 use netbw::graph::Communication;
 use netbw::prelude::*;
-use netbw_bench::{churn_stagger, churn_transfers, drain_churn};
+use netbw_bench::{
+    churn_stagger, churn_transfers, drain_churn_mode, drain_churn_prefix, EngineMode,
+};
 use std::time::{Duration, Instant};
 
 /// Drains twice and keeps the faster run, so a single scheduler stall on
-/// a noisy CI runner cannot flip the wall-clock comparison.
+/// a noisy CI runner cannot flip a wall-clock comparison.
 fn timed_drain(
     kind: ModelKind,
     transfers: &[(u64, Communication, f64)],
-    full_recompute: bool,
-) -> (Duration, CacheStats) {
-    let mut best: Option<(Duration, CacheStats)> = None;
+    mode: EngineMode,
+) -> (Duration, CacheStats, TimelineStats) {
+    let mut best: Option<(Duration, CacheStats, TimelineStats)> = None;
     for _ in 0..2 {
         let t0 = Instant::now();
-        let (done, stats) = drain_churn(kind.build(), transfers, full_recompute);
+        let (done, stats, timeline) = drain_churn_mode(kind.build(), transfers, mode);
         let elapsed = t0.elapsed();
         assert_eq!(done, transfers.len(), "engine lost flows");
-        if best.is_none_or(|(t, _)| elapsed < t) {
-            best = Some((elapsed, stats));
+        if best.as_ref().is_none_or(|&(t, _, _)| elapsed < t) {
+            best = Some((elapsed, stats, timeline));
         }
     }
     best.expect("two runs happened")
 }
 
-/// Drains one workload through both engines, printing the scratch-era
-/// counter set, and enforces the generic invariants: fewer model queries,
-/// a healthy positional-delta share, patches ≤ deltas, and no wall-clock
-/// regression. Returns the incremental stats for group-specific guards.
+/// Median of `reps` timed runs of `f` (keeps the last run's value).
+fn median_time<R>(reps: usize, mut f: impl FnMut() -> R) -> (Duration, R) {
+    let mut times = Vec::with_capacity(reps);
+    let mut last = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        last = Some(f());
+        times.push(t0.elapsed());
+    }
+    times.sort_unstable();
+    (times[times.len() / 2], last.expect("reps >= 1"))
+}
+
+/// Drains one workload through the heap engine, the linear-scan engine
+/// and the full-recompute oracle, printing the counter sets, and
+/// enforces the generic invariants: fewer model queries than the oracle,
+/// a healthy positional-delta share, patches ≤ deltas, no wall-clock
+/// regression against the oracle, and the heap never losing to the
+/// linear scan by more than a noise slack. Returns the heap-engine
+/// cache stats for group-specific guards.
 fn check(name: &str, kind: ModelKind, flows: usize) -> CacheStats {
     let transfers = churn_transfers(flows, churn_stagger(kind));
-    let (t_inc, s_inc) = timed_drain(kind, &transfers, false);
-    let (t_full, s_full) = timed_drain(kind, &transfers, true);
+    let (t_inc, s_inc, tl_inc) = timed_drain(kind, &transfers, EngineMode::Heap);
+    let (t_lin, s_lin, _) = timed_drain(kind, &transfers, EngineMode::LinearTimeline);
+    let (t_full, s_full, _) = timed_drain(kind, &transfers, EngineMode::FullRecompute);
     println!(
-        "{name}: {flows} flows | incremental {t_inc:?} ({} queries: {} carrying deltas, \
+        "{name}: {flows} flows | heap {t_inc:?} ({} queries: {} carrying deltas, \
          {} patched, {} scratch rebuilds, {} budget fallbacks; {} reuses) \
-         | full-recompute {t_full:?} ({} queries)",
+         | linear {t_lin:?} ({} queries) | full-recompute {t_full:?} ({} queries)",
         s_inc.model_queries,
         s_inc.delta_queries,
         s_inc.patched_queries,
         s_inc.scratch_rebuilds,
         s_inc.budget_fallbacks,
         s_inc.reuses,
+        s_lin.model_queries,
         s_full.model_queries,
+    );
+    println!(
+        "{name}: timeline {} heap pushes, {} lazy pops, {} gate pushes, \
+         {} gate heap hits, {} rescans",
+        tl_inc.heap_pushes,
+        tl_inc.lazy_pops,
+        tl_inc.gate_pushes,
+        tl_inc.gate_heap_hits,
+        tl_inc.rescans,
     );
     assert!(
         s_inc.model_queries < s_full.model_queries,
@@ -67,6 +109,10 @@ fn check(name: &str, kind: ModelKind, flows: usize) -> CacheStats {
          ({} vs {})",
         s_inc.model_queries,
         s_full.model_queries
+    );
+    assert_eq!(
+        s_inc.model_queries, s_lin.model_queries,
+        "{name}: the heap timeline must not change what the model is asked"
     );
     // Most settles should reach the model as positional deltas — since
     // mixed-delta chaining, rebuilds are essentially just the first
@@ -79,10 +125,25 @@ fn check(name: &str, kind: ModelKind, flows: usize) -> CacheStats {
         s_inc.patched_queries <= s_inc.delta_queries,
         "{name}: more patches than deltas makes no sense: {s_inc:?}"
     );
+    // A full-population rescan is only legitimate where the model could
+    // not scope the change: the first settle plus every scratch rebuild
+    // (Myrinet's Moon–Moser budget refusals rebuild and report "all").
+    assert!(
+        tl_inc.rescans <= s_inc.scratch_rebuilds + 1,
+        "{name}: heap engine rescanned beyond its rebuild budget: {tl_inc:?} vs {s_inc:?}"
+    );
     assert!(
         t_inc <= t_full,
         "{name}: incremental engine fell behind the full-recompute oracle \
          ({t_inc:?} vs {t_full:?})"
+    );
+    // At this scale the linear scan is nearly free, so "never loses"
+    // means within noise: 20% or 2ms, whichever is larger.
+    let slack = (t_lin / 5).max(Duration::from_millis(2));
+    assert!(
+        t_inc <= t_lin + slack,
+        "{name}: heap timeline lost to the linear scan it replaced \
+         ({t_inc:?} vs {t_lin:?} + {slack:?} slack)"
     );
     s_inc
 }
@@ -92,15 +153,78 @@ fn share(count: u64, stats: &CacheStats) -> f64 {
     count as f64 / stats.model_queries.max(1) as f64
 }
 
+/// The 100k-flow group: both engines drain the same `prefix`-completion
+/// prefix (median of `reps`), then the heap engine alone drains the full
+/// workload. Returns the JSON line for `BENCH_timeline.json`.
+fn check_big(flows: usize, prefix: usize, reps: usize) -> String {
+    let kind = ModelKind::GigabitEthernet;
+    let transfers = churn_transfers(flows, churn_stagger(kind));
+
+    let (t_heap, (done_h, _, _)) = median_time(reps, || {
+        drain_churn_prefix(kind.build(), &transfers, EngineMode::Heap, prefix)
+    });
+    let (t_lin, (done_l, _, _)) = median_time(reps, || {
+        drain_churn_prefix(kind.build(), &transfers, EngineMode::LinearTimeline, prefix)
+    });
+    assert_eq!(done_h, done_l, "engines completed different prefixes");
+    assert!(done_h >= prefix, "workload too small for the prefix");
+
+    let (t_full, (done, _, tl)) = median_time(1, || {
+        drain_churn_mode(kind.build(), &transfers, EngineMode::Heap)
+    });
+    assert_eq!(done, flows, "heap engine lost flows at {flows}");
+
+    let speedup = t_lin.as_secs_f64() / t_heap.as_secs_f64();
+    println!(
+        "gige-{flows}: first {prefix} completions | heap {t_heap:?} | linear {t_lin:?} \
+         ({speedup:.1}x) | full heap drain {t_full:?}"
+    );
+    println!(
+        "gige-{flows}: timeline {} heap pushes, {} lazy pops, {} gate pushes, \
+         {} gate heap hits, {} rescans",
+        tl.heap_pushes, tl.lazy_pops, tl.gate_pushes, tl.gate_heap_hits, tl.rescans,
+    );
+    assert!(
+        speedup >= 5.0,
+        "gige-{flows}: heap timeline must be ≥5x faster than the linear scan \
+         on the {prefix}-completion prefix, got {speedup:.2}x ({t_heap:?} vs {t_lin:?})"
+    );
+    assert!(
+        tl.lazy_pops <= tl.heap_pushes,
+        "gige-{flows}: more stale pops than pushes: {tl:?}"
+    );
+
+    format!(
+        "{{\"flows\": {flows}, \"prefix\": {prefix}, \"heap_prefix_ms\": {:.3}, \
+         \"linear_prefix_ms\": {:.3}, \"prefix_speedup\": {speedup:.3}, \
+         \"heap_full_drain_ms\": {:.3}, \"heap_pushes\": {}, \"lazy_pops\": {}, \
+         \"gate_heap_hits\": {}, \"rescans\": {}}}\n",
+        t_heap.as_secs_f64() * 1e3,
+        t_lin.as_secs_f64() * 1e3,
+        t_full.as_secs_f64() * 1e3,
+        tl.heap_pushes,
+        tl.lazy_pops,
+        tl.gate_heap_hits,
+        tl.rescans,
+    )
+}
+
 fn main() {
     let mut flows = 512usize;
+    let mut big = 100_000usize;
+    let mut prefix = 1000usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--flows" {
-            flows = args
-                .next()
+        let mut grab = |name: &str| -> usize {
+            args.next()
                 .and_then(|v| v.parse().ok())
-                .expect("--flows takes a number");
+                .unwrap_or_else(|| panic!("{name} takes a number"))
+        };
+        match arg.as_str() {
+            "--flows" => flows = grab("--flows"),
+            "--big" => big = grab("--big"),
+            "--prefix" => prefix = grab("--prefix"),
+            other => panic!("unknown flag {other}"),
         }
     }
     check("gige", ModelKind::GigabitEthernet, flows);
@@ -126,5 +250,11 @@ fn main() {
         patch_share > 0.9,
         "myrinet-2048: patch share regressed to {patch_share:.3}: {s:?}"
     );
-    println!("churn smoke: incremental engine ahead on all groups");
+
+    // The deep-slab group the event timeline exists for.
+    let json = check_big(big, prefix, 3);
+    std::fs::write("BENCH_timeline.json", &json).expect("write BENCH_timeline.json");
+    print!("churn_smoke: BENCH_timeline.json = {json}");
+
+    println!("churn smoke: heap timeline ahead on all groups");
 }

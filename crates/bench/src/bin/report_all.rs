@@ -14,7 +14,9 @@ use netbw::core::MyrinetModel;
 use netbw::graph::schemes;
 use netbw::graph::units::MB;
 use netbw::prelude::*;
-use netbw_bench::{fabric_model_pairs, section, show};
+use netbw_bench::{
+    churn_stagger, churn_transfers, drain_churn_mode, fabric_model_pairs, section, show, EngineMode,
+};
 
 fn main() {
     let session = EvalSession::new();
@@ -108,4 +110,20 @@ fn main() {
 
     section("Sweep execution stats (shared EvalSession across all batteries)");
     println!("{}", session.stats());
+
+    section("Event-timeline stats (heap engine, 512-flow GigE churn drain)");
+    let kind = ModelKind::GigabitEthernet;
+    let transfers = churn_transfers(512, churn_stagger(kind));
+    let (done, cache, tl) = drain_churn_mode(kind.build(), &transfers, EngineMode::Heap);
+    println!(
+        "{done} completions | {} model queries ({} reuses) | {} heap pushes, \
+         {} lazy pops, {} gate pushes, {} gate heap hits, {} rescans",
+        cache.model_queries,
+        cache.reuses,
+        tl.heap_pushes,
+        tl.lazy_pops,
+        tl.gate_pushes,
+        tl.gate_heap_hits,
+        tl.rescans,
+    );
 }

@@ -187,23 +187,85 @@ pub fn churn_stagger(kind: ModelKind) -> f64 {
     }
 }
 
+/// Which event-timeline flavor a churn drain runs through — the three
+/// `FluidNetwork` constructors, named for benches and smoke guards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineMode {
+    /// The default engine: lazy finish-time heap + incremental cache.
+    Heap,
+    /// Incremental cache, but linear slab scans for the next event —
+    /// the pre-heap engine, kept as the wall-clock baseline.
+    LinearTimeline,
+    /// Full model requery every settle plus linear scans — the oracle.
+    FullRecompute,
+}
+
+/// Builds a fresh unit-parameter engine in the requested mode.
+pub fn churn_engine<M: PenaltyModel>(model: M, mode: EngineMode) -> FluidNetwork<M> {
+    let net = FluidNetwork::new(model, NetworkParams::unit());
+    match mode {
+        EngineMode::Heap => net,
+        EngineMode::LinearTimeline => net.with_linear_timeline(),
+        EngineMode::FullRecompute => net.with_full_recompute(),
+    }
+}
+
 /// Drains a churn workload through a fresh `FluidNetwork`, returning the
 /// completion count and the cache stats. `full_recompute` selects the
-/// pre-refactor query-every-iteration oracle.
+/// query-every-iteration oracle; `false` runs the default (heap) engine.
 pub fn drain_churn<M: PenaltyModel>(
     model: M,
     transfers: &[(u64, netbw::graph::Communication, f64)],
     full_recompute: bool,
 ) -> (usize, netbw::fluid::CacheStats) {
-    let mut net = FluidNetwork::new(model, NetworkParams::unit());
-    if full_recompute {
-        net = net.with_full_recompute();
-    }
+    let mode = if full_recompute {
+        EngineMode::FullRecompute
+    } else {
+        EngineMode::Heap
+    };
+    let (done, stats, _) = drain_churn_mode(model, transfers, mode);
+    (done, stats)
+}
+
+/// [`drain_churn`] with an explicit [`EngineMode`], also returning the
+/// event-timeline counters.
+pub fn drain_churn_mode<M: PenaltyModel>(
+    model: M,
+    transfers: &[(u64, netbw::graph::Communication, f64)],
+    mode: EngineMode,
+) -> (usize, netbw::fluid::CacheStats, netbw::fluid::TimelineStats) {
+    let mut net = churn_engine(model, mode);
     for &(key, comm, start) in transfers {
         net.add(key, comm, start);
     }
     let done = net.run_to_completion().len();
-    (done, net.cache_stats())
+    (done, net.cache_stats(), net.timeline_stats())
+}
+
+/// Drains only until `prefix` flows have completed (or the network runs
+/// dry), returning the completions actually collected. This is how the
+/// 100k-flow smoke group times the linear-scan baseline: a full linear
+/// drain over a 100k-slot slab is O(events x slots) and takes minutes,
+/// but a fixed completion prefix gives both engines the same measured
+/// work — every event up to the prefix'th completion.
+pub fn drain_churn_prefix<M: PenaltyModel>(
+    model: M,
+    transfers: &[(u64, netbw::graph::Communication, f64)],
+    mode: EngineMode,
+    prefix: usize,
+) -> (usize, netbw::fluid::CacheStats, netbw::fluid::TimelineStats) {
+    let mut net = churn_engine(model, mode);
+    for &(key, comm, start) in transfers {
+        net.add(key, comm, start);
+    }
+    let mut done = 0usize;
+    while done < prefix {
+        let Some(t) = net.next_event_time() else {
+            break;
+        };
+        done += net.advance_to(t).len();
+    }
+    (done, net.cache_stats(), net.timeline_stats())
 }
 
 /// The paper's three fabrics with their models, paired for sweeps:
@@ -271,6 +333,38 @@ mod tests {
         assert!(arrivals > 0, "no pure-arrival steps in 60");
         assert!(departures > 0, "no pure-departure steps in 60");
         assert!(mixed > 0, "no mixed steps in 60");
+    }
+
+    #[test]
+    fn mode_drains_agree_and_prefix_stops_early() {
+        let transfers = churn_transfers(48, 25.0);
+        let heap = drain_churn_mode(
+            GigabitEthernetModel::default(),
+            &transfers,
+            EngineMode::Heap,
+        );
+        let lin = drain_churn_mode(
+            GigabitEthernetModel::default(),
+            &transfers,
+            EngineMode::LinearTimeline,
+        );
+        let full = drain_churn_mode(
+            GigabitEthernetModel::default(),
+            &transfers,
+            EngineMode::FullRecompute,
+        );
+        assert_eq!(heap.0, 48);
+        assert_eq!(lin.0, 48);
+        assert_eq!(full.0, 48);
+        assert!(heap.2.heap_pushes > 0, "{:?}", heap.2);
+        assert_eq!(lin.2.heap_pushes, 0, "{:?}", lin.2);
+        let (done, _, _) = drain_churn_prefix(
+            GigabitEthernetModel::default(),
+            &transfers,
+            EngineMode::Heap,
+            10,
+        );
+        assert!((10..48).contains(&done), "prefix drain got {done}");
     }
 
     #[test]

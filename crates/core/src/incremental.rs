@@ -317,10 +317,13 @@ impl EndpointScratch {
 /// `touches` selects — every other survivor keeps its previous penalty
 /// verbatim. On success the scratch is committed to the new population.
 ///
-/// Returns `(penalties, seeded)` — `seeded` is true when the scratch had
-/// to be (re)built from the `previous` hint, i.e. the query still paid one
-/// O(n) index build. `None` means the hints and the scratch were both
-/// unusable: the caller must recompute in full and
+/// Returns `(penalties, seeded, affected)` — `seeded` is true when the
+/// scratch had to be (re)built from the `previous` hint, i.e. the query
+/// still paid one O(n) index build; `affected` lists (strictly
+/// increasing) exactly the positions re-evaluated this query — arrivals
+/// and touched survivors — every other position's penalty being a
+/// bitwise copy of its previous value. `None` means the hints and the
+/// scratch were both unusable: the caller must recompute in full and
 /// [`EndpointScratch::rebuild`] the scratch (the index may be left
 /// half-updated on this path).
 ///
@@ -334,7 +337,7 @@ pub fn patch_endpoints(
     scratch: &mut EndpointScratch,
     touches: impl Fn(&AffectedEndpoints, &Communication) -> bool,
     penalty: impl Fn(&Communication, &EndpointIndex) -> Penalty,
-) -> Option<(Vec<Penalty>, bool)> {
+) -> Option<(Vec<Penalty>, bool, Vec<usize>)> {
     let mut seeded = false;
     if !scratch.settled {
         let (prev_comms, prev_pens) = previous?;
@@ -355,19 +358,28 @@ pub fn patch_endpoints(
     }
     let aff = affected_endpoints(&scratch.index, al.changed());
     let mut out = Vec::with_capacity(comms.len());
+    let mut affected = Vec::new();
     for (i, c) in comms.iter().enumerate() {
         out.push(if c.is_intra_node() {
+            // Arrived intra-node comms count as affected (the caller has
+            // no previous value for them); surviving ones stay ONE.
+            if al.prev_of[i].is_none() {
+                affected.push(i);
+            }
             Penalty::ONE
         } else {
             match al.prev_of[i] {
                 Some(p) if !touches(&aff, c) => scratch.prev_pens[p],
-                _ => penalty(c, &scratch.index),
+                _ => {
+                    affected.push(i);
+                    penalty(c, &scratch.index)
+                }
             }
         });
     }
     scratch.prev = comms.to_vec();
     scratch.prev_pens = out.clone();
-    Some((out, seeded))
+    Some((out, seeded, affected))
 }
 
 /// The whole `penalties_with_scratch` implementation of the closed-form
@@ -391,12 +403,13 @@ pub fn endpoint_scratch_query(
         .downcast_mut::<EndpointScratch>()
         .unwrap_or(&mut local);
     match patch_endpoints(comms, delta, previous, scratch, touches, penalty) {
-        Some((pens, seeded)) => (
+        Some((pens, seeded, affected)) => (
             pens,
             QueryOutcome {
                 patched: true,
                 scratch_rebuilt: seeded,
                 budget_fallback: false,
+                affected: crate::scratch::AffectedSet::Positions(affected),
             },
         ),
         None => {
@@ -607,7 +620,7 @@ mod tests {
         .is_none());
         // cold + hint: seeds, then reuses the untouched survivor verbatim
         let comms = vec![c(0, 1), c(2, 3), c(6, 7)];
-        let (pens, seeded) = patch_endpoints(
+        let (pens, seeded, affected) = patch_endpoints(
             &comms,
             &PopulationDelta::Arrived(vec![2]),
             Some((&prev, &prev_pens)),
@@ -620,8 +633,11 @@ mod tests {
         assert_eq!(pens[0], Penalty::new(2.0));
         assert_eq!(pens[1], Penalty::new(3.0));
         assert_eq!(pens[2], Penalty::new(9.0));
+        // only the arrival was re-evaluated: the island comms are reported
+        // untouched, so downstream finish-time caches can skip them
+        assert_eq!(affected, vec![2]);
         // warm: the next settle patches with no hint at all
-        let (pens, seeded) = patch_endpoints(
+        let (pens, seeded, affected) = patch_endpoints(
             &comms[1..],
             &PopulationDelta::Departed(vec![0]),
             None,
@@ -633,5 +649,6 @@ mod tests {
         assert!(!seeded);
         assert_eq!(pens[0], Penalty::new(3.0)); // untouched island reused
         assert_eq!(pens[1], Penalty::new(9.0));
+        assert_eq!(affected, Vec::<usize>::new());
     }
 }

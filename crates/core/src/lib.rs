@@ -69,7 +69,7 @@ pub use infiniband::InfinibandModel;
 pub use model::{ModelKind, PenaltyModel, PopulationDelta};
 pub use myrinet::{MyrinetAnalysis, MyrinetModel};
 pub use penalty::Penalty;
-pub use scratch::{ModelScratch, NoScratch, QueryOutcome};
+pub use scratch::{AffectedSet, ModelScratch, NoScratch, QueryOutcome};
 pub use states::StateSetEnumeration;
 
 /// Convenient glob-import of the most used items.
@@ -80,5 +80,5 @@ pub mod prelude {
     pub use crate::model::{ModelKind, PenaltyModel, PopulationDelta};
     pub use crate::myrinet::MyrinetModel;
     pub use crate::penalty::Penalty;
-    pub use crate::scratch::{ModelScratch, QueryOutcome};
+    pub use crate::scratch::{AffectedSet, ModelScratch, QueryOutcome};
 }

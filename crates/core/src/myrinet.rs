@@ -383,12 +383,13 @@ impl PenaltyModel for MyrinetModel {
             .downcast_mut::<MyrinetScratch>()
             .unwrap_or(&mut local);
         match self.patch_scratch(comms, delta, previous, scratch) {
-            Ok((pens, seeded)) => (
+            Ok((pens, seeded, affected)) => (
                 pens,
                 QueryOutcome {
                     patched: true,
                     scratch_rebuilt: seeded,
                     budget_fallback: false,
+                    affected: crate::scratch::AffectedSet::Positions(affected),
                 },
             ),
             Err(budget_refusal) => {
@@ -400,6 +401,7 @@ impl PenaltyModel for MyrinetModel {
                         patched: false,
                         scratch_rebuilt: true,
                         budget_fallback: budget_refusal || fell_back,
+                        affected: crate::scratch::AffectedSet::All,
                     },
                 )
             }
@@ -440,19 +442,20 @@ impl MyrinetModel {
         (pens, fell_back)
     }
 
-    /// The component patch proper. `Ok((penalties, seeded))` on success
-    /// (`seeded` when the scratch had to be built from the `previous` hint
-    /// first); `Err(budget_refusal)` when the caller must recompute in
-    /// full and rebuild the scratch — with `budget_refusal` true when the
-    /// refusal was the budget certification or an enumeration blowing its
-    /// budget, rather than unusable hints.
+    /// The component patch proper. `Ok((penalties, seeded, affected))` on
+    /// success (`seeded` when the scratch had to be built from the
+    /// `previous` hint first, `affected` the strictly increasing input
+    /// positions re-enumerated this settle); `Err(budget_refusal)` when
+    /// the caller must recompute in full and rebuild the scratch — with
+    /// `budget_refusal` true when the refusal was the budget certification
+    /// or an enumeration blowing its budget, rather than unusable hints.
     fn patch_scratch(
         &self,
         comms: &[Communication],
         delta: &PopulationDelta,
         previous: Option<(&[Communication], &[Penalty])>,
         s: &mut MyrinetScratch,
-    ) -> Result<(Vec<Penalty>, bool), bool> {
+    ) -> Result<(Vec<Penalty>, bool, Vec<usize>), bool> {
         let mut seeded = false;
         if !s.settled {
             let (prev_comms, prev_pens) = previous.ok_or(false)?;
@@ -613,7 +616,13 @@ impl MyrinetModel {
         s.prev_pens = out.clone();
         s.net_pos = net_pos;
         s.comp_of = comp_of;
-        Ok((out, seeded))
+        // Positions re-evaluated this settle: the sub-population plus any
+        // intra-node arrival (whose ONE is new to the caller). Everything
+        // else was copied verbatim from `prev_pens`.
+        let affected: Vec<usize> = (0..comms.len())
+            .filter(|&i| in_sub[i] || al.prev_of[i].is_none())
+            .collect();
+        Ok((out, seeded, affected))
     }
 }
 

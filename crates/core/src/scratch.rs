@@ -45,9 +45,45 @@ impl<T: Any + Send> ModelScratch for T {
 #[derive(Debug, Default, Clone, Copy)]
 pub struct NoScratch;
 
+/// Which positions of the *answered* population may hold a penalty that
+/// differs from the flow's previously settled value.
+///
+/// Patching models report exactly the positions they re-evaluated (every
+/// arrival plus the survivors the change's reach touched); all other
+/// survivors kept their previous penalty **verbatim** — bitwise, not just
+/// numerically — so a caller tracking per-flow derived state (the fluid
+/// engine's cached finish times) can skip them entirely. `All` is the
+/// conservative answer of full recomputes: any position may have moved.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum AffectedSet {
+    /// Any penalty may differ from its previous value (full recompute,
+    /// rebuild, or a model without patch support).
+    #[default]
+    All,
+    /// Only these positions (strictly increasing, indexing the new
+    /// population) were re-evaluated; every other survivor's penalty is
+    /// bitwise identical to its previous settle.
+    Positions(Vec<usize>),
+}
+
+impl AffectedSet {
+    /// The number of re-evaluated positions, or `None` for [`Self::All`].
+    pub fn len(&self) -> Option<usize> {
+        match self {
+            AffectedSet::All => None,
+            AffectedSet::Positions(p) => Some(p.len()),
+        }
+    }
+
+    /// True when the set is `Positions` and names no position at all.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, AffectedSet::Positions(p) if p.is_empty())
+    }
+}
+
 /// How a scratch-backed query was answered — the observability half of the
 /// scratch machinery.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct QueryOutcome {
     /// The penalties were *patched* in O(affected) from the previous
     /// settle (survivors outside the change's reach kept their values
@@ -60,13 +96,21 @@ pub struct QueryOutcome {
     /// enumeration hit its budget (Myrinet only; always `false` for the
     /// closed-form models).
     pub budget_fallback: bool,
+    /// The positions whose penalty may differ from the previous settle;
+    /// everything else was copied bitwise. Drives the fluid engine's
+    /// event-timeline re-anchoring, so a patch touching 3 flows re-pushes
+    /// 3 heap entries instead of rescanning the population.
+    pub affected: AffectedSet,
 }
 
 impl QueryOutcome {
-    /// An O(affected) patch over warm scratch state.
-    pub fn patch() -> Self {
+    /// An O(affected) patch over warm scratch state: exactly `affected`
+    /// positions (strictly increasing, into the new population) were
+    /// re-evaluated.
+    pub fn patch(affected: Vec<usize>) -> Self {
         QueryOutcome {
             patched: true,
+            affected: AffectedSet::Positions(affected),
             ..QueryOutcome::default()
         }
     }
@@ -75,6 +119,7 @@ impl QueryOutcome {
     pub fn rebuild() -> Self {
         QueryOutcome {
             scratch_rebuilt: true,
+            affected: AffectedSet::All,
             ..QueryOutcome::default()
         }
     }
@@ -98,10 +143,22 @@ mod tests {
 
     #[test]
     fn outcome_constructors() {
-        assert!(QueryOutcome::patch().patched);
-        assert!(!QueryOutcome::patch().scratch_rebuilt);
+        let patch = QueryOutcome::patch(vec![0, 2]);
+        assert!(patch.patched);
+        assert!(!patch.scratch_rebuilt);
+        assert_eq!(patch.affected, AffectedSet::Positions(vec![0, 2]));
         assert!(QueryOutcome::rebuild().scratch_rebuilt);
         assert!(!QueryOutcome::rebuild().patched);
+        assert_eq!(QueryOutcome::rebuild().affected, AffectedSet::All);
         assert!(!QueryOutcome::default().budget_fallback);
+        assert_eq!(QueryOutcome::default().affected, AffectedSet::All);
+    }
+
+    #[test]
+    fn affected_set_reports_size_and_emptiness() {
+        assert_eq!(AffectedSet::All.len(), None);
+        assert!(!AffectedSet::All.is_empty());
+        assert_eq!(AffectedSet::Positions(vec![1, 4]).len(), Some(2));
+        assert!(AffectedSet::Positions(Vec::new()).is_empty());
     }
 }

@@ -40,13 +40,24 @@
 //!   settles (endpoint indices for GigE/InfiniBand, union–find conflict
 //!   components plus a cached budget certification for Myrinet) and patch
 //!   only the affected endpoints or conflict components, in O(affected)
-//!   model work per event instead of a full-fabric recompute.
+//!   model work per event instead of a full-fabric recompute — and report
+//!   back *which* positions they re-evaluated
+//!   ([`netbw_core::AffectedSet`]);
+//! * [`event_heap`] — the engine turns each settle's affected set into
+//!   per-flow cached finish times and keeps them in a lazy min-heap
+//!   ([`TimelineStats`] counts the traffic), so finding the next
+//!   completion or latency-gate opening is a heap peek instead of a scan
+//!   over the population: an event costs O(affected + log n) end to end.
 //!
 //! [`FluidNetwork::with_full_recompute`] preserves the pre-refactor
-//! query-every-iteration behaviour as a correctness oracle (the proptests
-//! assert bitwise-equal completions) and as the benchmark baseline.
+//! query-every-iteration, scan-every-event behaviour as a correctness
+//! oracle (the proptests assert bitwise-equal completions);
+//! [`FluidNetwork::with_linear_timeline`] keeps the incremental cache but
+//! scans instead of using the heaps, isolating the timeline's contribution
+//! for the benchmarks.
 
 pub mod cache;
+pub mod event_heap;
 pub mod network;
 pub mod params;
 pub mod slab;
@@ -54,6 +65,7 @@ pub mod solver;
 pub mod timeline;
 
 pub use cache::{CacheStats, PenaltyCache};
+pub use event_heap::TimelineStats;
 pub use network::{CompletedTransfer, FluidNetwork, TransferKey};
 pub use params::NetworkParams;
 pub use slab::{FlowKey, Slab};

@@ -11,17 +11,35 @@
 //! reports each change as a positional
 //! [`netbw_core::PopulationDelta`] and the models patch only the affected
 //! endpoints or conflict components instead of recomputing the fabric.
-//! The pre-refactor behaviour — a full model query on every solver
-//! iteration — is preserved behind [`FluidNetwork::with_full_recompute`]
-//! as a correctness oracle and benchmark baseline.
+//!
+//! Finding the *next event* is event-driven too. Each contending flow
+//! carries anchored kinetics — bytes remaining at its last rate change and
+//! a cached absolute finish time — and the engine re-anchors only the
+//! flows the model reports as affected ([`netbw_core::AffectedSet`]),
+//! pushing the new finish times into a lazy min-heap
+//! ([`crate::event_heap`]; epoch stamps in the slab invalidate superseded
+//! entries on pop). Latency gates sit in a second heap, populated at
+//! [`FluidNetwork::add`]. A settle therefore costs O(affected + log n)
+//! and an event probe is a heap peek — no per-event scan over the
+//! population.
+//!
+//! Two ablation modes preserve the older behaviours:
+//! [`FluidNetwork::with_linear_timeline`] keeps the incremental cache but
+//! scans the population for the next completion/gate (the pre-heap
+//! engine), and [`FluidNetwork::with_full_recompute`] additionally
+//! re-queries the model on every settle (the pre-refactor engine). All
+//! three modes share the same anchored-finish arithmetic, so their results
+//! are bit-for-bit identical — the equivalence proptests pin the heap path
+//! against the full-recompute oracle exactly.
 
 use crate::cache::{CacheStats, PenaltyCache};
+use crate::event_heap::{EventHeaps, TimelineStats};
 use crate::params::NetworkParams;
 use crate::slab::{FlowKey, Slab};
 use crate::solver::Phase;
-use netbw_core::PenaltyModel;
+use netbw_core::{AffectedSet, Penalty, PenaltyModel};
 use netbw_graph::Communication;
-use std::sync::{Mutex, MutexGuard};
+use std::sync::Mutex;
 
 /// Caller-chosen identifier for a transfer (the simulator uses its event
 /// ids; the batch solver uses input indices). Distinct from the internal
@@ -34,13 +52,33 @@ const REL_EPS: f64 = 1e-9;
 /// Absolute slack when comparing times (gates, targets, completions).
 const TIME_EPS: f64 = 1e-15;
 
+/// A transfer slot with anchored kinetics: between rate changes the flow
+/// drains linearly, so `remaining` (bytes left *at* `anchor`) plus `rate`
+/// determine its whole future — including the cached `finish` time the
+/// event heap indexes. Progress is only materialized when the rate
+/// actually changes (re-anchoring), never per time step, which is what
+/// makes the arithmetic identical across the heap and scan engines.
 #[derive(Debug)]
 struct Slot {
     key: TransferKey,
     comm: Communication,
     /// Time at which the flow starts contending (start + latency).
     gate: f64,
+    /// Whether the gate has opened (the flow is in the contending
+    /// population from the cache's point of view).
+    contending: bool,
+    /// Time of the last rate change; `remaining` is measured here.
+    anchor: f64,
+    /// Bytes left at `anchor`.
     remaining: f64,
+    /// Current drain rate (bandwidth × 1/penalty); 0 until the first
+    /// settle after the gate opens.
+    rate: f64,
+    /// Current penalty value (recorded into phases on re-anchor).
+    penalty: f64,
+    /// Cached absolute finish time at the current rate; `INFINITY` until
+    /// the flow is first anchored.
+    finish: f64,
     eps: f64,
     phases: Vec<Phase>,
 }
@@ -57,6 +95,25 @@ pub struct CompletedTransfer {
     pub phases: Vec<Phase>,
 }
 
+/// Everything that mutates during a settle or an event, behind one lock:
+/// clock, slots, penalty cache, event heaps, and the reusable buffers that
+/// keep the advance loop allocation-free in steady state.
+struct EngineState {
+    time: f64,
+    slots: Slab<Slot>,
+    cache: PenaltyCache,
+    events: EventHeaps,
+    /// Staged contending population for the next refresh (recycled with
+    /// the cache's previous population vector).
+    staged: Vec<FlowKey>,
+    /// Communications aligned with `staged` (same recycling).
+    comms_buf: Vec<Communication>,
+    /// Gate openings collected at the current event.
+    opened: Vec<FlowKey>,
+    /// Completions due at the current event.
+    due: Vec<FlowKey>,
+}
+
 /// A shared network under a penalty model, integrating transfer progress
 /// through piecewise-constant penalty phases.
 ///
@@ -65,28 +122,216 @@ pub struct CompletedTransfer {
 pub struct FluidNetwork<M> {
     model: M,
     params: NetworkParams,
-    time: f64,
-    slots: Slab<Slot>,
     record_phases: bool,
     full_recompute: bool,
+    heap_timeline: bool,
     // Mutex (uncontended in single-threaded use) because
     // `next_event_time` is `&self` (see `NetworkBackend`) but may need to
-    // lazily settle the cache after a population change — and the network
-    // must stay `Sync` for thread-scoped sweeps.
-    cache: Mutex<PenaltyCache>,
+    // lazily settle after a population change — and the network must stay
+    // `Sync` for thread-scoped sweeps.
+    state: Mutex<EngineState>,
+}
+
+/// A flow's cached absolute finish time, clamped so it can never point
+/// into the past: degenerate inputs (zero-size transfers, float drift
+/// driving `remaining` slightly negative, or a NaN escaping the division)
+/// all collapse to "finishes now" — the heap-era analogue of the old
+/// per-step `dt.is_nan() || dt < 0.0 → dt = 0` clamp.
+fn clamped_finish(now: f64, remaining: f64, rate: f64, eps: f64) -> f64 {
+    let finish = if remaining <= eps {
+        now
+    } else {
+        now + remaining / rate
+    };
+    // `!(finish >= now)` also catches NaN.
+    if finish >= now {
+        finish
+    } else {
+        now
+    }
+}
+
+/// Re-anchors the flow at position `i` of the settled population if its
+/// rate changed: materializes progress since the previous anchor, records
+/// the closed phase, refreshes the cached finish time, and (heap mode)
+/// bumps the slot epoch and pushes the new finish entry. Flows whose
+/// penalty is bitwise-unchanged are left untouched — their live heap entry
+/// is still exact, which is why skipping the unaffected majority is safe.
+#[allow(clippy::too_many_arguments)]
+fn resync_position(
+    params: &NetworkParams,
+    record_phases: bool,
+    heap_timeline: bool,
+    now: f64,
+    slots: &mut Slab<Slot>,
+    events: &mut EventHeaps,
+    key: FlowKey,
+    penalty: Penalty,
+) {
+    let new_rate = params.bandwidth * penalty.rate();
+    let slot = slots.get_mut(key).expect("settled flow lives in slab");
+    if slot.rate == new_rate {
+        return;
+    }
+    if record_phases && slot.rate > 0.0 && now > slot.anchor {
+        push_phase(&mut slot.phases, slot.anchor, now, slot.penalty);
+    }
+    slot.remaining -= slot.rate * (now - slot.anchor);
+    slot.anchor = now;
+    slot.rate = new_rate;
+    slot.penalty = penalty.value();
+    slot.finish = clamped_finish(now, slot.remaining, new_rate, slot.eps);
+    let finish = slot.finish;
+    if heap_timeline {
+        let epoch = slots.bump_epoch(key).expect("settled flow lives in slab");
+        events.push_completion(finish, key, epoch);
+    }
+}
+
+/// Settles the penalty cache for the current population and re-anchors
+/// the affected flows' kinetics. Shared by event probing and time
+/// advancement; serves from cache when nothing changed.
+fn settle<M: PenaltyModel>(
+    model: &M,
+    params: &NetworkParams,
+    record_phases: bool,
+    full_recompute: bool,
+    heap_timeline: bool,
+    st: &mut EngineState,
+) {
+    if !full_recompute && st.cache.is_valid() {
+        st.cache.note_reuse();
+        return;
+    }
+    let EngineState {
+        time,
+        slots,
+        cache,
+        events,
+        staged,
+        comms_buf,
+        ..
+    } = st;
+    let now = *time;
+    // Heap mode derives the new population from the previous one plus the
+    // pending change sets — O(contending), independent of how many gated
+    // transfers sit in the slab. The scan modes (and the staging fallback)
+    // gather from the slab directly.
+    let staged_ok = !full_recompute && heap_timeline && cache.staged_active(staged);
+    if !staged_ok {
+        staged.clear();
+        staged.extend(slots.iter().filter(|(_, s)| s.contending).map(|(k, _)| k));
+    }
+    comms_buf.clear();
+    comms_buf.extend(
+        staged
+            .iter()
+            .map(|&k| slots.get(k).expect("staged flow lives in slab").comm),
+    );
+    let active = std::mem::take(staged);
+    let comms = std::mem::take(comms_buf);
+    let (mut recycled_active, mut recycled_comms) = if full_recompute {
+        // Oracle mode: the pre-refactor full query, bypassing the
+        // delta/scratch machinery entirely.
+        cache.invalidate_rebuild();
+        cache.refresh_full(model, active, comms)
+    } else {
+        cache.refresh(model, active, comms)
+    };
+    recycled_active.clear();
+    recycled_comms.clear();
+    *staged = recycled_active;
+    *comms_buf = recycled_comms;
+    if heap_timeline {
+        match cache.take_affected() {
+            AffectedSet::Positions(positions) => {
+                for &i in &positions {
+                    resync_position(
+                        params,
+                        record_phases,
+                        true,
+                        now,
+                        slots,
+                        events,
+                        cache.active()[i],
+                        cache.penalties()[i],
+                    );
+                }
+            }
+            AffectedSet::All => {
+                events.stats.rescans += 1;
+                for i in 0..cache.active().len() {
+                    resync_position(
+                        params,
+                        record_phases,
+                        true,
+                        now,
+                        slots,
+                        events,
+                        cache.active()[i],
+                        cache.penalties()[i],
+                    );
+                }
+            }
+        }
+    } else {
+        // Scan modes re-anchor over the whole population every settle;
+        // the per-flow rate check keeps the arithmetic (and therefore the
+        // results) bitwise identical to the heap path.
+        events.stats.rescans += 1;
+        for i in 0..cache.active().len() {
+            resync_position(
+                params,
+                record_phases,
+                false,
+                now,
+                slots,
+                events,
+                cache.active()[i],
+                cache.penalties()[i],
+            );
+        }
+    }
+}
+
+/// The earliest cached finish among contending flows, by scanning the
+/// slab — the linear-timeline/oracle counterpart of the heap peek.
+fn scan_next_finish(slots: &Slab<Slot>) -> Option<f64> {
+    slots
+        .iter()
+        .filter(|(_, s)| s.contending)
+        .map(|(_, s)| s.finish)
+        .min_by(f64::total_cmp)
+}
+
+/// The earliest unopened gate, by scanning the slab.
+fn scan_next_gate(slots: &Slab<Slot>, now: f64) -> Option<f64> {
+    slots
+        .iter()
+        .filter(|(_, s)| !s.contending && s.gate > now + TIME_EPS)
+        .map(|(_, s)| s.gate)
+        .min_by(f64::total_cmp)
 }
 
 impl<M: PenaltyModel> FluidNetwork<M> {
-    /// Creates an idle network at time 0.
+    /// Creates an idle network at time 0, using the event-heap timeline.
     pub fn new(model: M, params: NetworkParams) -> Self {
         FluidNetwork {
             model,
             params,
-            time: 0.0,
-            slots: Slab::new(),
             record_phases: false,
             full_recompute: false,
-            cache: Mutex::new(PenaltyCache::new()),
+            heap_timeline: true,
+            state: Mutex::new(EngineState {
+                time: 0.0,
+                slots: Slab::new(),
+                cache: PenaltyCache::new(),
+                events: EventHeaps::default(),
+                staged: Vec::new(),
+                comms_buf: Vec::new(),
+                opened: Vec::new(),
+                due: Vec::new(),
+            }),
         }
     }
 
@@ -96,17 +341,28 @@ impl<M: PenaltyModel> FluidNetwork<M> {
         self
     }
 
-    /// Disables the incremental penalty cache: the model is re-queried on
-    /// every solver iteration, as the pre-refactor engine did. Slower;
-    /// kept as an equivalence oracle and benchmark baseline.
+    /// Keeps the incremental penalty cache but finds events by scanning
+    /// the population instead of through the lazy heaps — the pre-heap
+    /// engine. Kept as the honest baseline for benchmarking the timeline's
+    /// contribution in isolation.
+    pub fn with_linear_timeline(mut self) -> Self {
+        self.heap_timeline = false;
+        self
+    }
+
+    /// Disables the incremental penalty cache *and* the heap timeline:
+    /// the model is re-queried and the population re-scanned on every
+    /// solver iteration, as the pre-refactor engine did. Slowest; kept as
+    /// the equivalence oracle the proptests pin the fast paths against.
     pub fn with_full_recompute(mut self) -> Self {
         self.full_recompute = true;
+        self.heap_timeline = false;
         self
     }
 
     /// Current simulation time.
     pub fn time(&self) -> f64 {
-        self.time
+        self.state.lock().expect("engine state lock").time
     }
 
     /// The network parameters in use.
@@ -121,25 +377,34 @@ impl<M: PenaltyModel> FluidNetwork<M> {
 
     /// Number of transfers not yet completed (including latency-gated ones).
     pub fn in_flight(&self) -> usize {
-        self.slots.len()
+        self.state.lock().expect("engine state lock").slots.len()
     }
 
     /// Penalty-cache counters: model queries, cache reuses, invalidations.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().expect("penalty cache lock").stats()
+        self.state.lock().expect("engine state lock").cache.stats()
+    }
+
+    /// Event-timeline counters: heap pushes, stale entries discarded,
+    /// gate-heap traffic, full-population rescans.
+    pub fn timeline_stats(&self) -> TimelineStats {
+        self.state.lock().expect("engine state lock").events.stats
     }
 
     /// Returns the network to an idle state at time 0 while keeping every
-    /// allocation warm: the slab's slot storage, the penalty cache and the
-    /// model scratch it owns. A reset network produces bit-for-bit the
-    /// results a freshly built one would (the first settle after a reset
-    /// is a full rebuild query, exactly like a fresh cache's). Used by
-    /// [`crate::FluidSolver`] to amortize construction across a scheme
-    /// battery; cache stats accumulate across resets.
+    /// allocation warm: the slab's slot storage, the event heaps, the
+    /// penalty cache and the model scratch it owns. A reset network
+    /// produces bit-for-bit the results a freshly built one would (the
+    /// first settle after a reset is a full rebuild query and the cleared
+    /// slab hands out the same key/epoch sequence a fresh one would). Used
+    /// by [`crate::FluidSolver`] to amortize construction across a scheme
+    /// battery; cache and timeline stats accumulate across resets.
     pub fn reset(&mut self) {
-        self.time = 0.0;
-        self.slots.clear();
-        self.cache.get_mut().expect("penalty cache lock").reset();
+        let st = self.state.get_mut().expect("engine state lock");
+        st.time = 0.0;
+        st.slots.clear();
+        st.cache.reset();
+        st.events.clear();
     }
 
     /// Starts a transfer at `start`.
@@ -148,130 +413,72 @@ impl<M: PenaltyModel> FluidNetwork<M> {
     /// If `start` is before the current time (the solver cannot rewrite
     /// history) or not finite.
     pub fn add(&mut self, key: TransferKey, comm: Communication, start: f64) {
+        let heap_timeline = self.heap_timeline;
+        let latency = self.params.latency;
+        let st = self.state.get_mut().expect("engine state lock");
         assert!(start.is_finite(), "start time must be finite");
         assert!(
-            start >= self.time - 1e-12,
+            start >= st.time - 1e-12,
             "transfer starts at {start} but network time is already {}",
-            self.time
+            st.time
         );
         let size = comm.size as f64;
-        let gate = start.max(self.time) + self.params.latency;
-        let flow = self.slots.insert(Slot {
+        let gate = start.max(st.time) + latency;
+        let contending = gate <= st.time + TIME_EPS;
+        let flow = st.slots.insert(Slot {
             key,
             comm,
             gate,
+            contending,
+            anchor: gate,
             remaining: size,
+            rate: 0.0,
+            penalty: 1.0,
+            finish: f64::INFINITY,
             eps: (size * REL_EPS).max(1e-9),
             phases: Vec::new(),
         });
-        if gate <= self.time + TIME_EPS {
-            // Contending immediately; gated slots invalidate later, when
-            // the clock crosses their gate (see `advance_time_to`).
-            self.cache
-                .get_mut()
-                .expect("penalty cache lock")
-                .note_arrival(flow);
-        }
-    }
-
-    /// Stable keys of the currently contending flows, in slab order.
-    fn active_flows(&self) -> Vec<FlowKey> {
-        self.slots
-            .iter()
-            .filter(|(_, s)| s.gate <= self.time + TIME_EPS)
-            .map(|(k, _)| k)
-            .collect()
-    }
-
-    fn next_gate(&self) -> Option<f64> {
-        self.slots
-            .iter()
-            .map(|(_, s)| s.gate)
-            .filter(|&g| g > self.time + TIME_EPS)
-            .min_by(f64::total_cmp)
-    }
-
-    /// Settles the penalty cache for the current population: re-queries
-    /// the model if the population changed since the last settle (or on
-    /// every call in full-recompute mode), otherwise serves the cached
-    /// penalties. This is the single recompute path shared by event
-    /// probing and time advancement.
-    fn resettle(&self) -> MutexGuard<'_, PenaltyCache> {
-        let mut cache = self.cache.lock().expect("penalty cache lock");
-        if self.full_recompute || !cache.is_valid() {
-            let active = self.active_flows();
-            let comms: Vec<Communication> = active
-                .iter()
-                .map(|&k| self.slots.get(k).expect("active flow lives in slab").comm)
-                .collect();
-            if self.full_recompute {
-                // Oracle mode: the pre-refactor full query, bypassing the
-                // delta/scratch machinery entirely.
-                cache.invalidate_rebuild();
-                cache.refresh_full(&self.model, active, comms);
-            } else {
-                cache.refresh(&self.model, active, comms);
-            }
-        } else {
-            cache.note_reuse();
-        }
-        cache
-    }
-
-    /// Time until the earliest completion within the settled population
-    /// (`f64::INFINITY` when nothing is contending).
-    fn time_to_next_completion(&self, cache: &PenaltyCache) -> f64 {
-        let mut dt = f64::INFINITY;
-        for (i, &flow) in cache.active().iter().enumerate() {
-            let rate = self.params.bandwidth * cache.penalties()[i].rate();
-            let slot = self.slots.get(flow).expect("active flow lives in slab");
-            let need = if slot.remaining <= slot.eps {
-                0.0
-            } else {
-                slot.remaining / rate
-            };
-            dt = dt.min(need);
-        }
-        dt
-    }
-
-    /// Moves the clock to `new_time`, invalidating the cache if any
-    /// latency gate opens in the crossed interval.
-    fn advance_time_to(&mut self, new_time: f64) {
-        let old = self.time;
-        self.time = new_time;
-        if new_time > old {
-            let opened: Vec<FlowKey> = self
-                .slots
-                .iter()
-                .filter(|(_, s)| s.gate > old + TIME_EPS && s.gate <= new_time + TIME_EPS)
-                .map(|(k, _)| k)
-                .collect();
-            if !opened.is_empty() {
-                let cache = self.cache.get_mut().expect("penalty cache lock");
-                for flow in opened {
-                    cache.note_arrival(flow);
-                }
-            }
+        if contending {
+            // Contending immediately; gated slots enter the population
+            // when the clock crosses their gate.
+            st.cache.note_arrival(flow);
+        } else if heap_timeline {
+            st.events.push_gate(gate, flow);
         }
     }
 
     /// The next instant at which the network state changes (a gate opens or
     /// a transfer completes), or `None` when idle.
     pub fn next_event_time(&self) -> Option<f64> {
-        if self.slots.is_empty() {
+        let mut st = self.state.lock().expect("engine state lock");
+        if st.slots.is_empty() {
             return None;
         }
-        let gate = self.next_gate();
-        let cache = self.resettle();
-        if cache.active().is_empty() {
-            return gate;
+        settle(
+            &self.model,
+            &self.params,
+            self.record_phases,
+            self.full_recompute,
+            self.heap_timeline,
+            &mut st,
+        );
+        let EngineState {
+            time,
+            slots,
+            events,
+            ..
+        } = &mut *st;
+        let (completion, gate) = if self.heap_timeline {
+            (events.peek_finish(slots), events.peek_gate())
+        } else {
+            (scan_next_finish(slots), scan_next_gate(slots, *time))
+        };
+        match (completion, gate) {
+            (None, None) => None,
+            (Some(c), None) => Some(c),
+            (None, Some(g)) => Some(g),
+            (Some(c), Some(g)) => Some(c.min(g)),
         }
-        let completion = self.time + self.time_to_next_completion(&cache);
-        Some(match gate {
-            Some(g) => completion.min(g),
-            None => completion,
-        })
     }
 
     /// Advances the clock to `t`, returning every transfer that completed
@@ -280,127 +487,142 @@ impl<M: PenaltyModel> FluidNetwork<M> {
     /// # Panics
     /// If `t` is before the current time.
     pub fn advance_to(&mut self, t: f64) -> Vec<CompletedTransfer> {
+        let Self {
+            model,
+            params,
+            record_phases,
+            full_recompute,
+            heap_timeline,
+            state,
+        } = self;
+        let (record_phases, full_recompute, heap_timeline) =
+            (*record_phases, *full_recompute, *heap_timeline);
+        let st = state.get_mut().expect("engine state lock");
         assert!(
-            t >= self.time - 1e-12,
+            t >= st.time - 1e-12,
             "cannot advance backwards ({} -> {t})",
-            self.time
+            st.time
         );
         let mut done = Vec::new();
         loop {
-            // Settle penalties for the current population, then copy what
-            // the integration step needs so the cache borrow ends before
-            // any mutation.
-            let (active, penalties, rates) = {
-                let cache = self.resettle();
-                let penalties: Vec<f64> = cache.penalties().iter().map(|p| p.value()).collect();
-                let rates: Vec<f64> = cache
-                    .penalties()
-                    .iter()
-                    .map(|p| self.params.bandwidth * p.rate())
-                    .collect();
-                (cache.active().to_vec(), penalties, rates)
+            settle(
+                model,
+                params,
+                record_phases,
+                full_recompute,
+                heap_timeline,
+                st,
+            );
+            let EngineState {
+                time,
+                slots,
+                cache,
+                events,
+                opened,
+                due,
+                ..
+            } = st;
+            let (completion, gate) = if heap_timeline {
+                (events.peek_finish(slots), events.peek_gate())
+            } else {
+                (scan_next_finish(slots), scan_next_gate(slots, *time))
             };
-
-            if active.is_empty() {
-                // idle until next gate or the target time
-                match self.next_gate() {
-                    Some(g) if g <= t => {
-                        self.advance_time_to(g);
-                        continue;
+            let event = match (completion, gate) {
+                (None, None) => None,
+                (Some(c), None) => Some(c),
+                (None, Some(g)) => Some(g),
+                (Some(c), Some(g)) => Some(c.min(g)),
+            };
+            let e = match event {
+                Some(e) if e <= t => e,
+                _ => {
+                    // Nothing further happens before the target time; a
+                    // gate within epsilon of `t` still opens (it will be
+                    // settled on the next call).
+                    *time = time.max(t);
+                    let now = *time;
+                    opened.clear();
+                    if heap_timeline {
+                        events.pop_gates_through(now + TIME_EPS, opened);
+                    } else {
+                        opened.extend(
+                            slots
+                                .iter()
+                                .filter(|(_, s)| !s.contending && s.gate <= now + TIME_EPS)
+                                .map(|(k, _)| k),
+                        );
                     }
-                    _ => {
-                        let new_time = self.time.max(t);
-                        self.advance_time_to(new_time);
-                        break;
+                    for &flow in opened.iter() {
+                        slots
+                            .get_mut(flow)
+                            .expect("gated flow lives in slab")
+                            .contending = true;
+                        cache.note_arrival(flow);
                     }
-                }
-            }
-
-            // time to the next completion within the active set
-            let mut dt_complete = f64::INFINITY;
-            for (i, &flow) in active.iter().enumerate() {
-                let slot = self.slots.get(flow).expect("active flow lives in slab");
-                let need = if slot.remaining <= slot.eps {
-                    0.0
-                } else {
-                    slot.remaining / rates[i]
-                };
-                dt_complete = dt_complete.min(need);
-            }
-
-            let dt_gate = self.next_gate().map(|g| g - self.time);
-            let dt_target = t - self.time;
-            let mut dt = dt_complete.min(dt_target);
-            if let Some(g) = dt_gate {
-                dt = dt.min(g);
-            }
-            // Nothing further happens before the target time.
-            if dt > dt_target + TIME_EPS {
-                dt = dt_target;
-            }
-            if dt.is_nan() || dt < 0.0 {
-                dt = 0.0;
-            }
-
-            let t0 = self.time;
-            self.advance_time_to(t0 + dt);
-            let t1 = self.time;
-            for (i, &flow) in active.iter().enumerate() {
-                let slot = self.slots.get_mut(flow).expect("active flow lives in slab");
-                slot.remaining -= rates[i] * dt;
-                if self.record_phases && dt > 0.0 {
-                    push_phase(&mut slot.phases, t0, t1, penalties[i]);
-                }
-            }
-
-            // Collect completions. Keys are stable, so removals leave the
-            // surviving flows (and the cache's view of them) untouched.
-            let completed_now: Vec<FlowKey> = active
-                .iter()
-                .copied()
-                .filter(|&flow| {
-                    let slot = self.slots.get(flow).expect("active flow lives in slab");
-                    slot.remaining <= slot.eps
-                })
-                .collect();
-            let mut batch: Vec<CompletedTransfer> = completed_now
-                .iter()
-                .map(|&flow| {
-                    let slot = self
-                        .slots
-                        .remove(flow)
-                        .expect("completed flow lives in slab");
-                    CompletedTransfer {
-                        key: slot.key,
-                        completion: self.time,
-                        phases: slot.phases,
-                    }
-                })
-                .collect();
-            batch.sort_by_key(|c| c.key);
-            let had_completions = !batch.is_empty();
-            if had_completions {
-                let cache = self.cache.get_mut().expect("penalty cache lock");
-                for &flow in &completed_now {
-                    cache.note_departure(flow);
-                }
-            }
-            done.extend(batch);
-
-            if self.time >= t - TIME_EPS {
-                // At the target time, stop — unless this step's completions
-                // may have unlocked zero-size work that also finishes at
-                // exactly t (dt = 0 case), in which case loop once more.
-                let more_zero = had_completions
-                    && !self.slots.is_empty()
-                    && self.active_flows().iter().any(|&flow| {
-                        let slot = self.slots.get(flow).expect("active flow lives in slab");
-                        slot.remaining <= slot.eps
-                    });
-                if !more_zero {
                     break;
                 }
+            };
+            *time = time.max(e);
+            let now = *time;
+
+            // Latency gates crossing `e` open first: their flows join the
+            // population in the same settle that sees any simultaneous
+            // completions (one chained Mixed delta).
+            opened.clear();
+            if heap_timeline {
+                events.pop_gates_through(now + TIME_EPS, opened);
+            } else {
+                opened.extend(
+                    slots
+                        .iter()
+                        .filter(|(_, s)| !s.contending && s.gate <= now + TIME_EPS)
+                        .map(|(k, _)| k),
+                );
             }
+            for &flow in opened.iter() {
+                slots
+                    .get_mut(flow)
+                    .expect("gated flow lives in slab")
+                    .contending = true;
+                cache.note_arrival(flow);
+            }
+
+            // Completions due at `e`: every live heap entry (= every
+            // contending flow) whose cached finish time has arrived. Keys
+            // are stable, so removals leave the surviving flows (and the
+            // cache's view of them) untouched.
+            due.clear();
+            if heap_timeline {
+                events.pop_due_completions(now, slots, due);
+            } else {
+                due.extend(
+                    slots
+                        .iter()
+                        .filter(|(_, s)| s.contending && s.finish <= now)
+                        .map(|(k, _)| k),
+                );
+            }
+            let batch_start = done.len();
+            for &flow in due.iter() {
+                if record_phases {
+                    let slot = slots.get_mut(flow).expect("due flow lives in slab");
+                    if slot.rate > 0.0 && now > slot.anchor {
+                        push_phase(&mut slot.phases, slot.anchor, now, slot.penalty);
+                    }
+                }
+                let slot = slots.remove(flow).expect("due flow lives in slab");
+                debug_assert!(
+                    slot.remaining - slot.rate * (now - slot.anchor) <= slot.eps,
+                    "flow {flow} completed with bytes left"
+                );
+                cache.note_departure(flow);
+                done.push(CompletedTransfer {
+                    key: slot.key,
+                    completion: now,
+                    phases: slot.phases,
+                });
+            }
+            done[batch_start..].sort_by_key(|c| c.key);
         }
         done
     }
@@ -546,9 +768,8 @@ mod tests {
         }
         let done = net.advance_to(100.0);
         assert_eq!(done.len(), 4);
-        let mut keys: Vec<_> = done.iter().map(|d| d.key).collect();
-        keys.sort_unstable();
-        assert_eq!(keys, vec![0, 1, 2, 3]);
+        let keys: Vec<_> = done.iter().map(|d| d.key).collect();
+        assert_eq!(keys, vec![0, 1, 2, 3], "batch ordered by transfer key");
     }
 
     #[test]
@@ -614,12 +835,11 @@ mod tests {
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.key, y.key);
-            assert!(
-                (x.completion - y.completion).abs() < 1e-9,
-                "key {}: {} vs {}",
-                x.key,
-                x.completion,
-                y.completion
+            assert_eq!(
+                x.completion, y.completion,
+                "key {}: heap and oracle engines share their arithmetic, so \
+                 completions match bitwise",
+                x.key
             );
         }
         assert!(
@@ -628,5 +848,116 @@ mod tests {
             fast.cache_stats(),
             slow.cache_stats()
         );
+    }
+
+    #[test]
+    fn all_three_timeline_modes_agree_bitwise() {
+        let starts = [0.0, 0.0, 2.5, 2.5, 6.0, 9.0, 9.0, 14.0];
+        let mut nets = [
+            FluidNetwork::new(MyrinetModel::default(), NetworkParams::new(4.0, 0.25))
+                .with_phase_recording(),
+            FluidNetwork::new(MyrinetModel::default(), NetworkParams::new(4.0, 0.25))
+                .with_phase_recording()
+                .with_linear_timeline(),
+            FluidNetwork::new(MyrinetModel::default(), NetworkParams::new(4.0, 0.25))
+                .with_phase_recording()
+                .with_full_recompute(),
+        ];
+        for net in nets.iter_mut() {
+            for (k, &s) in starts.iter().enumerate() {
+                net.add(
+                    k as u64,
+                    comm(k as u32 % 4, 4 + k as u32 % 3, 30 + 11 * k as u64),
+                    s,
+                );
+            }
+        }
+        let [heap, linear, oracle] = nets;
+        let run = |mut n: FluidNetwork<MyrinetModel>| {
+            let mut d = n.run_to_completion();
+            d.sort_by_key(|c| c.key);
+            d
+        };
+        let (a, b, c) = (run(heap), run(linear), run(oracle));
+        assert_eq!(a.len(), starts.len());
+        for ((x, y), z) in a.iter().zip(&b).zip(&c) {
+            assert_eq!(x.key, y.key);
+            assert_eq!(x.key, z.key);
+            assert_eq!(x.completion, y.completion, "heap vs linear, key {}", x.key);
+            assert_eq!(x.completion, z.completion, "heap vs oracle, key {}", x.key);
+            assert_eq!(x.phases, y.phases, "phases heap vs linear, key {}", x.key);
+            assert_eq!(x.phases, z.phases, "phases heap vs oracle, key {}", x.key);
+        }
+    }
+
+    #[test]
+    fn timeline_stats_count_heap_traffic() {
+        let mut net = FluidNetwork::new(MyrinetModel::default(), NetworkParams::new(1.0, 1.0));
+        net.add(0, comm(0, 1, 100), 0.0);
+        net.add(1, comm(0, 2, 100), 10.0);
+        net.add(2, comm(0, 3, 50), 20.0);
+        let done = net.run_to_completion();
+        assert_eq!(done.len(), 3);
+        let stats = net.timeline_stats();
+        // every arrival anchors once and re-anchors on later changes
+        assert!(stats.heap_pushes >= 3, "{stats:?}");
+        assert!(
+            stats.lazy_pops <= stats.heap_pushes,
+            "lazy pops are bounded by pushes: {stats:?}"
+        );
+        // all three transfers start in the future (latency 1): each gate is
+        // heap-managed and each opening is served from the heap
+        assert_eq!(stats.gate_pushes, 3, "{stats:?}");
+        assert_eq!(stats.gate_heap_hits, 3, "{stats:?}");
+        // the only full resync is the first settle's rebuild
+        assert_eq!(stats.rescans, 1, "{stats:?}");
+        // the linear mode, by contrast, rescans on every settle and never
+        // touches the heaps
+        let mut linear = FluidNetwork::new(MyrinetModel::default(), NetworkParams::new(1.0, 1.0))
+            .with_linear_timeline();
+        linear.add(0, comm(0, 1, 100), 0.0);
+        linear.add(1, comm(0, 2, 100), 10.0);
+        linear.run_to_completion();
+        let lstats = linear.timeline_stats();
+        assert_eq!(lstats.heap_pushes, 0, "{lstats:?}");
+        assert_eq!(lstats.gate_pushes, 0, "{lstats:?}");
+        assert!(lstats.rescans >= 3, "{lstats:?}");
+    }
+
+    #[test]
+    fn gate_opening_at_a_completion_instant_is_one_event() {
+        // Flow 0 completes at exactly t=10; flow 1's gate opens at t=10
+        // (start 9 + latency 1). The engine must fold both into one settle:
+        // flow 1 then runs alone at penalty 1.
+        let mut net = FluidNetwork::new(MyrinetModel::default(), NetworkParams::new(1.0, 1.0))
+            .with_phase_recording();
+        net.add(0, comm(0, 1, 9), 0.0); // gate 1, alone → completes 10
+        net.add(1, comm(0, 2, 5), 9.0); // gate 10 == completion instant
+        let done = net.run_to_completion();
+        assert_eq!(done.len(), 2);
+        let a = done.iter().find(|d| d.key == 0).unwrap();
+        let b = done.iter().find(|d| d.key == 1).unwrap();
+        assert!((a.completion - 10.0).abs() < 1e-9, "a: {}", a.completion);
+        assert!((b.completion - 15.0).abs() < 1e-9, "b: {}", b.completion);
+        assert_eq!(a.phases.len(), 1, "{:?}", a.phases);
+        assert_eq!(a.phases[0].penalty, 1.0);
+        assert_eq!(b.phases.len(), 1, "never shared: {:?}", b.phases);
+        assert_eq!(b.phases[0].penalty, 1.0);
+    }
+
+    #[test]
+    fn clamped_finish_handles_degenerate_inputs() {
+        // normal case: now + remaining/rate
+        assert_eq!(clamped_finish(2.0, 10.0, 5.0, 1e-9), 4.0);
+        // zero-size (remaining under eps): finishes now
+        assert_eq!(clamped_finish(2.0, 0.0, 5.0, 1e-9), 2.0);
+        assert_eq!(clamped_finish(2.0, 5e-10, 5.0, 1e-9), 2.0);
+        // float drift drove remaining negative: clamps to now
+        assert_eq!(clamped_finish(2.0, -1e-6, 5.0, 1e-9), 2.0);
+        // NaN from a pathological division: clamps to now
+        assert_eq!(clamped_finish(2.0, f64::NAN, 5.0, 1e-9), 2.0);
+        assert_eq!(clamped_finish(2.0, 10.0, f64::NAN, 1e-9), 2.0);
+        // infinite finish (rate 0) is preserved: the flow never finishes
+        assert_eq!(clamped_finish(2.0, 10.0, 0.0, 1e-9), f64::INFINITY);
     }
 }

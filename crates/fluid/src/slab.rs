@@ -32,9 +32,17 @@ impl FlowKey {
         FlowKey(u64::from(generation) << 32 | u64::from(index))
     }
 
+    /// The slot index — the slab's iteration order. Distinct live keys
+    /// never share an index, so sorting live keys by `slot_index` yields
+    /// exactly the order [`Slab::iter`] would visit them in.
+    #[inline]
+    pub(crate) fn slot_index(self) -> usize {
+        (self.0 & 0xffff_ffff) as usize
+    }
+
     #[inline]
     fn index(self) -> usize {
-        (self.0 & 0xffff_ffff) as usize
+        self.slot_index()
     }
 
     #[inline]
@@ -53,6 +61,11 @@ impl std::fmt::Display for FlowKey {
 struct Entry<T> {
     /// Bumped on every removal, so stale keys miss.
     generation: u32,
+    /// Bumped by [`Slab::bump_epoch`] while the slot is occupied; reset on
+    /// insert. The event timeline stamps its heap entries with this, so a
+    /// re-anchored flow's older entries become recognizably stale without
+    /// the heap ever being searched.
+    epoch: u64,
     value: Option<T>,
 }
 
@@ -110,11 +123,13 @@ impl<T> Slab<T> {
             let entry = &mut self.entries[index as usize];
             debug_assert!(entry.value.is_none());
             entry.value = Some(value);
+            entry.epoch = 0;
             FlowKey::new(index, entry.generation)
         } else {
             let index = u32::try_from(self.entries.len()).expect("slab capacity exceeds u32");
             self.entries.push(Entry {
                 generation: 0,
+                epoch: 0,
                 value: Some(value),
             });
             FlowKey::new(index, 0)
@@ -156,6 +171,30 @@ impl<T> Slab<T> {
     /// True when `key` names a live entry.
     pub fn contains(&self, key: FlowKey) -> bool {
         self.get(key).is_some()
+    }
+
+    /// The entry's current epoch stamp, `None` for stale keys. Fresh
+    /// occupancies start at epoch 0.
+    pub fn epoch(&self, key: FlowKey) -> Option<u64> {
+        let entry = self.entries.get(key.index())?;
+        if entry.generation != key.generation() || entry.value.is_none() {
+            return None;
+        }
+        Some(entry.epoch)
+    }
+
+    /// Bumps and returns the entry's epoch stamp, invalidating every
+    /// previously issued `(key, epoch)` pair for this occupancy; `None`
+    /// for stale keys. The event timeline calls this exactly when a flow's
+    /// cached finish time changes, so heap entries carrying older epochs
+    /// can be discarded lazily on pop.
+    pub fn bump_epoch(&mut self, key: FlowKey) -> Option<u64> {
+        let entry = self.entries.get_mut(key.index())?;
+        if entry.generation != key.generation() || entry.value.is_none() {
+            return None;
+        }
+        entry.epoch += 1;
+        Some(entry.epoch)
     }
 
     /// Iterates occupied slots in slot order. Survivors keep their
@@ -249,6 +288,26 @@ mod tests {
         let mut values: Vec<i32> = via_iter.iter().map(|&(_, v)| v).collect();
         values.sort_unstable();
         assert_eq!(values, vec![10, 30]);
+    }
+
+    #[test]
+    fn epochs_start_fresh_per_occupancy_and_bump_monotonically() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        assert_eq!(slab.epoch(a), Some(0));
+        assert_eq!(slab.bump_epoch(a), Some(1));
+        assert_eq!(slab.bump_epoch(a), Some(2));
+        assert_eq!(slab.epoch(a), Some(2));
+        // removal stales the key for epochs too
+        slab.remove(a);
+        assert_eq!(slab.epoch(a), None);
+        assert_eq!(slab.bump_epoch(a), None);
+        // a re-used slot starts at epoch 0 again, and the old key still
+        // misses
+        let b = slab.insert("b");
+        assert_eq!(b.slot_index(), a.slot_index());
+        assert_eq!(slab.epoch(b), Some(0));
+        assert_eq!(slab.epoch(a), None);
     }
 
     #[test]

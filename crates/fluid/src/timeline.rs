@@ -17,14 +17,20 @@ pub struct StepSeries {
 
 impl StepSeries {
     /// The value at time `t` (0 outside all segments; boundaries belong to
-    /// the later segment).
+    /// the later segment). Binary search over the sorted segment starts,
+    /// so sampling a long series is O(log segments) per probe.
     pub fn at(&self, t: f64) -> f64 {
-        for &(a, b, v) in &self.segments {
-            if t >= a && t < b {
-                return v;
-            }
+        let idx = self.segments.partition_point(|&(a, _, _)| a <= t);
+        if idx == 0 {
+            return 0.0;
         }
-        0.0
+        let (a, b, v) = self.segments[idx - 1];
+        debug_assert!(a <= t);
+        if t < b {
+            v
+        } else {
+            0.0
+        }
     }
 
     /// Integral of the series over its whole span.
@@ -53,26 +59,39 @@ pub fn penalty_series(result: &TransferResult) -> StepSeries {
 /// single-stream bandwidth: each active transfer contributes `1/penalty`.
 /// Breakpoints are the union of all phase boundaries.
 pub fn utilization(results: &[TransferResult]) -> StepSeries {
-    let mut cuts: Vec<f64> = results
-        .iter()
-        .flat_map(|r| r.phases.iter().flat_map(|p| [p.t0, p.t1]))
-        .collect();
-    cuts.sort_by(f64::total_cmp);
-    cuts.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
-    let mut segments = Vec::new();
-    for w in cuts.windows(2) {
-        let (a, b) = (w[0], w[1]);
-        if b - a < 1e-15 {
-            continue;
+    // One signed rate edge per phase boundary, swept in time order with a
+    // running sum — O(P log P) over P phases, where the old implementation
+    // re-scanned every phase per breakpoint window (quadratic).
+    let total_phases: usize = results.iter().map(|r| r.phases.len()).sum();
+    let mut edges: Vec<(f64, f64)> = Vec::with_capacity(2 * total_phases);
+    for r in results {
+        for p in &r.phases {
+            let rate = 1.0 / p.penalty;
+            edges.push((p.t0, rate));
+            edges.push((p.t1, -rate));
         }
-        let mid = 0.5 * (a + b);
-        let value: f64 = results
-            .iter()
-            .flat_map(|r| &r.phases)
-            .filter(|p| p.t0 <= mid && mid < p.t1)
-            .map(|p| 1.0 / p.penalty)
-            .sum();
-        segments.push((a, b, value));
+    }
+    edges.sort_by(|x, y| x.0.total_cmp(&y.0));
+    let mut segments = Vec::new();
+    let mut value = 0.0;
+    let mut i = 0;
+    while i < edges.len() {
+        let cut = edges[i].0;
+        // fold the whole dedup run (consecutive edges within the cut
+        // tolerance) into the running sum before emitting the window
+        value += edges[i].1;
+        let mut j = i + 1;
+        while j < edges.len() && (edges[j].0 - edges[j - 1].0).abs() < 1e-12 {
+            value += edges[j].1;
+            j += 1;
+        }
+        if j < edges.len() {
+            let next = edges[j].0;
+            if next - cut >= 1e-15 {
+                segments.push((cut, next, value));
+            }
+        }
+        i = j;
     }
     StepSeries { segments }
 }
@@ -120,6 +139,22 @@ mod tests {
         assert!((s.max() - 3.0).abs() < 1e-12);
         let t_mid = 0.5 * (s.segments[1].0 + s.segments[1].1);
         assert_eq!(s.at(t_mid), 2.0);
+    }
+
+    #[test]
+    fn at_binary_search_handles_gaps_and_boundaries() {
+        let s = StepSeries {
+            segments: vec![(0.0, 1.0, 2.0), (1.0, 2.0, 3.0), (5.0, 6.0, 4.0)],
+        };
+        assert_eq!(s.at(-0.5), 0.0, "before the series");
+        assert_eq!(s.at(0.0), 2.0, "boundary belongs to the later segment");
+        assert_eq!(s.at(1.0), 3.0);
+        assert_eq!(s.at(1.5), 3.0);
+        assert_eq!(s.at(2.0), 0.0, "gap after a closing boundary");
+        assert_eq!(s.at(3.0), 0.0, "inside the gap");
+        assert_eq!(s.at(5.5), 4.0);
+        assert_eq!(s.at(6.0), 0.0, "past the series");
+        assert_eq!(StepSeries::default().at(0.0), 0.0, "empty series");
     }
 
     #[test]

@@ -8,21 +8,35 @@
 
 use netbw_bench::churn_transfers_seeded;
 use netbw_core::{GigabitEthernetModel, InfinibandModel, MyrinetModel, PenaltyModel};
-use netbw_fluid::{FluidNetwork, NetworkParams};
+use netbw_fluid::{FluidNetwork, NetworkParams, TimelineStats};
 use netbw_graph::Communication;
 use proptest::prelude::*;
 
-/// Drains `transfers` through a fresh network, returning `(key, completion)`
-/// sorted by key, plus the cache stats.
-fn drain<M: PenaltyModel>(
-    model: M,
-    transfers: &[(u64, Communication, f64)],
-    full_recompute: bool,
-) -> (Vec<(u64, f64)>, netbw_fluid::CacheStats) {
-    let mut net = FluidNetwork::new(model, NetworkParams::new(2.0, 0.25));
-    if full_recompute {
-        net = net.with_full_recompute();
+/// The three engine configurations under test: the event-heap timeline
+/// (default), the pre-heap linear scans over the incremental cache, and
+/// the pre-refactor full-recompute oracle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    Heap,
+    Linear,
+    Oracle,
+}
+
+fn build<M: PenaltyModel>(model: M, mode: Mode) -> FluidNetwork<M> {
+    let net = FluidNetwork::new(model, NetworkParams::new(2.0, 0.25));
+    match mode {
+        Mode::Heap => net,
+        Mode::Linear => net.with_linear_timeline(),
+        Mode::Oracle => net.with_full_recompute(),
     }
+}
+
+/// Adds `transfers` (sorted by start) and drains the network, returning
+/// `(key, completion)` sorted by key.
+fn drain_into<M: PenaltyModel>(
+    net: &mut FluidNetwork<M>,
+    transfers: &[(u64, Communication, f64)],
+) -> Vec<(u64, f64)> {
     let mut sorted = transfers.to_vec();
     sorted.sort_by(|a, b| a.2.total_cmp(&b.2));
     for &(key, comm, start) in &sorted {
@@ -34,8 +48,21 @@ fn drain<M: PenaltyModel>(
         .map(|c| (c.key, c.completion))
         .collect();
     done.sort_by_key(|&(k, _)| k);
+    done
+}
+
+/// Drains `transfers` through a fresh network in the given mode, returning
+/// `(key, completion)` sorted by key, plus the cache and timeline stats.
+fn drain<M: PenaltyModel>(
+    model: M,
+    transfers: &[(u64, Communication, f64)],
+    mode: Mode,
+) -> (Vec<(u64, f64)>, netbw_fluid::CacheStats, TimelineStats) {
+    let mut net = build(model, mode);
+    let done = drain_into(&mut net, transfers);
     let stats = net.cache_stats();
-    (done, stats)
+    let timeline = net.timeline_stats();
+    (done, stats, timeline)
 }
 
 /// Schedules from the shared churn generator: seeded bounded-degree
@@ -49,35 +76,159 @@ fn arb_transfers() -> impl Strategy<Value = Vec<(u64, Communication, f64)>> {
 }
 
 proptest! {
-    /// Incremental == full recompute on random churn for all three
-    /// specialized models: identical completion times (bitwise — the
-    /// penalties are bit-for-bit equal, so the integrations are too),
-    /// with the incremental engine issuing no more model queries, every
-    /// settle after the first reaching the model as a positional delta
-    /// (mixed batches included), and every offered delta actually
+    /// Heap timeline == linear scans == full recompute on random churn for
+    /// all three specialized models: identical completion times (bitwise —
+    /// the three modes share the anchored-finish arithmetic and the
+    /// penalties are bit-for-bit equal, so the cached finish times are
+    /// too), with the incremental engine issuing no more model queries,
+    /// every settle after the first reaching the model as a positional
+    /// delta (mixed batches included), and every offered delta actually
     /// patched.
     #[test]
-    fn incremental_engine_matches_oracle_on_random_churn(transfers in arb_transfers()) {
+    fn heap_engine_matches_linear_and_oracle_on_random_churn(transfers in arb_transfers()) {
         macro_rules! check {
             ($model:expr) => {{
-                let (fast, fast_stats) = drain($model, &transfers, false);
-                let (slow, slow_stats) = drain($model, &transfers, true);
+                let (fast, fast_stats, fast_timeline) = drain($model, &transfers, Mode::Heap);
+                let (lin, _, lin_timeline) = drain($model, &transfers, Mode::Linear);
+                let (slow, slow_stats, _) = drain($model, &transfers, Mode::Oracle);
                 prop_assert_eq!(fast.len(), slow.len());
-                for (&(ka, ta), &(kb, tb)) in fast.iter().zip(&slow) {
+                prop_assert_eq!(fast.len(), lin.len());
+                for ((&(ka, ta), &(kl, tl)), &(kb, tb)) in fast.iter().zip(&lin).zip(&slow) {
                     prop_assert_eq!(ka, kb);
+                    prop_assert_eq!(ka, kl);
                     prop_assert_eq!(ta.to_bits(), tb.to_bits(),
-                        "key {}: {} vs {}", ka, ta, tb);
+                        "heap vs oracle, key {}: {} vs {}", ka, ta, tb);
+                    prop_assert_eq!(ta.to_bits(), tl.to_bits(),
+                        "heap vs linear, key {}: {} vs {}", ka, ta, tl);
                 }
                 prop_assert!(fast_stats.model_queries <= slow_stats.model_queries);
                 prop_assert!(fast_stats.rebuild_queries() <= 1,
                     "only the first settle may rebuild: {:?}", fast_stats);
                 prop_assert_eq!(fast_stats.patched_queries, fast_stats.delta_queries,
                     "every offered delta must be patched at these sizes: {:?}", fast_stats);
+                // heap hygiene: stale entries never outnumber pushes, the
+                // only full resync is the first settle's rebuild, and the
+                // linear ablation never touches the heaps
+                prop_assert!(fast_timeline.lazy_pops <= fast_timeline.heap_pushes,
+                    "{:?}", fast_timeline);
+                prop_assert!(fast_timeline.heap_pushes >= transfers.len() as u64,
+                    "every flow anchors at least once: {:?}", fast_timeline);
+                prop_assert_eq!(fast_timeline.rescans, 1, "{:?}", fast_timeline);
+                prop_assert_eq!(lin_timeline.heap_pushes, 0, "{:?}", lin_timeline);
+                prop_assert_eq!(lin_timeline.gate_pushes, 0, "{:?}", lin_timeline);
             }};
         }
         check!(GigabitEthernetModel::default());
         check!(MyrinetModel::default());
         check!(InfinibandModel::default());
+    }
+
+    /// Pure time advances are free in the anchored arithmetic: draining
+    /// the same schedule through arbitrary fixed-step `advance_to` targets
+    /// (which cut the timeline at non-event instants) yields bitwise the
+    /// same completions as the event-driven drain, and the stepping does
+    /// not disturb the heap (no extra pushes: probes never re-anchor).
+    #[test]
+    fn stepped_time_advances_do_not_perturb_the_heap_timeline(
+        transfers in arb_transfers(),
+        step_denom in 3u32..17,
+    ) {
+        let (event_driven, _, event_timeline) =
+            drain(MyrinetModel::default(), &transfers, Mode::Heap);
+        let horizon = event_driven.iter().map(|&(_, t)| t).fold(0.0, f64::max);
+        let mut net = build(MyrinetModel::default(), Mode::Heap);
+        let mut sorted = transfers.clone();
+        sorted.sort_by(|a, b| a.2.total_cmp(&b.2));
+        for &(key, comm, start) in &sorted {
+            net.add(key, comm, start);
+        }
+        let mut done: Vec<(u64, f64)> = Vec::new();
+        for k in 1..=step_denom {
+            let t = horizon * f64::from(k) / f64::from(step_denom);
+            done.extend(net.advance_to(t).into_iter().map(|c| (c.key, c.completion)));
+        }
+        // mop up float shortfall at the horizon
+        done.extend(net.run_to_completion().into_iter().map(|c| (c.key, c.completion)));
+        done.sort_by_key(|&(k, _)| k);
+        prop_assert_eq!(done.len(), event_driven.len());
+        for (&(ka, ta), &(kb, tb)) in done.iter().zip(&event_driven) {
+            prop_assert_eq!(ka, kb);
+            prop_assert_eq!(ta.to_bits(), tb.to_bits(), "key {}: {} vs {}", ka, ta, tb);
+        }
+        let stepped_timeline = net.timeline_stats();
+        prop_assert_eq!(stepped_timeline.heap_pushes, event_timeline.heap_pushes,
+            "probe boundaries must not re-anchor: {:?} vs {:?}",
+            stepped_timeline, event_timeline);
+    }
+}
+
+#[test]
+fn zero_size_transfers_complete_at_their_gate_in_all_modes() {
+    // `remaining <= eps` at arrival: the flow anchors with its finish time
+    // equal to the settle instant and completes in the same event step —
+    // including one landing exactly on another flow's completion instant.
+    // All three timelines must agree bitwise.
+    let mut results = Vec::new();
+    for mode in [Mode::Heap, Mode::Linear, Mode::Oracle] {
+        let mut net = FluidNetwork::new(MyrinetModel::default(), NetworkParams::new(1.0, 0.0));
+        net = match mode {
+            Mode::Heap => net,
+            Mode::Linear => net.with_linear_timeline(),
+            Mode::Oracle => net.with_full_recompute(),
+        };
+        net.add(0, Communication::new(0u32, 1u32, 100), 0.0);
+        net.add(1, Communication::new(0u32, 2u32, 0), 0.0); // flashes at t=0
+        let mut done: Vec<(u64, f64)> = net
+            .advance_to(50.0)
+            .into_iter()
+            .map(|c| (c.key, c.completion))
+            .collect();
+        net.add(2, Communication::new(2u32, 3u32, 0), 100.0); // lands on 0's completion
+        done.extend(
+            net.run_to_completion()
+                .into_iter()
+                .map(|c| (c.key, c.completion)),
+        );
+        done.sort_by_key(|&(k, _)| k);
+        assert_eq!(done.len(), 3, "{mode:?}");
+        assert_eq!(done[1].1, 0.0, "{mode:?}: zero-size completes at its gate");
+        assert!((done[0].1 - 100.0).abs() < 1e-9, "{mode:?}: {done:?}");
+        assert_eq!(
+            done[2].1, done[0].1,
+            "{mode:?}: flash at the completion instant"
+        );
+        results.push(done);
+    }
+    let (heap, linear, oracle) = (&results[0], &results[1], &results[2]);
+    for ((&(ka, ta), &(kl, tl)), &(ko, to)) in heap.iter().zip(linear).zip(oracle) {
+        assert_eq!(ka, kl);
+        assert_eq!(ka, ko);
+        assert_eq!(ta.to_bits(), tl.to_bits(), "heap vs linear, key {ka}");
+        assert_eq!(ta.to_bits(), to.to_bits(), "heap vs oracle, key {ka}");
+    }
+}
+
+#[test]
+fn reset_network_replays_the_heap_timeline_bit_for_bit() {
+    // Network reuse across drains (the FluidSolver pattern): a reset heap
+    // engine must hand back exactly what a fresh one would — the cleared
+    // slab re-issues the same key/epoch sequence, so the heap's lazy
+    // invalidation cannot leak state across batteries.
+    let battery = [
+        churn_transfers_seeded(16, 5.0, 11),
+        churn_transfers_seeded(12, 0.0, 12),
+        churn_transfers_seeded(20, 0.5, 13),
+    ];
+    let mut reused = build(MyrinetModel::default(), Mode::Heap);
+    for transfers in &battery {
+        let again = drain_into(&mut reused, transfers);
+        let (fresh, _, _) = drain(MyrinetModel::default(), transfers, Mode::Heap);
+        assert_eq!(again.len(), fresh.len());
+        for (&(ka, ta), &(kb, tb)) in again.iter().zip(&fresh) {
+            assert_eq!(ka, kb);
+            assert_eq!(ta.to_bits(), tb.to_bits(), "key {ka}: {ta} vs {tb}");
+        }
+        reused.reset();
     }
 }
 

@@ -7,7 +7,7 @@
 //! * [`netbw_packet::PacketNetwork`] — the simulated hardware, the
 //!   **measured** side.
 
-use netbw_fluid::CacheStats;
+use netbw_fluid::{CacheStats, TimelineStats};
 use netbw_graph::Communication;
 
 /// An inter-node transfer service: transfers are keyed, started at given
@@ -37,6 +37,13 @@ pub trait NetworkBackend {
     fn cache_stats(&self) -> Option<CacheStats> {
         None
     }
+    /// Event-timeline counters (completion-heap pushes, stale entries
+    /// discarded on pop, gate-heap traffic, full-population rescans), for
+    /// backends with an event-driven timeline (`None` for packet backends,
+    /// which walk their own per-packet event queue).
+    fn timeline_stats(&self) -> Option<TimelineStats> {
+        None
+    }
 }
 
 /// Mutable references forward, so a caller can keep the backend (and its
@@ -56,6 +63,10 @@ impl<B: NetworkBackend + ?Sized> NetworkBackend for &mut B {
 
     fn cache_stats(&self) -> Option<CacheStats> {
         (**self).cache_stats()
+    }
+
+    fn timeline_stats(&self) -> Option<TimelineStats> {
+        (**self).timeline_stats()
     }
 }
 
@@ -77,6 +88,10 @@ impl<M: netbw_core::PenaltyModel> NetworkBackend for netbw_fluid::FluidNetwork<M
 
     fn cache_stats(&self) -> Option<CacheStats> {
         Some(netbw_fluid::FluidNetwork::cache_stats(self))
+    }
+
+    fn timeline_stats(&self) -> Option<TimelineStats> {
+        Some(netbw_fluid::FluidNetwork::timeline_stats(self))
     }
 }
 
@@ -159,6 +174,31 @@ mod tests {
     fn packet_backend_has_no_model_stats() {
         let b: Box<dyn NetworkBackend> = Box::new(PacketNetwork::new(FabricConfig::gige(), 2));
         assert!(b.cache_stats().is_none());
+        assert!(b.timeline_stats().is_none());
+    }
+
+    #[test]
+    fn fluid_backend_surfaces_timeline_stats() {
+        use netbw_core::MyrinetModel;
+        let mut b: Box<dyn NetworkBackend> = Box::new(FluidNetwork::new(
+            MyrinetModel::default(),
+            NetworkParams::new(1.0, 0.5),
+        ));
+        for k in 0..3u64 {
+            b.add(k, Communication::new(0u32, 1 + k as u32, 100), k as f64);
+        }
+        while let Some(t) = b.next_event_time() {
+            b.advance_to(t);
+        }
+        let stats = b.timeline_stats().expect("fluid exposes timeline stats");
+        assert!(stats.heap_pushes >= 3, "{stats:?}");
+        assert!(stats.lazy_pops <= stats.heap_pushes, "{stats:?}");
+        assert_eq!(
+            stats.gate_pushes, 3,
+            "all gates are in the future: {stats:?}"
+        );
+        assert_eq!(stats.gate_heap_hits, 3, "{stats:?}");
+        assert_eq!(stats.rescans, 1, "only the first settle rescans: {stats:?}");
     }
 
     #[test]

@@ -20,20 +20,30 @@
 //!   fixed completion prefix (a full linear drain is O(events x slots)
 //!   and takes minutes); the heap must be ≥5x faster on the median and
 //!   then also drain the full workload in bounded time.
+//! * the `shard_smoke` group: a multi-component 65k-endpoint Myrinet
+//!   churn (node-offset copies of the shared schedule, so events coincide
+//!   across components and every settle barrier carries many dirty
+//!   shards). On ≥4 cores the executor-dispatched sharded engine must be
+//!   ≥1.5x faster than the heap engine on the median; on fewer cores it
+//!   must merely never fall behind the heap beyond a noise slack.
 //!
-//! The medians land in `BENCH_timeline.json` (uploaded as a CI artifact
-//! next to `BENCH_sweep.json`) so the perf trajectory is tracked.
-//! Pass `--flows N`, `--big N`, `--prefix K` to override group sizes.
-//! The workload itself is `netbw_bench::churn_transfers`, shared with the
-//! `fluid_incremental` bench and the engine proptests so all of them
-//! measure the same scenario.
+//! The medians land in `BENCH_timeline.json` and `BENCH_shard.json`
+//! (uploaded as CI artifacts next to `BENCH_sweep.json`) so the perf
+//! trajectory is tracked. Pass `--flows N`, `--big N`, `--prefix K`,
+//! `--comps N`, `--comp-flows N`, `--shard-prefix K` to override group
+//! sizes. The workload itself is `netbw_bench::churn_transfers`, shared
+//! with the `fluid_incremental` bench and the engine proptests so all of
+//! them measure the same scenario.
 
+use netbw::eval::SweepExecutor;
 use netbw::fluid::{CacheStats, TimelineStats};
 use netbw::graph::Communication;
 use netbw::prelude::*;
 use netbw_bench::{
-    churn_stagger, churn_transfers, drain_churn_mode, drain_churn_prefix, EngineMode,
+    churn_stagger, churn_transfers, drain_churn_mode, drain_churn_prefix, drain_prefix_into,
+    multi_component_churn, EngineMode, CHURN_SEED,
 };
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Drains twice and keeps the faster run, so a single scheduler stall on
@@ -209,10 +219,109 @@ fn check_big(flows: usize, prefix: usize, reps: usize) -> String {
     )
 }
 
+/// The `shard_smoke` group: a multi-component Myrinet churn (identical
+/// node-offset schedule copies, so completions and gate openings coincide
+/// across components and every settle barrier is wide) drained to a fixed
+/// completion prefix through the heap engine, the serially-dispatched
+/// sharded engine, and the sharded engine on the work-stealing executor.
+/// Returns the JSON line for `BENCH_shard.json`.
+fn check_shard(comps: usize, flows_per_comp: usize, prefix: usize, reps: usize) -> String {
+    // A wider stagger than the other churn groups: it bounds the
+    // *concurrent* population to a few flows per component (the rest of
+    // the schedule is queued in the slab), which is the regime sharding
+    // targets — a big fabric with churning traffic. With every copy in
+    // flight at once the heap baseline's per-barrier sub-population
+    // conflict-graph build goes quadratic in 131k flows and takes
+    // minutes, which is a useless yardstick for a smoke test.
+    let stagger = 3_500.0;
+    let transfers = multi_component_churn(comps, flows_per_comp, stagger, CHURN_SEED);
+    let endpoints = comps * (flows_per_comp.max(4) / 2);
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    let (t_heap, done_heap) = median_time(reps, || {
+        let mut net = FluidNetwork::new(MyrinetModel::default(), NetworkParams::unit());
+        drain_prefix_into(&mut net, &transfers, prefix)
+    });
+    let mut live_shards = 0;
+    let mut budget_fallbacks = 0;
+    let (t_serial, done_serial) = median_time(reps, || {
+        let mut net =
+            FluidNetwork::new(MyrinetModel::default(), NetworkParams::unit()).with_sharded();
+        let done = drain_prefix_into(&mut net, &transfers, prefix);
+        live_shards = net.shard_count();
+        budget_fallbacks = net.cache_stats().budget_fallbacks;
+        done
+    });
+    // The speedup story rests on the partition surviving: a Myrinet
+    // budget fallback would collapse it into one global shard (bitwise
+    // equality demands it — see the fluid crate's shard docs) and the
+    // "sharded" timings would silently measure the heap path. The
+    // workload keeps components small enough to stay Moon–Moser
+    // certified, and this guard pins that.
+    assert_eq!(
+        budget_fallbacks, 0,
+        "shard smoke: workload must stay under the state-set budget"
+    );
+    assert!(
+        live_shards >= comps,
+        "shard smoke: partition collapsed ({live_shards} shards left of ≥{comps})"
+    );
+    let (t_par, done_par) = median_time(reps, || {
+        let mut net = FluidNetwork::new(MyrinetModel::default(), NetworkParams::unit())
+            .with_sharded_dispatch(Arc::new(SweepExecutor::new(0)));
+        drain_prefix_into(&mut net, &transfers, prefix)
+    });
+    assert_eq!(
+        done_heap, done_serial,
+        "engines completed different prefixes"
+    );
+    assert_eq!(done_heap, done_par, "engines completed different prefixes");
+    assert!(done_heap >= prefix, "workload too small for the prefix");
+
+    let speedup = t_heap.as_secs_f64() / t_par.as_secs_f64();
+    println!(
+        "shard-{comps}x{flows_per_comp} ({endpoints} endpoints, {cores} cores): \
+         first {prefix} completions | heap {t_heap:?} | sharded serial {t_serial:?} \
+         | sharded executor {t_par:?} ({speedup:.2}x vs heap)"
+    );
+    if cores >= 4 {
+        assert!(
+            speedup >= 1.5,
+            "shard smoke: the executor-dispatched sharded engine must be ≥1.5x \
+             faster than the heap engine on {cores} cores, got {speedup:.2}x \
+             ({t_par:?} vs {t_heap:?})"
+        );
+    } else {
+        // Too few cores for settle parallelism to pay: the sharded engine
+        // must merely not fall behind the heap beyond noise (20% or 2ms).
+        let slack = (t_heap / 5).max(Duration::from_millis(2));
+        assert!(
+            t_par <= t_heap + slack,
+            "shard smoke: sharded engine fell behind the heap on {cores} core(s) \
+             ({t_par:?} vs {t_heap:?} + {slack:?} slack)"
+        );
+    }
+
+    format!(
+        "{{\"comps\": {comps}, \"flows_per_comp\": {flows_per_comp}, \
+         \"endpoints\": {endpoints}, \"prefix\": {prefix}, \"cores\": {cores}, \
+         \"heap_prefix_ms\": {:.3}, \"sharded_serial_ms\": {:.3}, \
+         \"sharded_executor_ms\": {:.3}, \"executor_speedup\": {speedup:.3}}}\n",
+        t_heap.as_secs_f64() * 1e3,
+        t_serial.as_secs_f64() * 1e3,
+        t_par.as_secs_f64() * 1e3,
+    )
+}
+
 fn main() {
     let mut flows = 512usize;
     let mut big = 100_000usize;
     let mut prefix = 1000usize;
+    let mut comps = 8192usize;
+    let mut comp_flows = 16usize;
+    let mut shard_prefix = 12_288usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut grab = |name: &str| -> usize {
@@ -224,6 +333,9 @@ fn main() {
             "--flows" => flows = grab("--flows"),
             "--big" => big = grab("--big"),
             "--prefix" => prefix = grab("--prefix"),
+            "--comps" => comps = grab("--comps"),
+            "--comp-flows" => comp_flows = grab("--comp-flows"),
+            "--shard-prefix" => shard_prefix = grab("--shard-prefix"),
             other => panic!("unknown flag {other}"),
         }
     }
@@ -255,6 +367,11 @@ fn main() {
     let json = check_big(big, prefix, 3);
     std::fs::write("BENCH_timeline.json", &json).expect("write BENCH_timeline.json");
     print!("churn_smoke: BENCH_timeline.json = {json}");
+
+    // The multi-component group the sharded engine exists for.
+    let json = check_shard(comps, comp_flows, shard_prefix, 3);
+    std::fs::write("BENCH_shard.json", &json).expect("write BENCH_shard.json");
+    print!("churn_smoke: BENCH_shard.json = {json}");
 
     println!("churn smoke: heap timeline ahead on all groups");
 }

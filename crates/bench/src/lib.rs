@@ -198,6 +198,10 @@ pub enum EngineMode {
     LinearTimeline,
     /// Full model requery every settle plus linear scans — the oracle.
     FullRecompute,
+    /// The heap engine partitioned by conflict component: one cache,
+    /// scratch and timeline per component, settles independent per shard
+    /// (serial dispatch here; benches plug in the sweep executor).
+    Sharded,
 }
 
 /// Builds a fresh unit-parameter engine in the requested mode.
@@ -207,7 +211,38 @@ pub fn churn_engine<M: PenaltyModel>(model: M, mode: EngineMode) -> FluidNetwork
         EngineMode::Heap => net,
         EngineMode::LinearTimeline => net.with_linear_timeline(),
         EngineMode::FullRecompute => net.with_full_recompute(),
+        EngineMode::Sharded => net.with_sharded(),
     }
+}
+
+/// A churn workload of `comps` disjoint conflict components: the
+/// [`churn_transfers_seeded`] schedule stamped out `comps` times with
+/// node-id offsets. Every copy keeps the *same* arrival schedule, so
+/// events coincide across components and each settle barrier carries many
+/// dirty shards — the worst case for a serial settle loop and exactly
+/// what the sharded engine parallelizes. Keys are globally unique
+/// (component-major).
+pub fn multi_component_churn(
+    comps: usize,
+    flows_per_comp: usize,
+    stagger: f64,
+    seed: u64,
+) -> Vec<(u64, netbw::graph::Communication, f64)> {
+    let base = churn_transfers_seeded(flows_per_comp, stagger, seed);
+    let nodes = (flows_per_comp.max(4) / 2) as u32;
+    let mut out = Vec::with_capacity(comps * base.len());
+    for c in 0..comps {
+        let offset = c as u32 * nodes;
+        for &(key, comm, start) in &base {
+            out.push((
+                c as u64 * base.len() as u64 + key,
+                Communication::new(comm.src.0 + offset, comm.dst.0 + offset, comm.size),
+                start,
+            ));
+        }
+    }
+    out.sort_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)));
+    out
 }
 
 /// Drains a churn workload through a fresh `FluidNetwork`, returning the
@@ -255,6 +290,20 @@ pub fn drain_churn_prefix<M: PenaltyModel>(
     prefix: usize,
 ) -> (usize, netbw::fluid::CacheStats, netbw::fluid::TimelineStats) {
     let mut net = churn_engine(model, mode);
+    let done = drain_prefix_into(&mut net, transfers, prefix);
+    (done, net.cache_stats(), net.timeline_stats())
+}
+
+/// Adds `transfers` to a prebuilt network and drains until `prefix` flows
+/// have completed (or the network runs dry), returning the completion
+/// count. The engine-agnostic core of [`drain_churn_prefix`] — the
+/// `shard_smoke` guard uses it directly so it can time networks carrying
+/// a custom settle dispatcher.
+pub fn drain_prefix_into<M: PenaltyModel>(
+    net: &mut FluidNetwork<M>,
+    transfers: &[(u64, netbw::graph::Communication, f64)],
+    prefix: usize,
+) -> usize {
     for &(key, comm, start) in transfers {
         net.add(key, comm, start);
     }
@@ -265,7 +314,7 @@ pub fn drain_churn_prefix<M: PenaltyModel>(
         };
         done += net.advance_to(t).len();
     }
-    (done, net.cache_stats(), net.timeline_stats())
+    done
 }
 
 /// The paper's three fabrics with their models, paired for sweeps:
@@ -353,9 +402,15 @@ mod tests {
             &transfers,
             EngineMode::FullRecompute,
         );
+        let shard = drain_churn_mode(
+            GigabitEthernetModel::default(),
+            &transfers,
+            EngineMode::Sharded,
+        );
         assert_eq!(heap.0, 48);
         assert_eq!(lin.0, 48);
         assert_eq!(full.0, 48);
+        assert_eq!(shard.0, 48);
         assert!(heap.2.heap_pushes > 0, "{:?}", heap.2);
         assert_eq!(lin.2.heap_pushes, 0, "{:?}", lin.2);
         let (done, _, _) = drain_churn_prefix(
@@ -365,6 +420,29 @@ mod tests {
             10,
         );
         assert!((10..48).contains(&done), "prefix drain got {done}");
+    }
+
+    #[test]
+    fn multi_component_churn_keeps_components_disjoint_and_schedules_aligned() {
+        let base = churn_transfers_seeded(8, 5.0, CHURN_SEED);
+        let multi = multi_component_churn(3, 8, 5.0, CHURN_SEED);
+        assert_eq!(multi.len(), 3 * base.len());
+        let mut keys: Vec<u64> = multi.iter().map(|t| t.0).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), multi.len(), "keys must be globally unique");
+        let nodes = 4u32; // 8.max(4)/2 nodes per component
+        for &(key, comm, start) in &multi {
+            let comp = (key / base.len() as u64) as u32;
+            let copy = &base[(key % base.len() as u64) as usize];
+            assert_eq!(start, copy.2, "copies keep the base schedule");
+            for node in [comm.src.0, comm.dst.0] {
+                assert!(
+                    (comp * nodes..(comp + 1) * nodes).contains(&node),
+                    "node {node} leaks out of component {comp}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,321 @@
+//! Conflict-component tracking over communication endpoints.
+//!
+//! Every penalty model in this crate is *component-local*: a flow's
+//! penalty depends only on the flows it transitively shares an endpoint
+//! with (GigE and InfiniBand read per-endpoint degree multisets, Myrinet
+//! enumerates state sets per union–find conflict component, and the
+//! baselines count direct conflicts). Two flows in disjoint connected
+//! components of the shared-endpoint graph therefore never influence each
+//! other's penalty — which is the partitioning invariant the sharded fluid
+//! engine (`netbw-fluid`'s `with_sharded` mode) builds on: it simulates
+//! each component on its own timeline and penalty cache.
+//!
+//! [`ComponentTracker`] maintains those connected components incrementally
+//! as a union–find over [`NodeId`]s. It is deliberately **coarsening-only**:
+//! components merge when a new flow bridges them and are never split when
+//! flows depart. A union of true components is still a safe partition cell
+//! (penalties computed over a union match the per-component answers
+//! bit-for-bit, by the same locality), so splitting would only ever be a
+//! performance refinement — never a correctness requirement.
+
+use netbw_graph::NodeId;
+use std::collections::HashMap;
+
+/// Dense index of an interned endpoint inside a [`ComponentTracker`].
+///
+/// Component roots are identified by the index of their representative
+/// node; a root index stays the canonical name of its component until the
+/// component is absorbed into another (reported by
+/// [`ComponentChange::Bridged`]).
+pub type ComponentRoot = u32;
+
+/// What one [`ComponentTracker::insert`] did to the component structure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ComponentChange {
+    /// Both endpoints were new: a fresh component was created.
+    Created {
+        /// The new component's root.
+        root: ComponentRoot,
+    },
+    /// The flow landed inside one existing component (possibly growing it
+    /// by a new endpoint). The component's root is unchanged.
+    Joined {
+        /// The (pre-existing) root of the component joined.
+        root: ComponentRoot,
+    },
+    /// The flow's endpoints lay in two distinct components, which are now
+    /// one: `absorbed` is no longer a root, `root` names the union.
+    Bridged {
+        /// The surviving component's root.
+        root: ComponentRoot,
+        /// The root that was absorbed (never a root again — the tracker
+        /// only coarsens).
+        absorbed: ComponentRoot,
+    },
+}
+
+impl ComponentChange {
+    /// The root of the component the inserted flow ended up in.
+    pub fn root(&self) -> ComponentRoot {
+        match *self {
+            ComponentChange::Created { root }
+            | ComponentChange::Joined { root }
+            | ComponentChange::Bridged { root, .. } => root,
+        }
+    }
+}
+
+/// Incremental connected components of the shared-endpoint graph: a
+/// union–find over node ids, growing as flows are inserted.
+///
+/// Inserting a flow unions its two endpoints and reports what changed
+/// ([`ComponentChange`]); the structure never splits (see the module docs
+/// for why coarsening-only is sound). An existing component's root is
+/// stable until the component is absorbed, which is what lets callers key
+/// side tables (the sharded engine's shard map) by root.
+#[derive(Debug, Default)]
+pub struct ComponentTracker {
+    index: HashMap<NodeId, u32>,
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl ComponentTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        ComponentTracker::default()
+    }
+
+    /// Number of distinct components.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Number of interned endpoints.
+    pub fn node_count(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Forgets everything while keeping allocations warm.
+    pub fn clear(&mut self) {
+        self.index.clear();
+        self.parent.clear();
+        self.rank.clear();
+        self.components = 0;
+    }
+
+    /// The root of the component containing `node`, or `None` if the node
+    /// was never inserted.
+    pub fn find(&mut self, node: NodeId) -> Option<ComponentRoot> {
+        let idx = *self.index.get(&node)?;
+        Some(self.find_idx(idx))
+    }
+
+    /// Unions the components of `a` and `b` (interning either endpoint as
+    /// needed) and reports what changed. Inserting an intra-node flow
+    /// (`a == b`) is fine: the node forms (or keeps) its own component.
+    pub fn insert(&mut self, a: NodeId, b: NodeId) -> ComponentChange {
+        let (ia, a_new) = self.intern(a);
+        if a == b {
+            return if a_new {
+                self.components += 1;
+                ComponentChange::Created { root: ia }
+            } else {
+                ComponentChange::Joined {
+                    root: self.find_idx(ia),
+                }
+            };
+        }
+        let (ib, b_new) = self.intern(b);
+        match (a_new, b_new) {
+            (true, true) => {
+                self.components += 1;
+                let (root, _) = self.union(ia, ib);
+                ComponentChange::Created { root }
+            }
+            (false, true) => {
+                let root = self.find_idx(ia);
+                // The fresh singleton attaches under the existing root
+                // (union prefers its first argument on rank ties), so the
+                // component's canonical root never moves on a join.
+                let (root, _) = self.union(root, ib);
+                ComponentChange::Joined { root }
+            }
+            (true, false) => {
+                let root = self.find_idx(ib);
+                let (root, _) = self.union(root, ia);
+                ComponentChange::Joined { root }
+            }
+            (false, false) => {
+                let ra = self.find_idx(ia);
+                let rb = self.find_idx(ib);
+                if ra == rb {
+                    return ComponentChange::Joined { root: ra };
+                }
+                self.components -= 1;
+                let (root, absorbed) = self.union(ra, rb);
+                ComponentChange::Bridged { root, absorbed }
+            }
+        }
+    }
+
+    fn intern(&mut self, node: NodeId) -> (u32, bool) {
+        if let Some(&idx) = self.index.get(&node) {
+            return (idx, false);
+        }
+        let idx = u32::try_from(self.parent.len()).expect("tracker capacity exceeds u32");
+        self.index.insert(node, idx);
+        self.parent.push(idx);
+        self.rank.push(0);
+        (idx, true)
+    }
+
+    fn find_idx(&mut self, mut idx: u32) -> u32 {
+        // Path halving keeps finds amortized near-constant without a
+        // second pass.
+        while self.parent[idx as usize] != idx {
+            let grandparent = self.parent[self.parent[idx as usize] as usize];
+            self.parent[idx as usize] = grandparent;
+            idx = grandparent;
+        }
+        idx
+    }
+
+    /// Unions two roots, returning `(winner, loser)`. Rank ties go to the
+    /// first argument — the invariant joins rely on to keep existing roots
+    /// canonical.
+    fn union(&mut self, ra: u32, rb: u32) -> (u32, u32) {
+        debug_assert_ne!(ra, rb);
+        let (winner, loser) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[loser as usize] = winner;
+        if self.rank[winner as usize] == self.rank[loser as usize] {
+            self.rank[winner as usize] += 1;
+        }
+        (winner, loser)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn disjoint_flows_create_distinct_components() {
+        let mut t = ComponentTracker::new();
+        let a = t.insert(n(0), n(1));
+        let b = t.insert(n(2), n(3));
+        assert!(matches!(a, ComponentChange::Created { .. }));
+        assert!(matches!(b, ComponentChange::Created { .. }));
+        assert_ne!(a.root(), b.root());
+        assert_eq!(t.component_count(), 2);
+        assert_eq!(t.node_count(), 4);
+    }
+
+    #[test]
+    fn shared_endpoint_joins_without_moving_the_root() {
+        let mut t = ComponentTracker::new();
+        let created = t.insert(n(0), n(1));
+        // new endpoint 2 attaches to the existing component
+        let joined = t.insert(n(0), n(2));
+        assert_eq!(
+            joined,
+            ComponentChange::Joined {
+                root: created.root()
+            }
+        );
+        // flow entirely inside the component
+        let internal = t.insert(n(1), n(2));
+        assert_eq!(
+            internal,
+            ComponentChange::Joined {
+                root: created.root()
+            }
+        );
+        // new source, existing destination: still a join, same root
+        let reversed = t.insert(n(3), n(1));
+        assert_eq!(
+            reversed,
+            ComponentChange::Joined {
+                root: created.root()
+            }
+        );
+        assert_eq!(t.component_count(), 1);
+    }
+
+    #[test]
+    fn bridging_reports_winner_and_absorbed() {
+        let mut t = ComponentTracker::new();
+        let a = t.insert(n(0), n(1)).root();
+        let b = t.insert(n(2), n(3)).root();
+        let bridged = t.insert(n(1), n(2));
+        let ComponentChange::Bridged { root, absorbed } = bridged else {
+            panic!("expected a bridge, got {bridged:?}");
+        };
+        assert!(root == a && absorbed == b || root == b && absorbed == a);
+        assert_eq!(t.component_count(), 1);
+        // every endpoint now resolves to the surviving root
+        for i in 0..4 {
+            assert_eq!(t.find(n(i)), Some(root));
+        }
+        // further flows inside the union are joins on the surviving root
+        assert_eq!(t.insert(n(0), n(3)), ComponentChange::Joined { root });
+    }
+
+    #[test]
+    fn intra_node_flows_form_singleton_components() {
+        let mut t = ComponentTracker::new();
+        let c = t.insert(n(5), n(5));
+        assert!(matches!(c, ComponentChange::Created { .. }));
+        assert_eq!(t.component_count(), 1);
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(
+            t.insert(n(5), n(5)),
+            ComponentChange::Joined { root: c.root() }
+        );
+        // the singleton bridges like any other component
+        let other = t.insert(n(6), n(7)).root();
+        let bridged = t.insert(n(5), n(6));
+        assert!(matches!(bridged, ComponentChange::Bridged { .. }));
+        assert_eq!(t.find(n(5)), t.find(n(7)));
+        let _ = other;
+    }
+
+    #[test]
+    fn find_misses_unknown_nodes_and_clear_forgets() {
+        let mut t = ComponentTracker::new();
+        assert_eq!(t.find(n(0)), None);
+        t.insert(n(0), n(1));
+        assert!(t.find(n(0)).is_some());
+        t.clear();
+        assert_eq!(t.find(n(0)), None);
+        assert_eq!(t.component_count(), 0);
+        assert_eq!(t.node_count(), 0);
+    }
+
+    #[test]
+    fn chains_of_bridges_keep_one_component() {
+        let mut t = ComponentTracker::new();
+        for i in 0..10u32 {
+            t.insert(n(2 * i), n(2 * i + 1));
+        }
+        assert_eq!(t.component_count(), 10);
+        for i in 0..9u32 {
+            let c = t.insert(n(2 * i + 1), n(2 * i + 2));
+            assert!(matches!(c, ComponentChange::Bridged { .. }), "{i}: {c:?}");
+        }
+        assert_eq!(t.component_count(), 1);
+        let root = t.find(n(0)).unwrap();
+        for i in 0..20u32 {
+            assert_eq!(t.find(n(i)), Some(root));
+        }
+    }
+}

@@ -54,6 +54,7 @@
 
 pub mod baseline;
 pub mod calibrate;
+pub mod components;
 pub mod gige;
 pub mod incremental;
 pub mod infiniband;
@@ -64,6 +65,7 @@ pub mod scratch;
 pub mod sensitivity;
 pub mod states;
 
+pub use components::{ComponentChange, ComponentRoot, ComponentTracker};
 pub use gige::GigabitEthernetModel;
 pub use infiniband::InfinibandModel;
 pub use model::{ModelKind, PenaltyModel, PopulationDelta};
@@ -75,6 +77,7 @@ pub use states::StateSetEnumeration;
 /// Convenient glob-import of the most used items.
 pub mod prelude {
     pub use crate::baseline::{LinearModel, MaxConflictModel};
+    pub use crate::components::{ComponentChange, ComponentTracker};
     pub use crate::gige::GigabitEthernetModel;
     pub use crate::infiniband::InfinibandModel;
     pub use crate::model::{ModelKind, PenaltyModel, PopulationDelta};

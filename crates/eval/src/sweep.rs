@@ -177,6 +177,27 @@ impl SweepExecutor {
     }
 }
 
+/// The sweep executor doubles as the settle dispatcher for the sharded
+/// fluid engine ([`netbw_fluid::FluidNetwork::with_sharded_dispatch`]):
+/// one settle barrier's dirty-shard refreshes are independent one-shot
+/// jobs, exactly the uneven-item workload the work-stealing deques were
+/// built for. Jobs are wrapped in per-item mutexes only to satisfy
+/// `map`'s `&T` access — each job is taken by exactly one worker, so the
+/// locks are uncontended. Panicking jobs propagate through the scoped
+/// join, which is what keeps a poisoned shard from deadlocking the settle
+/// barrier above. A single-job barrier (or a 1-thread executor) runs
+/// inline on the calling thread — no spawn cost for mostly-serial
+/// workloads.
+impl netbw_fluid::SettleDispatch for SweepExecutor {
+    fn run_settles(&self, jobs: &mut [netbw_fluid::SettleJob<'_>]) {
+        let cells: Vec<Mutex<&mut netbw_fluid::SettleJob<'_>>> =
+            jobs.iter_mut().map(Mutex::new).collect();
+        self.map(&cells, |cell| {
+            cell.lock().expect("settle job lock").run();
+        });
+    }
+}
+
 /// Steals the back half (at least one item) of the first non-empty
 /// victim deque, scanning round-robin from the thief's successor. `None`
 /// when every other deque is empty — with a fixed item set that means

@@ -5,12 +5,15 @@
 //! the sequential path and keep input order** — parallelism and state
 //! reuse may never change an answer.
 
-use netbw_core::{GigabitEthernetModel, MyrinetModel};
+use netbw_core::{GigabitEthernetModel, MyrinetModel, Penalty, PenaltyModel};
 use netbw_eval::{compare_scheme, parallel_map, EvalSession, SweepExecutor};
+use netbw_fluid::{FluidNetwork, NetworkParams};
 use netbw_graph::schemes;
 use netbw_graph::units::KB;
+use netbw_graph::{Communication, NodeId};
 use netbw_packet::FabricConfig;
 use proptest::prelude::*;
+use std::sync::Arc;
 
 /// A deterministic, float-heavy per-item function: any index mix-up or
 /// double-processing shows up as a bit-level mismatch.
@@ -121,6 +124,107 @@ fn panic_propagates_under_stealing() {
             x
         },
     );
+}
+
+/// A staggered multi-component workload: `comps` disjoint conflict
+/// components (nodes `base..base+4` each), every one alive across the
+/// whole run so settle barriers regularly carry several dirty shards.
+fn multi_component_workload(comps: u32) -> Vec<(u64, Communication, f64)> {
+    let mut adds: Vec<(u64, Communication, f64)> = Vec::new();
+    let mut key = 0u64;
+    for c in 0..comps {
+        let base = c * 4;
+        for (i, (src, dst, size, start)) in [
+            (base, base + 1, 300u64, 0.0f64),
+            (base, base + 2, 201, 5.0),
+            (base + 3, base + 1, 157, 12.5),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            adds.push((key + i as u64, Communication::new(src, dst, size), start));
+        }
+        key += 3;
+    }
+    adds.sort_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)));
+    adds
+}
+
+/// The sharded engine dispatched through the work-stealing executor must
+/// answer bit-for-bit like the serial dispatcher and the unsharded heap
+/// engine, for every worker count — parallel settle barriers may never
+/// change an answer.
+#[test]
+fn executor_dispatched_shard_settles_match_serial_bit_for_bit() {
+    let adds = multi_component_workload(6);
+    let run = |mut net: FluidNetwork<MyrinetModel>| {
+        for &(k, c, s) in &adds {
+            net.add(k, c, s);
+        }
+        let mut done = net.run_to_completion();
+        done.sort_by_key(|d| d.key);
+        done
+    };
+    let params = NetworkParams::new(2.0, 0.5);
+    let heap = run(FluidNetwork::new(MyrinetModel::default(), params));
+    let serial = run(FluidNetwork::new(MyrinetModel::default(), params).with_sharded());
+    assert_eq!(heap.len(), adds.len());
+    for threads in [1, 2, 4, 8] {
+        let exec = Arc::new(SweepExecutor::new(threads));
+        let par =
+            run(FluidNetwork::new(MyrinetModel::default(), params).with_sharded_dispatch(exec));
+        assert_eq!(par.len(), heap.len());
+        for ((h, s), p) in heap.iter().zip(&serial).zip(&par) {
+            assert_eq!(h.key, p.key, "threads={threads}");
+            assert_eq!(
+                h.completion.to_bits(),
+                s.completion.to_bits(),
+                "serial sharded vs heap, key {}",
+                h.key
+            );
+            assert_eq!(
+                h.completion.to_bits(),
+                p.completion.to_bits(),
+                "threads={threads}, key {}",
+                h.key
+            );
+        }
+    }
+}
+
+/// A penalty model that panics whenever node 13 sends: one poisoned shard
+/// among healthy ones.
+struct PoisonModel;
+
+impl PenaltyModel for PoisonModel {
+    fn name(&self) -> &'static str {
+        "poison"
+    }
+    fn penalties(&self, comms: &[Communication]) -> Vec<Penalty> {
+        assert!(
+            !comms.iter().any(|c| c.src == NodeId(13)),
+            "poisoned shard: node 13 is sending"
+        );
+        vec![Penalty::ONE; comms.len()]
+    }
+}
+
+/// A model panic inside one shard's settle job must propagate out of the
+/// settle barrier (scoped threads re-raise on join) instead of
+/// deadlocking the other workers — the shard-worker sibling of
+/// [`panic_propagates_under_stealing`]. The test *finishing* (with the
+/// expected panic) is the non-deadlock proof.
+#[test]
+#[should_panic]
+fn poisoned_shard_panic_propagates_through_settle_barrier() {
+    let mut net = FluidNetwork::new(PoisonModel, NetworkParams::new(1.0, 0.0))
+        .with_sharded_dispatch(Arc::new(SweepExecutor::new(4)));
+    // four disjoint components, all dirty at the first settle barrier;
+    // the one where node 13 sends poisons its worker
+    for (k, (src, dst)) in [(0u32, 1u32), (4, 5), (8, 9), (13, 12)].iter().enumerate() {
+        net.add(k as u64, Communication::new(*src, *dst, 100), 0.0);
+    }
+    let _ = net.run_to_completion();
 }
 
 /// Myrinet through the session: the state-heavy model (union-find scratch,

@@ -78,6 +78,21 @@ impl CacheStats {
     pub fn rebuild_queries(&self) -> u64 {
         self.model_queries - self.delta_queries
     }
+
+    /// Adds `other`'s counters into `self`. The sharded engine keeps one
+    /// penalty cache per shard and reports their sum; retiring a shard (a
+    /// component merge, or a reset) folds its counters through this, so
+    /// the aggregate stays cumulative.
+    pub fn absorb(&mut self, other: CacheStats) {
+        self.model_queries += other.model_queries;
+        self.reuses += other.reuses;
+        self.invalidations += other.invalidations;
+        self.delta_queries += other.delta_queries;
+        self.patched_queries += other.patched_queries;
+        self.scratch_rebuilds += other.scratch_rebuilds;
+        self.budget_fallbacks += other.budget_fallbacks;
+        self.cancelled_refreshes += other.cancelled_refreshes;
+    }
 }
 
 /// Cached penalties for the currently contending population.

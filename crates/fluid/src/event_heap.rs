@@ -53,6 +53,20 @@ pub struct TimelineStats {
     pub rescans: u64,
 }
 
+impl TimelineStats {
+    /// Adds `other`'s counters into `self`. The sharded engine keeps one
+    /// timeline per shard and reports their sum; shard merges and resets
+    /// fold counters through this, so aggregate stats stay cumulative no
+    /// matter how components coalesce.
+    pub fn absorb(&mut self, other: TimelineStats) {
+        self.heap_pushes += other.heap_pushes;
+        self.lazy_pops += other.lazy_pops;
+        self.gate_pushes += other.gate_pushes;
+        self.gate_heap_hits += other.gate_heap_hits;
+        self.rescans += other.rescans;
+    }
+}
+
 /// A completion-heap entry: the cached absolute finish time of one
 /// anchoring of one flow. Compares by finish time (total order over f64;
 /// the engine clamps NaN before pushing), with key/epoch tiebreaks only
@@ -191,6 +205,17 @@ impl EventHeaps {
     /// [`Self::pop_gates_through`] when the clock passed it.
     pub(crate) fn peek_gate(&self) -> Option<f64> {
         self.gates.peek().map(|g| g.gate)
+    }
+
+    /// Splices `other`'s entries (and counters) into `self` — the heap
+    /// half of a shard merge. Entries stay valid verbatim: completion
+    /// entries carry slab epochs (the slab is shared across shards) and
+    /// gate entries are immutable, so a merged timeline answers exactly as
+    /// the two separate ones would have.
+    pub(crate) fn append(&mut self, mut other: EventHeaps) {
+        self.completions.append(&mut other.completions);
+        self.gates.append(&mut other.gates);
+        self.stats.absorb(other.stats);
     }
 
     /// Pops every gate with `gate <= t` into `out` — these flows start

@@ -54,17 +54,28 @@
 //! oracle (the proptests assert bitwise-equal completions);
 //! [`FluidNetwork::with_linear_timeline`] keeps the incremental cache but
 //! scans instead of using the heaps, isolating the timeline's contribution
-//! for the benchmarks.
+//! for the benchmarks; [`FluidNetwork::with_sharded`] partitions the
+//! population into conflict-component [`shard`]s — each with its own cache,
+//! scratch and heaps — whose settles are independent and can be dispatched
+//! onto a parallel executor ([`dispatch`]), still bit-for-bit equal to the
+//! other modes because the penalty models are component-local. The one
+//! non-local model behaviour — a Myrinet budget refusal degrades the whole
+//! query population — collapses the partition into a single global shard
+//! the first time a shard reports it, so equality survives that regime
+//! too (see [`shard`]).
 
 pub mod cache;
+pub mod dispatch;
 pub mod event_heap;
 pub mod network;
 pub mod params;
+pub mod shard;
 pub mod slab;
 pub mod solver;
 pub mod timeline;
 
 pub use cache::{CacheStats, PenaltyCache};
+pub use dispatch::{SerialDispatch, SettleDispatch, SettleJob};
 pub use event_heap::TimelineStats;
 pub use network::{CompletedTransfer, FluidNetwork, TransferKey};
 pub use params::NetworkParams;

@@ -27,19 +27,25 @@
 //! [`FluidNetwork::with_linear_timeline`] keeps the incremental cache but
 //! scans the population for the next completion/gate (the pre-heap
 //! engine), and [`FluidNetwork::with_full_recompute`] additionally
-//! re-queries the model on every settle (the pre-refactor engine). All
-//! three modes share the same anchored-finish arithmetic, so their results
-//! are bit-for-bit identical — the equivalence proptests pin the heap path
-//! against the full-recompute oracle exactly.
+//! re-queries the model on every settle (the pre-refactor engine). A
+//! fourth mode, [`FluidNetwork::with_sharded`], partitions the population
+//! into conflict-component shards (see [`crate::shard`]) whose settles are
+//! independent and can run in parallel through a
+//! [`crate::dispatch::SettleDispatch`]. All modes share the same
+//! anchored-finish arithmetic, so their results are bit-for-bit identical
+//! — the equivalence proptests pin the fast paths against the
+//! full-recompute oracle exactly.
 
 use crate::cache::{CacheStats, PenaltyCache};
+use crate::dispatch::{SerialDispatch, SettleDispatch, SettleJob};
 use crate::event_heap::{EventHeaps, TimelineStats};
 use crate::params::NetworkParams;
+use crate::shard::ShardSet;
 use crate::slab::{FlowKey, Slab};
 use crate::solver::Phase;
 use netbw_core::{AffectedSet, Penalty, PenaltyModel};
 use netbw_graph::Communication;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Caller-chosen identifier for a transfer (the simulator uses its event
 /// ids; the batch solver uses input indices). Distinct from the internal
@@ -103,6 +109,10 @@ struct EngineState {
     slots: Slab<Slot>,
     cache: PenaltyCache,
     events: EventHeaps,
+    /// Conflict-component shards (sharded mode only; empty otherwise).
+    /// The sharded engine ignores the global `cache`/`events` above — each
+    /// shard carries its own.
+    shards: ShardSet,
     /// Staged contending population for the next refresh (recycled with
     /// the cache's previous population vector).
     staged: Vec<FlowKey>,
@@ -125,6 +135,11 @@ pub struct FluidNetwork<M> {
     record_phases: bool,
     full_recompute: bool,
     heap_timeline: bool,
+    sharded: bool,
+    /// Executor for the per-shard refreshes of a sharded settle barrier
+    /// (the jobs touch disjoint shards, so any order — or any parallel
+    /// schedule — yields the same bits). [`SerialDispatch`] by default.
+    dispatch: Arc<dyn SettleDispatch>,
     // Mutex (uncontended in single-threaded use) because
     // `next_event_time` is `&self` (see `NetworkBackend`) but may need to
     // lazily settle after a population change — and the network must stay
@@ -294,6 +309,171 @@ fn settle<M: PenaltyModel>(
     }
 }
 
+/// The sharded settle barrier, in three phases over the dirty shards:
+///
+/// 1. **Stage** (serial): derive each dirty shard's post-change contending
+///    population — from the shard cache's pending change sets when
+///    possible, falling back to a slot-ordered gather over the shard's
+///    (lazily compacted) member list;
+/// 2. **Refresh** (parallelizable): run the per-shard penalty queries
+///    through the dispatcher. The jobs touch disjoint shards and the
+///    models are component-local, so any schedule yields the same bits;
+/// 3. **Re-anchor** (serial): resync the kinetics of each shard's
+///    affected flows and republish the shard's next event.
+///
+/// Clean shards are never touched, so a settle costs the dirty shards'
+/// O(affected) work — not O(components) — plus the dispatch overhead.
+///
+/// One guard sits between phases 2 and 3: if any refresh reported a model
+/// budget fallback while more than one shard is live, the barrier
+/// collapses the partition into a single global shard and restarts at the
+/// same instant. A budget-degraded answer depends on the *whole* query
+/// population (see [`crate::shard`]), so only a global query reproduces
+/// the unsharded engine's bits from that settle on.
+fn settle_sharded<M: PenaltyModel>(
+    model: &M,
+    params: &NetworkParams,
+    record_phases: bool,
+    dispatch: &dyn SettleDispatch,
+    st: &mut EngineState,
+) {
+    if st.shards.dirty.is_empty() {
+        if st.shards.live_count() > 0 {
+            st.shards.note_reused_settle();
+        }
+        return;
+    }
+    loop {
+        if settle_sharded_barrier(model, params, record_phases, dispatch, st) {
+            return;
+        }
+        // A budget fallback escaped a shard: the partition is gone and
+        // exactly the merged shard is dirty — redo at the same instant.
+    }
+}
+
+/// One attempt at the three-phase barrier. Returns `false` when a budget
+/// fallback forced a [`crate::shard::ShardSet::collapse_all`] — the caller
+/// must rerun the barrier over the merged shard.
+fn settle_sharded_barrier<M: PenaltyModel>(
+    model: &M,
+    params: &NetworkParams,
+    record_phases: bool,
+    dispatch: &dyn SettleDispatch,
+    st: &mut EngineState,
+) -> bool {
+    let EngineState {
+        time,
+        slots,
+        shards,
+        ..
+    } = st;
+    let now = *time;
+    let mut dirty = std::mem::take(&mut shards.dirty);
+    dirty.sort_unstable();
+    for &id in &dirty {
+        let sh = shards.shard_mut(id);
+        if !sh.cache.staged_active(&mut sh.staged) {
+            // Rebuild gather: compact the member list, then stage the
+            // shard's contending flows in slot order — exactly the slab
+            // scan the unsharded engine would do, restricted to this
+            // shard.
+            sh.members.retain(|&k| slots.contains(k));
+            sh.staged.clear();
+            sh.staged.extend(
+                sh.members
+                    .iter()
+                    .copied()
+                    .filter(|&k| slots.get(k).expect("member lives in slab").contending),
+            );
+            sh.staged.sort_unstable_by_key(|k| k.slot_index());
+        }
+        sh.comms_buf.clear();
+        sh.comms_buf.extend(
+            sh.staged
+                .iter()
+                .map(|&k| slots.get(k).expect("staged flow lives in slab").comm),
+        );
+    }
+    let fallbacks = |shards: &mut ShardSet, dirty: &[usize]| -> u64 {
+        dirty
+            .iter()
+            .map(|&id| shards.shard_mut(id).cache.stats().budget_fallbacks)
+            .sum()
+    };
+    let fallbacks_before = fallbacks(shards, &dirty);
+    {
+        let mut jobs: Vec<SettleJob<'_>> = shards
+            .disjoint_mut(&dirty)
+            .into_iter()
+            .map(|sh| {
+                SettleJob::new(move || {
+                    let active = std::mem::take(&mut sh.staged);
+                    let comms = std::mem::take(&mut sh.comms_buf);
+                    let (mut recycled_active, mut recycled_comms) =
+                        sh.cache.refresh(model, active, comms);
+                    recycled_active.clear();
+                    recycled_comms.clear();
+                    sh.staged = recycled_active;
+                    sh.comms_buf = recycled_comms;
+                })
+            })
+            .collect();
+        dispatch.run_settles(&mut jobs);
+    }
+    if shards.live_count() > 1 && fallbacks(shards, &dirty) > fallbacks_before {
+        // Phase 3 is skipped: the merged rebuild re-queries and re-anchors
+        // everything from the same pre-settle kinetics, exactly as the
+        // unsharded engine's single global settle would.
+        shards.collapse_all();
+        return false;
+    }
+    for &id in &dirty {
+        let sh = shards.shard_mut(id);
+        match sh.cache.take_affected() {
+            AffectedSet::Positions(positions) => {
+                for &i in &positions {
+                    let key = sh.cache.active()[i];
+                    let penalty = sh.cache.penalties()[i];
+                    resync_position(
+                        params,
+                        record_phases,
+                        true,
+                        now,
+                        slots,
+                        &mut sh.events,
+                        key,
+                        penalty,
+                    );
+                }
+            }
+            AffectedSet::All => {
+                sh.events.stats.rescans += 1;
+                for i in 0..sh.cache.active().len() {
+                    let key = sh.cache.active()[i];
+                    let penalty = sh.cache.penalties()[i];
+                    resync_position(
+                        params,
+                        record_phases,
+                        true,
+                        now,
+                        slots,
+                        &mut sh.events,
+                        key,
+                        penalty,
+                    );
+                }
+            }
+        }
+        sh.dirty = false;
+        shards.refresh_next(id, slots);
+    }
+    debug_assert!(shards.dirty.is_empty(), "no shard dirtied mid-settle");
+    dirty.clear();
+    shards.dirty = dirty;
+    true
+}
+
 /// The earliest cached finish among contending flows, by scanning the
 /// slab — the linear-timeline/oracle counterpart of the heap peek.
 fn scan_next_finish(slots: &Slab<Slot>) -> Option<f64> {
@@ -322,11 +502,14 @@ impl<M: PenaltyModel> FluidNetwork<M> {
             record_phases: false,
             full_recompute: false,
             heap_timeline: true,
+            sharded: false,
+            dispatch: Arc::new(SerialDispatch),
             state: Mutex::new(EngineState {
                 time: 0.0,
                 slots: Slab::new(),
                 cache: PenaltyCache::new(),
                 events: EventHeaps::default(),
+                shards: ShardSet::default(),
                 staged: Vec::new(),
                 comms_buf: Vec::new(),
                 opened: Vec::new(),
@@ -360,6 +543,31 @@ impl<M: PenaltyModel> FluidNetwork<M> {
         self
     }
 
+    /// Shards the engine by conflict component: each connected component
+    /// of the shared-endpoint graph gets its own penalty cache (with its
+    /// own model scratch) and event heaps, and a settle refreshes only the
+    /// components an event actually touched. The penalty models are
+    /// component-local, so the results are bit-for-bit identical to the
+    /// other modes'; what changes is that the per-shard refreshes are
+    /// independent — hand them to a parallel executor with
+    /// [`Self::with_sharded_dispatch`]. Overrides any earlier timeline
+    /// mode choice.
+    pub fn with_sharded(mut self) -> Self {
+        self.sharded = true;
+        self.heap_timeline = true;
+        self.full_recompute = false;
+        self
+    }
+
+    /// [`Self::with_sharded`] with the dirty shards of each settle barrier
+    /// dispatched through `dispatch` instead of run serially — the
+    /// work-stealing executor in `netbw-eval` implements
+    /// [`SettleDispatch`] for exactly this.
+    pub fn with_sharded_dispatch(mut self, dispatch: Arc<dyn SettleDispatch>) -> Self {
+        self.dispatch = dispatch;
+        self.with_sharded()
+    }
+
     /// Current simulation time.
     pub fn time(&self) -> f64 {
         self.state.lock().expect("engine state lock").time
@@ -381,14 +589,37 @@ impl<M: PenaltyModel> FluidNetwork<M> {
     }
 
     /// Penalty-cache counters: model queries, cache reuses, invalidations.
+    /// In sharded mode this is the aggregate over every shard cache, past
+    /// and present (merged-away shards included).
     pub fn cache_stats(&self) -> CacheStats {
-        self.state.lock().expect("engine state lock").cache.stats()
+        let st = self.state.lock().expect("engine state lock");
+        if self.sharded {
+            st.shards.cache_stats()
+        } else {
+            st.cache.stats()
+        }
     }
 
     /// Event-timeline counters: heap pushes, stale entries discarded,
-    /// gate-heap traffic, full-population rescans.
+    /// gate-heap traffic, full-population rescans. In sharded mode this is
+    /// the aggregate over every shard timeline.
     pub fn timeline_stats(&self) -> TimelineStats {
-        self.state.lock().expect("engine state lock").events.stats
+        let st = self.state.lock().expect("engine state lock");
+        if self.sharded {
+            st.shards.timeline_stats()
+        } else {
+            st.events.stats
+        }
+    }
+
+    /// Number of live conflict-component shards (always 0 unless built
+    /// with [`Self::with_sharded`]).
+    pub fn shard_count(&self) -> usize {
+        self.state
+            .lock()
+            .expect("engine state lock")
+            .shards
+            .live_count()
     }
 
     /// Returns the network to an idle state at time 0 while keeping every
@@ -405,6 +636,7 @@ impl<M: PenaltyModel> FluidNetwork<M> {
         st.slots.clear();
         st.cache.reset();
         st.events.clear();
+        st.shards.reset();
     }
 
     /// Starts a transfer at `start`.
@@ -422,6 +654,10 @@ impl<M: PenaltyModel> FluidNetwork<M> {
             "transfer starts at {start} but network time is already {}",
             st.time
         );
+        // Sharded mode routes the endpoints through the component tracker
+        // up front (gated flows included, so every flow has a shard home);
+        // a flow bridging two components merges their shards here.
+        let shard_id = self.sharded.then(|| st.shards.assign(&comm));
         let size = comm.size as f64;
         let gate = start.max(st.time) + latency;
         let contending = gate <= st.time + TIME_EPS;
@@ -438,7 +674,17 @@ impl<M: PenaltyModel> FluidNetwork<M> {
             eps: (size * REL_EPS).max(1e-9),
             phases: Vec::new(),
         });
-        if contending {
+        if let Some(id) = shard_id {
+            let sh = st.shards.shard_mut(id);
+            sh.members.push(flow);
+            if contending {
+                sh.cache.note_arrival(flow);
+                st.shards.mark_dirty(id);
+            } else {
+                sh.events.push_gate(gate, flow);
+            }
+            st.shards.refresh_next(id, &st.slots);
+        } else if contending {
             // Contending immediately; gated slots enter the population
             // when the clock crosses their gate.
             st.cache.note_arrival(flow);
@@ -453,6 +699,16 @@ impl<M: PenaltyModel> FluidNetwork<M> {
         let mut st = self.state.lock().expect("engine state lock");
         if st.slots.is_empty() {
             return None;
+        }
+        if self.sharded {
+            settle_sharded(
+                &self.model,
+                &self.params,
+                self.record_phases,
+                &*self.dispatch,
+                &mut st,
+            );
+            return st.shards.peek_next();
         }
         settle(
             &self.model,
@@ -487,6 +743,9 @@ impl<M: PenaltyModel> FluidNetwork<M> {
     /// # Panics
     /// If `t` is before the current time.
     pub fn advance_to(&mut self, t: f64) -> Vec<CompletedTransfer> {
+        if self.sharded {
+            return self.advance_to_sharded(t);
+        }
         let Self {
             model,
             params,
@@ -494,6 +753,7 @@ impl<M: PenaltyModel> FluidNetwork<M> {
             full_recompute,
             heap_timeline,
             state,
+            ..
         } = self;
         let (record_phases, full_recompute, heap_timeline) =
             (*record_phases, *full_recompute, *heap_timeline);
@@ -622,6 +882,121 @@ impl<M: PenaltyModel> FluidNetwork<M> {
                     phases: slot.phases,
                 });
             }
+            done[batch_start..].sort_by_key(|c| c.key);
+        }
+        done
+    }
+
+    /// The sharded advance loop. Mirrors [`Self::advance_to`]'s event
+    /// structure exactly — same time bounds, same gates-before-completions
+    /// folding at an instant, same per-batch key sort — but pops events
+    /// from the candidate shards' heaps (via the cross-shard heap) instead
+    /// of global ones, and dirties only those shards, so the following
+    /// settle refreshes just the components the event touched.
+    fn advance_to_sharded(&mut self, t: f64) -> Vec<CompletedTransfer> {
+        let Self {
+            model,
+            params,
+            record_phases,
+            dispatch,
+            state,
+            ..
+        } = self;
+        let record_phases = *record_phases;
+        let dispatch = &**dispatch;
+        let st = state.get_mut().expect("engine state lock");
+        assert!(
+            t >= st.time - 1e-12,
+            "cannot advance backwards ({} -> {t})",
+            st.time
+        );
+        let mut done = Vec::new();
+        loop {
+            settle_sharded(model, params, record_phases, dispatch, st);
+            let EngineState {
+                time,
+                slots,
+                shards,
+                opened,
+                due,
+                ..
+            } = st;
+            let e = match shards.peek_next() {
+                Some(e) if e <= t => e,
+                _ => {
+                    // Nothing further happens before the target time; a
+                    // gate within epsilon of `t` still opens (it will be
+                    // settled on the next call).
+                    *time = time.max(t);
+                    let now = *time;
+                    let candidates = shards.take_candidates(now + TIME_EPS);
+                    for &id in &candidates {
+                        opened.clear();
+                        let sh = shards.shard_mut(id);
+                        sh.events.pop_gates_through(now + TIME_EPS, opened);
+                        for &flow in opened.iter() {
+                            slots
+                                .get_mut(flow)
+                                .expect("gated flow lives in slab")
+                                .contending = true;
+                            sh.cache.note_arrival(flow);
+                        }
+                        if !opened.is_empty() {
+                            shards.mark_dirty(id);
+                        }
+                        shards.refresh_next(id, slots);
+                    }
+                    shards.recycle_candidates(candidates);
+                    break;
+                }
+            };
+            *time = time.max(e);
+            let now = *time;
+            // Every shard whose next event falls within the instant is a
+            // candidate: gates crossing `e` open first (joining the same
+            // settle as any simultaneous completions), then due
+            // completions are removed — per shard, in ascending shard
+            // order, which the final key sort makes order-independent.
+            let candidates = shards.take_candidates(now + TIME_EPS);
+            let batch_start = done.len();
+            for &id in &candidates {
+                opened.clear();
+                due.clear();
+                let sh = shards.shard_mut(id);
+                sh.events.pop_gates_through(now + TIME_EPS, opened);
+                sh.events.pop_due_completions(now, slots, due);
+                for &flow in opened.iter() {
+                    slots
+                        .get_mut(flow)
+                        .expect("gated flow lives in slab")
+                        .contending = true;
+                    sh.cache.note_arrival(flow);
+                }
+                for &flow in due.iter() {
+                    if record_phases {
+                        let slot = slots.get_mut(flow).expect("due flow lives in slab");
+                        if slot.rate > 0.0 && now > slot.anchor {
+                            push_phase(&mut slot.phases, slot.anchor, now, slot.penalty);
+                        }
+                    }
+                    let slot = slots.remove(flow).expect("due flow lives in slab");
+                    debug_assert!(
+                        slot.remaining - slot.rate * (now - slot.anchor) <= slot.eps,
+                        "flow {flow} completed with bytes left"
+                    );
+                    sh.cache.note_departure(flow);
+                    done.push(CompletedTransfer {
+                        key: slot.key,
+                        completion: now,
+                        phases: slot.phases,
+                    });
+                }
+                if !opened.is_empty() || !due.is_empty() {
+                    shards.mark_dirty(id);
+                }
+                shards.refresh_next(id, slots);
+            }
+            shards.recycle_candidates(candidates);
             done[batch_start..].sort_by_key(|c| c.key);
         }
         done
@@ -888,6 +1263,85 @@ mod tests {
             assert_eq!(x.phases, y.phases, "phases heap vs linear, key {}", x.key);
             assert_eq!(x.phases, z.phases, "phases heap vs oracle, key {}", x.key);
         }
+    }
+
+    #[test]
+    fn sharded_mode_matches_heap_bitwise_and_tracks_components() {
+        // Two independent components (node sets {0..3} and {10..13}) plus
+        // a late bridge flow joining them: completions and phases must be
+        // bitwise identical to the heap engine throughout.
+        let starts = [0.0, 0.0, 2.5, 2.5, 6.0, 9.0];
+        let comms = [
+            comm(0, 1, 30),
+            comm(10, 11, 41),
+            comm(0, 2, 52),
+            comm(10, 12, 63),
+            comm(3, 0, 74),
+            comm(13, 10, 85),
+        ];
+        let mut heap = FluidNetwork::new(MyrinetModel::default(), NetworkParams::new(4.0, 0.25))
+            .with_phase_recording();
+        let mut sharded = FluidNetwork::new(MyrinetModel::default(), NetworkParams::new(4.0, 0.25))
+            .with_phase_recording()
+            .with_sharded();
+        for net in [&mut heap, &mut sharded] {
+            for ((k, &c), &s) in comms.iter().enumerate().zip(&starts) {
+                net.add(k as u64, c, s);
+            }
+        }
+        assert_eq!(sharded.shard_count(), 2);
+        // run both halfway, then bridge the two components mid-flight
+        let mid = 40.0;
+        let mut a = heap.advance_to(mid);
+        let mut b = sharded.advance_to(mid);
+        heap.add(6, comm(2, 12, 55), mid);
+        sharded.add(6, comm(2, 12, 55), mid);
+        assert_eq!(sharded.shard_count(), 1, "bridge merges the shards");
+        let (ra, rb) = (heap.run_to_completion(), sharded.run_to_completion());
+        a.extend(ra);
+        b.extend(rb);
+        a.sort_by_key(|d| d.key);
+        b.sort_by_key(|d| d.key);
+        assert_eq!(a.len(), comms.len() + 1);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.key, y.key);
+            assert_eq!(
+                x.completion.to_bits(),
+                y.completion.to_bits(),
+                "heap vs sharded, key {}",
+                x.key
+            );
+            assert_eq!(x.phases, y.phases, "phases heap vs sharded, key {}", x.key);
+        }
+        // aggregate stats stay observable across shards
+        let stats = sharded.cache_stats();
+        assert!(stats.model_queries > 0, "{stats:?}");
+        let tstats = sharded.timeline_stats();
+        assert!(tstats.heap_pushes > 0, "{tstats:?}");
+    }
+
+    #[test]
+    fn sharded_reset_restarts_components_and_keeps_stats() {
+        let mut net =
+            FluidNetwork::new(MyrinetModel::default(), NetworkParams::unit()).with_sharded();
+        net.add(0, comm(0, 1, 100), 0.0);
+        net.add(1, comm(2, 3, 100), 0.0);
+        assert_eq!(net.shard_count(), 2);
+        let done = net.run_to_completion();
+        assert_eq!(done.len(), 2);
+        let queries_before = net.cache_stats().model_queries;
+        assert!(queries_before > 0);
+        net.reset();
+        assert_eq!(net.shard_count(), 0);
+        assert_eq!(net.time(), 0.0);
+        // stats are cumulative across resets, and the reset network
+        // produces fresh results bit-for-bit
+        assert_eq!(net.cache_stats().model_queries, queries_before);
+        net.add(0, comm(0, 1, 100), 0.0);
+        let redo = net.run_to_completion();
+        assert_eq!(redo.len(), 1);
+        assert_eq!(redo[0].completion.to_bits(), done[0].completion.to_bits());
     }
 
     #[test]

@@ -1,0 +1,532 @@
+//! Component shards: per-conflict-component timelines and penalty caches
+//! for [`crate::FluidNetwork::with_sharded`].
+//!
+//! The penalty models are component-local (see
+//! [`netbw_core::components`]): flows in disjoint connected components of
+//! the shared-endpoint graph never influence each other's penalty. The
+//! sharded engine exploits that by partitioning the slab-backed flow
+//! population into such components ("shards") and giving each its own
+//! [`crate::event_heap`] timeline and [`PenaltyCache`] (with its own model
+//! scratch). A settle then refreshes only the *dirty* shards — and those
+//! refreshes are independent, so they can run in parallel through a
+//! [`crate::dispatch::SettleDispatch`].
+//!
+//! The partition is **coarsening-only**, driven by the
+//! [`ComponentTracker`]: a new flow either joins an existing shard,
+//! creates a fresh one, or *bridges* two — in which case the loser shard
+//! is retired at the next settle barrier: its member list and event heaps
+//! are spliced into the winner, its cache counters are folded into the
+//! set-wide accumulator, and the winner's cache is invalidated for a full
+//! rebuild over the merged population. Departures never split a shard
+//! (unions of true components are still safe partition cells).
+//!
+//! One model behaviour is *not* component-local: a Myrinet state-set
+//! budget refusal degrades the whole query population to the max-conflict
+//! approximation, so an over-budget component in the unsharded engine
+//! changes the penalties of every other component in the same query. The
+//! first time any shard's refresh reports such a fallback, the settle
+//! barrier `ShardSet::collapse_all`s the partition into a single global
+//! shard and redoes the settle — from then on the engine runs the same
+//! global queries as the heap engine, keeping the modes bit-for-bit equal
+//! in every regime.
+//!
+//! Cross-shard event ordering goes through one lazy min-heap of
+//! `(next event time, shard, version)` entries: every change to a shard's
+//! timeline bumps its version and pushes a fresh entry, and stale entries
+//! are discarded on pop — the same lazy-invalidation idea the per-shard
+//! completion heaps already use, one level up. Retired shard slots are
+//! never reused, so a stale entry can never alias a newer shard.
+
+use crate::cache::{CacheStats, PenaltyCache};
+use crate::event_heap::{EventHeaps, TimelineStats};
+use crate::slab::{FlowKey, Slab};
+use netbw_core::{ComponentChange, ComponentTracker};
+use netbw_graph::Communication;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One conflict component's private engine state.
+pub(crate) struct Shard {
+    /// The shard's penalty cache (and model scratch).
+    pub(crate) cache: PenaltyCache,
+    /// The shard's completion/gate heaps.
+    pub(crate) events: EventHeaps,
+    /// Every flow ever assigned to this shard and not yet known-dead;
+    /// stale keys (completed flows) are compacted lazily before a rebuild
+    /// gather. Only rebuild gathers read this — warm settles stage the
+    /// population from the cache's pending change sets.
+    pub(crate) members: Vec<FlowKey>,
+    /// Staging buffer for the next refresh's population (recycled through
+    /// [`PenaltyCache::refresh`] like the unsharded engine's buffer).
+    pub(crate) staged: Vec<FlowKey>,
+    /// Communications aligned with `staged` (same recycling).
+    pub(crate) comms_buf: Vec<Communication>,
+    /// Bumped on every timeline change; the cross-shard event heap stamps
+    /// its entries with this, so superseded entries go stale.
+    pub(crate) version: u64,
+    /// Whether the shard sits in the dirty list awaiting a settle.
+    pub(crate) dirty: bool,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            cache: PenaltyCache::new(),
+            events: EventHeaps::default(),
+            members: Vec::new(),
+            staged: Vec::new(),
+            comms_buf: Vec::new(),
+            version: 0,
+            dirty: false,
+        }
+    }
+}
+
+/// A cross-shard event-heap entry: one shard's next completion-or-gate
+/// time as of `version`. Min-ordered by time with a shard-id tiebreak so
+/// simultaneous events pop deterministically.
+#[derive(Clone, Copy, Debug)]
+struct ShardNext {
+    time: f64,
+    shard: usize,
+    version: u64,
+}
+
+impl PartialEq for ShardNext {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for ShardNext {}
+impl PartialOrd for ShardNext {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ShardNext {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.shard.cmp(&self.shard))
+            .then_with(|| other.version.cmp(&self.version))
+    }
+}
+
+/// The engine's shard table: component tracker, live shards, the dirty
+/// list and the cross-shard event heap, plus the counters of retired
+/// shards (so aggregate stats survive merges and resets).
+#[derive(Default)]
+pub(crate) struct ShardSet {
+    tracker: ComponentTracker,
+    /// Shard index per tracker root index (monotonically grown; entries
+    /// for absorbed roots go stale but absorbed roots are never looked up
+    /// again — the tracker only coarsens).
+    shard_of_root: Vec<usize>,
+    /// Live shards; a merge retires the loser's slot to `None` and slots
+    /// are never reused, so `ShardNext` entries can never alias.
+    shards: Vec<Option<Shard>>,
+    /// Count of `Some` entries in `shards`.
+    live: usize,
+    /// Indices of shards with pending population changes, in marking
+    /// order (settles sort it).
+    pub(crate) dirty: Vec<usize>,
+    next_events: BinaryHeap<ShardNext>,
+    /// Cache counters of retired shards (merged away, or cleared by a
+    /// reset).
+    retired_cache: CacheStats,
+    /// Timeline counters of shards cleared by a reset (merges fold the
+    /// loser's counters into the winner's heaps directly).
+    retired_timeline: TimelineStats,
+    /// Set once the partition has been collapsed into a single global
+    /// shard (see [`Self::collapse_all`]); every later assignment routes
+    /// here, bypassing the tracker, so the partition never re-forms.
+    collapsed_into: Option<usize>,
+    /// Settles served entirely from valid shard caches — the sharded
+    /// analogue of [`CacheStats::reuses`] on the unsharded engine.
+    reused_settles: u64,
+    /// Scratch buffer for the candidate shards of one event.
+    candidates: Vec<usize>,
+}
+
+impl ShardSet {
+    /// Number of live shards.
+    pub(crate) fn live_count(&self) -> usize {
+        self.live
+    }
+
+    /// Routes a flow's endpoints through the component tracker, creating
+    /// or merging shards as needed, and returns the index of the shard
+    /// the flow belongs to.
+    pub(crate) fn assign(&mut self, comm: &Communication) -> usize {
+        if let Some(id) = self.collapsed_into {
+            return id;
+        }
+        match self.tracker.insert(comm.src, comm.dst) {
+            ComponentChange::Created { root } => {
+                let id = self.shards.len();
+                self.shards.push(Some(Shard::new()));
+                self.live += 1;
+                let root = root as usize;
+                if self.shard_of_root.len() <= root {
+                    self.shard_of_root.resize(root + 1, usize::MAX);
+                }
+                self.shard_of_root[root] = id;
+                id
+            }
+            ComponentChange::Joined { root } => self.shard_of_root[root as usize],
+            ComponentChange::Bridged { root, absorbed } => {
+                let winner = self.shard_of_root[root as usize];
+                let loser = self.shard_of_root[absorbed as usize];
+                self.merge(winner, loser);
+                winner
+            }
+        }
+    }
+
+    /// Splices shard `loser` into shard `winner`: members and event heaps
+    /// move over verbatim (slab keys and epochs are global, so every
+    /// entry stays valid), the loser's cache counters are folded into the
+    /// retired accumulator, and the winner is invalidated for a full
+    /// rebuild — no positional delta can describe two populations
+    /// becoming one.
+    fn merge(&mut self, winner: usize, loser: usize) {
+        debug_assert_ne!(winner, loser);
+        let loser_shard = self.shards[loser].take().expect("absorbed shard is live");
+        self.live -= 1;
+        self.retired_cache.absorb(loser_shard.cache.stats());
+        let w = self.shards[winner].as_mut().expect("winning shard is live");
+        w.members.extend(loser_shard.members);
+        w.events.append(loser_shard.events);
+        w.cache.invalidate_rebuild();
+        // The loser's global entries go stale by its slot turning `None`;
+        // the winner's by the version bump at its next refresh.
+        if !w.dirty {
+            w.dirty = true;
+            self.dirty.push(winner);
+        }
+        if loser_shard.dirty {
+            self.dirty.retain(|&d| d != loser);
+        }
+    }
+
+    /// Whether the partition has been collapsed into one global shard.
+    #[cfg(test)]
+    pub(crate) fn is_collapsed(&self) -> bool {
+        self.collapsed_into.is_some()
+    }
+
+    /// Merges every live shard into the lowest-indexed one and routes all
+    /// future assignments there, leaving exactly the merged shard dirty
+    /// (queued for a full rebuild).
+    ///
+    /// This is the bitwise-equality escape hatch for models whose answers
+    /// have cross-component reach: a Myrinet budget refusal degrades the
+    /// *whole* query population to the max-conflict approximation, so the
+    /// moment any shard's refresh reports [`QueryOutcome::budget_fallback`]
+    /// the per-component factoring stops being safe. A single global shard
+    /// runs the exact same queries as the unsharded engine, restoring
+    /// bit-for-bit equality at the cost of the partition.
+    ///
+    /// [`QueryOutcome::budget_fallback`]: netbw_core::QueryOutcome
+    pub(crate) fn collapse_all(&mut self) -> usize {
+        let survivor = self
+            .shards
+            .iter()
+            .position(Option::is_some)
+            .expect("collapse needs a live shard");
+        let losers: Vec<usize> = (survivor + 1..self.shards.len())
+            .filter(|&id| self.shards[id].is_some())
+            .collect();
+        for id in losers {
+            self.merge(survivor, id);
+        }
+        // Re-derive the dirty list from scratch: every loser is gone and
+        // the survivor needs a full rebuild regardless of its prior state.
+        self.dirty.clear();
+        self.dirty.push(survivor);
+        let sh = self.shards[survivor].as_mut().expect("survivor is live");
+        sh.dirty = true;
+        sh.cache.invalidate_rebuild();
+        self.collapsed_into = Some(survivor);
+        survivor
+    }
+
+    /// Marks a shard's population as changed, queueing it for the next
+    /// settle.
+    pub(crate) fn mark_dirty(&mut self, id: usize) {
+        let sh = self.shards[id].as_mut().expect("dirty shard is live");
+        if !sh.dirty {
+            sh.dirty = true;
+            self.dirty.push(id);
+        }
+    }
+
+    /// Mutable access to one live shard.
+    pub(crate) fn shard_mut(&mut self, id: usize) -> &mut Shard {
+        self.shards[id].as_mut().expect("shard is live")
+    }
+
+    /// Mutable access to each of the (sorted, distinct) shard indices at
+    /// once — the borrow split that lets one settle barrier hand disjoint
+    /// shards to parallel jobs.
+    pub(crate) fn disjoint_mut(&mut self, ids: &[usize]) -> Vec<&mut Shard> {
+        let mut out = Vec::with_capacity(ids.len());
+        let mut rest: &mut [Option<Shard>] = &mut self.shards;
+        let mut offset = 0;
+        for &id in ids {
+            debug_assert!(id >= offset, "ids must be sorted and distinct");
+            let (_, tail) = rest.split_at_mut(id - offset);
+            let (head, tail) = tail.split_at_mut(1);
+            out.push(head[0].as_mut().expect("dirty shard is live"));
+            rest = tail;
+            offset = id + 1;
+        }
+        out
+    }
+
+    /// Records a settle that found every shard cache valid.
+    pub(crate) fn note_reused_settle(&mut self) {
+        self.reused_settles += 1;
+    }
+
+    /// Recomputes shard `id`'s next event (earliest live completion or
+    /// gate) and publishes it to the cross-shard heap under a fresh
+    /// version, invalidating every earlier entry for the shard. Call
+    /// after anything that may move the shard's timeline.
+    pub(crate) fn refresh_next<T>(&mut self, id: usize, slots: &Slab<T>) {
+        let sh = self.shards[id].as_mut().expect("shard is live");
+        sh.version += 1;
+        let next = match (sh.events.peek_finish(slots), sh.events.peek_gate()) {
+            (None, None) => return,
+            (Some(c), None) => c,
+            (None, Some(g)) => g,
+            (Some(c), Some(g)) => c.min(g),
+        };
+        self.next_events.push(ShardNext {
+            time: next,
+            shard: id,
+            version: sh.version,
+        });
+    }
+
+    /// The earliest next-event time across all shards, discarding stale
+    /// entries from the top of the cross-shard heap.
+    pub(crate) fn peek_next(&mut self) -> Option<f64> {
+        while let Some(top) = self.next_events.peek() {
+            if self.entry_is_live(top) {
+                return Some(top.time);
+            }
+            self.next_events.pop();
+        }
+        None
+    }
+
+    /// Pops every live entry with `time <= bound` and returns the (sorted,
+    /// distinct) shards they name — the shards that may have a gate or
+    /// completion due at the current event. The caller must
+    /// [`Self::refresh_next`] each one after processing it.
+    pub(crate) fn take_candidates(&mut self, bound: f64) -> Vec<usize> {
+        let mut out = std::mem::take(&mut self.candidates);
+        out.clear();
+        while let Some(top) = self.next_events.peek() {
+            if top.time > bound {
+                break;
+            }
+            let entry = self.next_events.pop().expect("peeked entry pops");
+            if self.entry_is_live(&entry) {
+                out.push(entry.shard);
+            }
+        }
+        // At most one live entry exists per shard (each refresh bumps the
+        // version), so the list is already duplicate-free; sort it so
+        // simultaneous events process in deterministic shard order.
+        out.sort_unstable();
+        out
+    }
+
+    /// Returns a candidate list taken with [`Self::take_candidates`] for
+    /// buffer reuse.
+    pub(crate) fn recycle_candidates(&mut self, buf: Vec<usize>) {
+        self.candidates = buf;
+    }
+
+    fn entry_is_live(&self, entry: &ShardNext) -> bool {
+        self.shards[entry.shard]
+            .as_ref()
+            .is_some_and(|sh| sh.version == entry.version)
+    }
+
+    /// Aggregated cache counters: live shards plus everything retired,
+    /// plus the served-from-cache settles the set itself noted.
+    pub(crate) fn cache_stats(&self) -> CacheStats {
+        let mut stats = self.retired_cache;
+        for sh in self.shards.iter().flatten() {
+            stats.absorb(sh.cache.stats());
+        }
+        stats.reuses += self.reused_settles;
+        stats
+    }
+
+    /// Aggregated timeline counters: live shards plus reset-retired ones.
+    pub(crate) fn timeline_stats(&self) -> TimelineStats {
+        let mut stats = self.retired_timeline;
+        for sh in self.shards.iter().flatten() {
+            stats.absorb(sh.events.stats);
+        }
+        stats
+    }
+
+    /// Drops every shard and the component structure while folding their
+    /// counters into the retired accumulators — stats stay cumulative
+    /// across resets, exactly like the unsharded engine's.
+    pub(crate) fn reset(&mut self) {
+        for sh in self.shards.iter().flatten() {
+            self.retired_cache.absorb(sh.cache.stats());
+            self.retired_timeline.absorb(sh.events.stats);
+        }
+        self.tracker.clear();
+        self.shard_of_root.clear();
+        self.shards.clear();
+        self.live = 0;
+        self.dirty.clear();
+        self.next_events.clear();
+        self.collapsed_into = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comm(src: u32, dst: u32) -> Communication {
+        Communication::new(src, dst, 100)
+    }
+
+    #[test]
+    fn assign_creates_joins_and_merges() {
+        let mut set = ShardSet::default();
+        let a = set.assign(&comm(0, 1));
+        let b = set.assign(&comm(2, 3));
+        assert_ne!(a, b);
+        assert_eq!(set.live_count(), 2);
+        assert_eq!(set.assign(&comm(0, 4)), a, "shared endpoint joins");
+        let bridged = set.assign(&comm(1, 2));
+        assert!(bridged == a || bridged == b);
+        assert_eq!(set.live_count(), 1, "bridge retires the loser");
+        // the whole union now routes to the surviving shard
+        assert_eq!(set.assign(&comm(3, 4)), bridged);
+    }
+
+    #[test]
+    fn merge_moves_members_and_invalidates_the_winner() {
+        let mut set = ShardSet::default();
+        let mut slab: Slab<()> = Slab::new();
+        let (k0, k1) = (slab.insert(()), slab.insert(()));
+        let a = set.assign(&comm(0, 1));
+        let b = set.assign(&comm(2, 3));
+        set.shard_mut(a).members.push(k0);
+        set.shard_mut(b).members.push(k1);
+        set.shard_mut(b).events.push_gate(5.0, k1);
+        set.refresh_next(b, &slab);
+        assert_eq!(set.peek_next(), Some(5.0));
+        let survivor = set.assign(&comm(1, 2));
+        assert_eq!(set.shard_mut(survivor).members.len(), 2);
+        assert!(set.shard_mut(survivor).dirty, "merge queues a rebuild");
+        assert_eq!(set.dirty, vec![survivor]);
+        // the merged gate survives in the winner's heaps...
+        assert_eq!(set.shard_mut(survivor).events.peek_gate(), Some(5.0));
+        // ...but the retired shard's cross-shard entry went stale, and the
+        // winner republishes under a fresh version
+        set.refresh_next(survivor, &slab);
+        assert_eq!(set.peek_next(), Some(5.0));
+        assert_eq!(set.take_candidates(5.0), vec![survivor]);
+    }
+
+    #[test]
+    fn stale_versions_are_discarded_on_peek_and_pop() {
+        let mut set = ShardSet::default();
+        let mut slab: Slab<()> = Slab::new();
+        let (k0, k1) = (slab.insert(()), slab.insert(()));
+        let a = set.assign(&comm(0, 1));
+        set.shard_mut(a).events.push_gate(3.0, k0);
+        set.refresh_next(a, &slab);
+        // a second refresh supersedes the first entry
+        set.shard_mut(a).events.push_gate(1.0, k1);
+        set.refresh_next(a, &slab);
+        assert_eq!(set.peek_next(), Some(1.0));
+        let c = set.take_candidates(1.0);
+        assert_eq!(c, vec![a]);
+        set.recycle_candidates(c);
+        // both entries are gone (one live, one stale) until republished
+        assert_eq!(set.peek_next(), None);
+    }
+
+    #[test]
+    fn dirty_marking_is_idempotent() {
+        let mut set = ShardSet::default();
+        let a = set.assign(&comm(0, 1));
+        set.mark_dirty(a);
+        set.mark_dirty(a);
+        assert_eq!(set.dirty, vec![a]);
+    }
+
+    #[test]
+    fn disjoint_mut_hands_out_every_requested_shard() {
+        let mut set = ShardSet::default();
+        let ids = [
+            set.assign(&comm(0, 1)),
+            set.assign(&comm(2, 3)),
+            set.assign(&comm(4, 5)),
+        ];
+        let picked = [ids[0], ids[2]];
+        let shards = set.disjoint_mut(&picked);
+        assert_eq!(shards.len(), 2);
+        for sh in shards {
+            sh.version += 1;
+        }
+    }
+
+    #[test]
+    fn collapse_merges_everything_and_pins_future_assignments() {
+        let mut set = ShardSet::default();
+        let a = set.assign(&comm(0, 1));
+        let _b = set.assign(&comm(2, 3));
+        let _c = set.assign(&comm(4, 5));
+        assert_eq!(set.live_count(), 3);
+        let survivor = set.collapse_all();
+        assert_eq!(survivor, a, "lowest live shard survives");
+        assert!(set.is_collapsed());
+        assert_eq!(set.live_count(), 1);
+        assert_eq!(set.dirty, vec![survivor], "exactly the survivor is queued");
+        // A brand-new component would have created a shard before the
+        // collapse; now it routes straight to the survivor.
+        assert_eq!(set.assign(&comm(6, 7)), survivor);
+        assert_eq!(set.live_count(), 1);
+        // ...and a reset lifts the collapse along with the partition.
+        set.reset();
+        assert!(!set.is_collapsed());
+        assert_ne!(set.assign(&comm(0, 1)), set.assign(&comm(2, 3)));
+    }
+
+    #[test]
+    fn reset_folds_counters_and_forgets_structure() {
+        let mut set = ShardSet::default();
+        let mut slab: Slab<()> = Slab::new();
+        let k0 = slab.insert(());
+        let a = set.assign(&comm(0, 1));
+        set.shard_mut(a).events.push_gate(1.0, k0);
+        set.note_reused_settle();
+        let before = set.timeline_stats();
+        assert_eq!(before.gate_pushes, 1);
+        set.reset();
+        assert_eq!(set.live_count(), 0);
+        assert_eq!(set.peek_next(), None);
+        assert_eq!(set.timeline_stats().gate_pushes, 1, "stats survive reset");
+        assert_eq!(set.cache_stats().reuses, 1);
+        // and the next assignment starts a fresh shard table
+        let b = set.assign(&comm(0, 1));
+        assert_eq!(set.live_count(), 1);
+        let _ = b;
+    }
+}

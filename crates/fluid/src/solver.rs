@@ -80,6 +80,14 @@ impl<M: PenaltyModel> FluidSolver<M> {
         }
     }
 
+    /// Switches the underlying network to the conflict-component-sharded
+    /// engine ([`FluidNetwork::with_sharded`]); results are bit-for-bit
+    /// unchanged.
+    pub fn with_sharded(mut self) -> Self {
+        self.net = self.net.with_sharded();
+        self
+    }
+
     /// The network parameters in use.
     pub fn params(&self) -> &NetworkParams {
         self.net.params()
@@ -299,6 +307,31 @@ mod tests {
             assert_eq!(a.len(), b.len());
             for (x, y) in a.iter().zip(&b) {
                 assert_eq!(x.completion, y.completion, "{}", g.name());
+                assert_eq!(x.phases, y.phases, "{}", g.name());
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_solver_matches_default_bit_for_bit() {
+        let mut plain = FluidSolver::new(MyrinetModel::default(), NetworkParams::unit());
+        let mut sharded =
+            FluidSolver::new(MyrinetModel::default(), NetworkParams::unit()).with_sharded();
+        let battery = [
+            schemes::mk1().with_uniform_size(300),
+            schemes::fig5().with_uniform_size(777),
+            schemes::mk2().with_uniform_size(10_000),
+        ];
+        for g in &battery {
+            let a = plain.solve(g);
+            let b = sharded.solve(g);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(
+                    x.completion.to_bits(),
+                    y.completion.to_bits(),
+                    "{}",
+                    g.name()
+                );
                 assert_eq!(x.phases, y.phases, "{}", g.name());
             }
         }

@@ -6,20 +6,22 @@
 //! shared churn generator in `netbw-bench` — the same source the churn
 //! bench and the `churn_smoke` CI guard draw from.
 
-use netbw_bench::churn_transfers_seeded;
+use netbw_bench::{churn_transfers_seeded, multi_component_churn};
 use netbw_core::{GigabitEthernetModel, InfinibandModel, MyrinetModel, PenaltyModel};
 use netbw_fluid::{FluidNetwork, NetworkParams, TimelineStats};
 use netbw_graph::Communication;
 use proptest::prelude::*;
 
-/// The three engine configurations under test: the event-heap timeline
-/// (default), the pre-heap linear scans over the incremental cache, and
-/// the pre-refactor full-recompute oracle.
+/// The four engine configurations under test: the event-heap timeline
+/// (default), the pre-heap linear scans over the incremental cache, the
+/// pre-refactor full-recompute oracle, and the component-sharded engine
+/// (one cache + scratch + timeline per conflict component).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Mode {
     Heap,
     Linear,
     Oracle,
+    Sharded,
 }
 
 fn build<M: PenaltyModel>(model: M, mode: Mode) -> FluidNetwork<M> {
@@ -28,6 +30,7 @@ fn build<M: PenaltyModel>(model: M, mode: Mode) -> FluidNetwork<M> {
         Mode::Heap => net,
         Mode::Linear => net.with_linear_timeline(),
         Mode::Oracle => net.with_full_recompute(),
+        Mode::Sharded => net.with_sharded(),
     }
 }
 
@@ -76,23 +79,28 @@ fn arb_transfers() -> impl Strategy<Value = Vec<(u64, Communication, f64)>> {
 }
 
 proptest! {
-    /// Heap timeline == linear scans == full recompute on random churn for
-    /// all three specialized models: identical completion times (bitwise —
-    /// the three modes share the anchored-finish arithmetic and the
-    /// penalties are bit-for-bit equal, so the cached finish times are
-    /// too), with the incremental engine issuing no more model queries,
-    /// every settle after the first reaching the model as a positional
-    /// delta (mixed batches included), and every offered delta actually
-    /// patched.
+    /// Heap timeline == linear scans == full recompute == component-sharded
+    /// on random churn for all three specialized models: identical
+    /// completion times (bitwise — the four modes share the anchored-finish
+    /// arithmetic and the penalties are bit-for-bit equal because every
+    /// model is component-local, so the cached finish times are too), with
+    /// the incremental engine issuing no more model queries, every settle
+    /// after the first reaching the model as a positional delta (mixed
+    /// batches included), and every offered delta actually patched.
     #[test]
-    fn heap_engine_matches_linear_and_oracle_on_random_churn(transfers in arb_transfers()) {
+    fn heap_engine_matches_linear_oracle_and_sharded_on_random_churn(
+        transfers in arb_transfers(),
+    ) {
         macro_rules! check {
             ($model:expr) => {{
                 let (fast, fast_stats, fast_timeline) = drain($model, &transfers, Mode::Heap);
                 let (lin, _, lin_timeline) = drain($model, &transfers, Mode::Linear);
                 let (slow, slow_stats, _) = drain($model, &transfers, Mode::Oracle);
+                let (shard, shard_stats, shard_timeline) =
+                    drain($model, &transfers, Mode::Sharded);
                 prop_assert_eq!(fast.len(), slow.len());
                 prop_assert_eq!(fast.len(), lin.len());
+                prop_assert_eq!(fast.len(), shard.len());
                 for ((&(ka, ta), &(kl, tl)), &(kb, tb)) in fast.iter().zip(&lin).zip(&slow) {
                     prop_assert_eq!(ka, kb);
                     prop_assert_eq!(ka, kl);
@@ -101,6 +109,16 @@ proptest! {
                     prop_assert_eq!(ta.to_bits(), tl.to_bits(),
                         "heap vs linear, key {}: {} vs {}", ka, ta, tl);
                 }
+                for (&(ka, ta), &(ks, ts)) in fast.iter().zip(&shard) {
+                    prop_assert_eq!(ka, ks);
+                    prop_assert_eq!(ta.to_bits(), ts.to_bits(),
+                        "heap vs sharded, key {}: {} vs {}", ka, ta, ts);
+                }
+                // the sharded engine anchors every flow in some shard's heap
+                // and settles each shard's cache at least once
+                prop_assert!(shard_timeline.heap_pushes >= transfers.len() as u64,
+                    "{:?}", shard_timeline);
+                prop_assert!(shard_stats.rebuild_queries() >= 1, "{:?}", shard_stats);
                 prop_assert!(fast_stats.model_queries <= slow_stats.model_queries);
                 prop_assert!(fast_stats.rebuild_queries() <= 1,
                     "only the first settle may rebuild: {:?}", fast_stats);
@@ -160,6 +178,55 @@ proptest! {
             "probe boundaries must not re-anchor: {:?} vs {:?}",
             stepped_timeline, event_timeline);
     }
+
+    /// A delta that bridges two components mid-settle: two disjoint
+    /// node-offset copies of the churn schedule, plus one extra flow whose
+    /// endpoints straddle the copies, arriving anywhere from before the
+    /// first gate to past the stagger horizon. The sharded engine merges
+    /// the two shards at that settle (the winner rebuilds); all four modes
+    /// must still agree bitwise on all three models.
+    #[test]
+    fn bridging_delta_agrees_across_all_modes(
+        seed in 0u64..1_000_000,
+        flows in 3usize..14,
+        stagger_pick in 0usize..4,
+        sa in 0u32..64,
+        sb in 0u32..64,
+        bridge_pct in 0u32..120,
+    ) {
+        let stagger = [0.0, 0.5, 5.0, 40.0][stagger_pick];
+        let mut transfers = multi_component_churn(2, flows, stagger, seed);
+        let nodes = (flows.max(4) / 2) as u32;
+        let key = transfers.len() as u64;
+        let bridge = Communication::new(sa % nodes, nodes + sb % nodes, 4_000);
+        let bridge_start = stagger * flows as f64 * f64::from(bridge_pct) / 100.0;
+        transfers.push((key, bridge, bridge_start));
+        macro_rules! check {
+            ($model:expr) => {{
+                let (fast, _, _) = drain($model, &transfers, Mode::Heap);
+                let (lin, _, _) = drain($model, &transfers, Mode::Linear);
+                let (slow, _, _) = drain($model, &transfers, Mode::Oracle);
+                let (shard, _, _) = drain($model, &transfers, Mode::Sharded);
+                prop_assert_eq!(fast.len(), transfers.len());
+                prop_assert_eq!(fast.len(), lin.len());
+                prop_assert_eq!(fast.len(), slow.len());
+                prop_assert_eq!(fast.len(), shard.len());
+                for (((&(ka, ta), &(_, tl)), &(_, tb)), &(_, ts)) in
+                    fast.iter().zip(&lin).zip(&slow).zip(&shard)
+                {
+                    prop_assert_eq!(ta.to_bits(), tl.to_bits(),
+                        "heap vs linear, key {}: {} vs {}", ka, ta, tl);
+                    prop_assert_eq!(ta.to_bits(), tb.to_bits(),
+                        "heap vs oracle, key {}: {} vs {}", ka, ta, tb);
+                    prop_assert_eq!(ta.to_bits(), ts.to_bits(),
+                        "heap vs sharded, key {}: {} vs {}", ka, ta, ts);
+                }
+            }};
+        }
+        check!(GigabitEthernetModel::default());
+        check!(MyrinetModel::default());
+        check!(InfinibandModel::default());
+    }
 }
 
 #[test]
@@ -169,12 +236,13 @@ fn zero_size_transfers_complete_at_their_gate_in_all_modes() {
     // including one landing exactly on another flow's completion instant.
     // All three timelines must agree bitwise.
     let mut results = Vec::new();
-    for mode in [Mode::Heap, Mode::Linear, Mode::Oracle] {
+    for mode in [Mode::Heap, Mode::Linear, Mode::Oracle, Mode::Sharded] {
         let mut net = FluidNetwork::new(MyrinetModel::default(), NetworkParams::new(1.0, 0.0));
         net = match mode {
             Mode::Heap => net,
             Mode::Linear => net.with_linear_timeline(),
             Mode::Oracle => net.with_full_recompute(),
+            Mode::Sharded => net.with_sharded(),
         };
         net.add(0, Communication::new(0u32, 1u32, 100), 0.0);
         net.add(1, Communication::new(0u32, 2u32, 0), 0.0); // flashes at t=0
@@ -199,12 +267,15 @@ fn zero_size_transfers_complete_at_their_gate_in_all_modes() {
         );
         results.push(done);
     }
-    let (heap, linear, oracle) = (&results[0], &results[1], &results[2]);
-    for ((&(ka, ta), &(kl, tl)), &(ko, to)) in heap.iter().zip(linear).zip(oracle) {
-        assert_eq!(ka, kl);
-        assert_eq!(ka, ko);
-        assert_eq!(ta.to_bits(), tl.to_bits(), "heap vs linear, key {ka}");
-        assert_eq!(ta.to_bits(), to.to_bits(), "heap vs oracle, key {ka}");
+    let heap = &results[0];
+    for (done, mode) in results[1..]
+        .iter()
+        .zip([Mode::Linear, Mode::Oracle, Mode::Sharded])
+    {
+        for (&(ka, ta), &(kb, tb)) in heap.iter().zip(done) {
+            assert_eq!(ka, kb, "{mode:?}");
+            assert_eq!(ta.to_bits(), tb.to_bits(), "heap vs {mode:?}, key {ka}");
+        }
     }
 }
 
@@ -292,6 +363,52 @@ fn same_endpoint_pair_arrival_and_departure_in_one_batch() {
 }
 
 #[test]
+fn components_collapsing_to_singletons_agree_in_all_modes() {
+    // Two fan-out components that each shrink to a single surviving flow
+    // as the short transfers complete: the shard keeps settling a
+    // singleton population (departure patches down to one flow) before
+    // draining dry. All four modes must agree bitwise, and the sharded
+    // engine must keep both component shards alive through the collapse
+    // (shards retire only by merging, never by emptying).
+    let transfers: Vec<(u64, Communication, f64)> = vec![
+        // component A: shared source 0
+        (0, Communication::new(0u32, 1u32, 600), 0.0),
+        (1, Communication::new(0u32, 2u32, 600), 0.0),
+        (2, Communication::new(0u32, 3u32, 5_000), 0.0), // A's singleton
+        // component B: shared source 10
+        (3, Communication::new(10u32, 11u32, 400), 1.0),
+        (4, Communication::new(10u32, 12u32, 7_000), 1.0), // B's singleton
+    ];
+    let mut results = Vec::new();
+    for mode in [Mode::Heap, Mode::Linear, Mode::Oracle, Mode::Sharded] {
+        let (done, _, _) = drain(MyrinetModel::default(), &transfers, mode);
+        assert_eq!(done.len(), transfers.len(), "{mode:?}");
+        results.push(done);
+    }
+    let heap = &results[0];
+    for (done, mode) in results[1..]
+        .iter()
+        .zip([Mode::Linear, Mode::Oracle, Mode::Sharded])
+    {
+        for (&(ka, ta), &(kb, tb)) in heap.iter().zip(done) {
+            assert_eq!(ka, kb, "{mode:?}");
+            assert_eq!(
+                ta.to_bits(),
+                tb.to_bits(),
+                "heap vs {mode:?}, key {ka}: {ta} vs {tb}"
+            );
+        }
+    }
+    let mut net = build(MyrinetModel::default(), Mode::Sharded);
+    drain_into(&mut net, &transfers);
+    assert_eq!(
+        net.shard_count(),
+        2,
+        "collapsed components keep their shards"
+    );
+}
+
+#[test]
 fn completion_batches_report_keys_in_order_and_patch_survivors() {
     // Four equal flows from one source complete simultaneously while two
     // more (staggered) survive: the batch must come out in key order and
@@ -320,4 +437,63 @@ fn completion_batches_report_keys_in_order_and_patch_survivors() {
         stats.delta_queries >= 1,
         "the departure batch must reach the model as a positional delta: {stats:?}"
     );
+}
+
+/// A budget-starved Myrinet run where the degradation is *asymmetric*:
+/// component A (an 8-flow conflict cycle, 10 maximal states) blows the
+/// state-set budget of 9, component B (a 6-flow conflict cycle, 5 states,
+/// exact penalty 5/2 vs max-conflict approximation 2) fits it. The
+/// unsharded engines degrade the whole population the moment A blows,
+/// B included; a per-shard query would keep B exact and diverge. The
+/// sharded engine must detect the fallback, collapse its partition into
+/// one global shard mid-settle, and stay bit-for-bit with the heap.
+#[test]
+fn budget_fallback_collapses_the_partition_and_stays_bitwise() {
+    // Conflict cycles alternate shared-source and shared-destination
+    // pairs (an out-link conflict, then an in-link conflict, ...): C8 on
+    // nodes 0..8, C6 on nodes 8..14.
+    let c8 = [
+        (0u32, 1u32),
+        (2, 1),
+        (2, 3),
+        (4, 3),
+        (4, 5),
+        (6, 5),
+        (6, 7),
+        (0, 7),
+    ];
+    let c6 = [(8u32, 9u32), (10, 9), (10, 11), (12, 11), (12, 13), (8, 13)];
+    let transfers: Vec<(u64, Communication, f64)> = c8
+        .iter()
+        .chain(&c6)
+        .enumerate()
+        .map(|(i, &(s, d))| (i as u64, Communication::new(s, d, 4_000), 0.0))
+        .collect();
+
+    let (heap, ..) = drain(MyrinetModel::with_budget(9), &transfers, Mode::Heap);
+    let (oracle, ..) = drain(MyrinetModel::with_budget(9), &transfers, Mode::Oracle);
+    let mut net = build(MyrinetModel::with_budget(9), Mode::Sharded);
+    let sharded = drain_into(&mut net, &transfers);
+    assert_eq!(
+        net.shard_count(),
+        1,
+        "the budget fallback must collapse both shards into one"
+    );
+    assert!(
+        net.cache_stats().budget_fallbacks >= 1,
+        "the workload must actually hit the budget: {:?}",
+        net.cache_stats()
+    );
+    for ((hk, ht), (sk, st)) in heap.iter().zip(&sharded) {
+        assert_eq!(hk, sk);
+        assert_eq!(
+            ht.to_bits(),
+            st.to_bits(),
+            "key {hk}: heap {ht} vs sharded {st}"
+        );
+    }
+    for ((hk, ht), (ok, ot)) in heap.iter().zip(&oracle) {
+        assert_eq!(hk, ok);
+        assert_eq!(ht.to_bits(), ot.to_bits(), "key {hk}: heap vs oracle");
+    }
 }

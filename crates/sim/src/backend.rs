@@ -171,6 +171,32 @@ mod tests {
     }
 
     #[test]
+    fn sharded_fluid_backend_aggregates_stats_through_the_trait() {
+        // The component-sharded engine keeps one cache and one timeline
+        // per shard; the backend trait must hand back the aggregate, so
+        // the simulator's reporting is oblivious to the partition.
+        use netbw_core::MyrinetModel;
+        let mut b: Box<dyn NetworkBackend> = Box::new(
+            FluidNetwork::new(MyrinetModel::default(), NetworkParams::unit()).with_sharded(),
+        );
+        b.add(0, Communication::new(0u32, 1u32, 100), 0.0);
+        b.add(1, Communication::new(2u32, 3u32, 150), 0.0); // disjoint component
+        while let Some(t) = b.next_event_time() {
+            b.advance_to(t);
+        }
+        let cache = b.cache_stats().expect("sharded fluid exposes cache stats");
+        assert_eq!(
+            cache.scratch_rebuilds, 2,
+            "one scratch rebuild per shard: {cache:?}"
+        );
+        let tl = b
+            .timeline_stats()
+            .expect("sharded fluid exposes timeline stats");
+        assert!(tl.heap_pushes >= 2, "{tl:?}");
+        assert_eq!(tl.rescans, 2, "one first-settle rescan per shard: {tl:?}");
+    }
+
+    #[test]
     fn packet_backend_has_no_model_stats() {
         let b: Box<dyn NetworkBackend> = Box::new(PacketNetwork::new(FabricConfig::gige(), 2));
         assert!(b.cache_stats().is_none());

@@ -1,0 +1,177 @@
+//! CI smoke check for the what-if service: speculative queries answered
+//! from warm forked engine state must beat rebuild-and-replay, reuse the
+//! cached snapshot, and answer bit-for-bit identically.
+//!
+//! Run with `cargo run --release -p netbw-bench --bin serve_smoke`.
+//! Exits non-zero (panics) when the serve path regresses:
+//!
+//! * fork answers must equal the rebuild-and-replay ablation exactly —
+//!   warm-state reuse may never change an answer;
+//! * the snapshot cache must serve >90% of queries without re-forking the
+//!   authoritative engine, and the session `Tref` memo must collapse the
+//!   per-flow slowdown normalisations to one measurement per size;
+//! * median wall-clock over the query rounds: the fork path must be ≥2×
+//!   faster than answering the same batches by replaying the admission
+//!   log (the cost the service exists to avoid).
+//!
+//! Medians land in `BENCH_serve.json` next to the sweep and churn
+//! numbers.
+
+use netbw::graph::Communication;
+use netbw::prelude::*;
+use netbw::serve::{ServeStats, WhatIfAnswer, WhatIfService};
+use std::time::{Duration, Instant};
+
+const REPS: usize = 5;
+/// Background transfers admitted before the query rounds — the history a
+/// rebuild has to replay per query.
+const BACKGROUND: usize = 300;
+const ROUNDS: usize = 6;
+const QUERIES_PER_ROUND: usize = 15;
+/// Distinct payload sizes (bytes): the `Tref` memo should collapse every
+/// slowdown normalisation onto these three measurements.
+const SIZES: [u64; 3] = [262_144, 1_048_576, 4_194_304];
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+/// A service with the background load admitted and the clock advanced
+/// into the thick of it (gated arrivals still pending, dozens in flight).
+fn warm_service() -> WhatIfService {
+    let service = WhatIfService::new(ServeConfig::default());
+    for i in 0..BACKGROUND {
+        let comm = Communication::new((i % 24) as u32, (24 + i % 8) as u32, SIZES[i % SIZES.len()]);
+        service
+            .admit(comm, i as f64 * 0.002)
+            .expect("admit background");
+    }
+    service.advance_to(0.45).expect("advance into the load");
+    service
+}
+
+fn round_queries(round: usize) -> Vec<WhatIfQuery> {
+    (0..QUERIES_PER_ROUND)
+        .map(|q| {
+            let mut query = WhatIfQuery::flow(
+                Communication::new(
+                    ((round * 3 + q) % 20) as u32,
+                    (24 + q % 8) as u32,
+                    SIZES[q % SIZES.len()],
+                ),
+                (q % 5) as f64 * 0.001,
+            );
+            if q % 4 == 0 {
+                // some queries are two-flow placements
+                query.flows.push((
+                    Communication::new(30u32, 31u32, SIZES[round % SIZES.len()]),
+                    0.0,
+                ));
+            }
+            query
+        })
+        .collect()
+}
+
+fn assert_identical(
+    fork: &[Result<WhatIfAnswer, netbw::serve::ServeError>],
+    rebuild: &[Result<WhatIfAnswer, netbw::serve::ServeError>],
+) {
+    for (f, r) in fork.iter().zip(rebuild) {
+        let f = f.as_ref().expect("fork answer");
+        let r = r.as_ref().expect("rebuild answer");
+        assert_eq!(
+            f.makespan.to_bits(),
+            r.makespan.to_bits(),
+            "fork and rebuild disagree on makespan"
+        );
+        for (ff, rf) in f.flows.iter().zip(&r.flows) {
+            assert_eq!(ff.completion.to_bits(), rf.completion.to_bits());
+            assert_eq!(ff.slowdown.to_bits(), rf.slowdown.to_bits());
+        }
+    }
+}
+
+fn main() {
+    let mut t_fork = Vec::with_capacity(REPS);
+    let mut t_rebuild = Vec::with_capacity(REPS);
+    let mut stats: Option<ServeStats> = None;
+    let mut in_flight = 0;
+    for _ in 0..REPS {
+        let service = warm_service();
+        in_flight = service.in_flight();
+        let mut fork_total = Duration::ZERO;
+        let mut rebuild_total = Duration::ZERO;
+        for round in 0..ROUNDS {
+            // live churn between rounds: the clock moves and one more
+            // transfer lands, so each round re-forks the snapshot once
+            let now = service.now() + 0.005;
+            service.advance_to(now).expect("advance between rounds");
+            service
+                .admit(
+                    Communication::new(20u32, (24 + round % 8) as u32, SIZES[round % SIZES.len()]),
+                    now,
+                )
+                .expect("admit between rounds");
+            let queries = round_queries(round);
+
+            let t0 = Instant::now();
+            let fork = service.what_if_batch(&queries);
+            fork_total += t0.elapsed();
+
+            let t0 = Instant::now();
+            let rebuild = service.what_if_batch_via_rebuild(&queries);
+            rebuild_total += t0.elapsed();
+
+            assert_identical(&fork, &rebuild);
+        }
+        t_fork.push(fork_total);
+        t_rebuild.push(rebuild_total);
+        stats = Some(service.stats());
+    }
+    let stats = stats.expect("at least one rep");
+
+    let m_fork = median(t_fork);
+    let m_rebuild = median(t_rebuild);
+    let speedup = m_rebuild.as_secs_f64() / m_fork.as_secs_f64();
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let queries = (ROUNDS * QUERIES_PER_ROUND) as u64;
+    println!(
+        "serve_smoke: {BACKGROUND}-transfer log, {in_flight} in flight | {queries} queries in \
+         {ROUNDS} rounds | fork {m_fork:?} | rebuild {m_rebuild:?} ({speedup:.2}x on {cores} cores)",
+    );
+    println!("serve_smoke: {stats}");
+
+    let json = format!(
+        "{{\"log\": {BACKGROUND}, \"in_flight\": {in_flight}, \"queries\": {queries}, \
+         \"cores\": {cores}, \"fork_ms\": {:.3}, \"rebuild_ms\": {:.3}, \"speedup\": {speedup:.3}, \
+         \"snapshot_reuse_rate\": {:.4}, \"tref_hit_rate\": {:.4}}}\n",
+        m_fork.as_secs_f64() * 1e3,
+        m_rebuild.as_secs_f64() * 1e3,
+        stats.snapshot_reuse_rate(),
+        stats.sweep.tref_hit_rate(),
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    print!("serve_smoke: BENCH_serve.json = {json}");
+
+    assert_eq!(stats.queries, queries, "fork-path queries miscounted");
+    assert!(
+        stats.snapshot_reuse_rate() > 0.9,
+        "snapshot cache regressed: {stats}"
+    );
+    // one Tref measurement per size per worker at worst — everything else
+    // must come from the worker-local and session-shared memos
+    assert!(
+        stats.sweep.tref_misses <= (SIZES.len() * cores) as u64,
+        "Tref memo regressed: {stats}"
+    );
+    assert!(
+        speedup >= 2.0,
+        "fork path must be ≥2x faster than rebuild-and-replay, got {speedup:.2}x \
+         ({m_fork:?} vs {m_rebuild:?})"
+    );
+    println!("serve smoke: what-if service ahead on all guards");
+}

@@ -73,7 +73,7 @@ impl ComponentChange {
 /// for why coarsening-only is sound). An existing component's root is
 /// stable until the component is absorbed, which is what lets callers key
 /// side tables (the sharded engine's shard map) by root.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct ComponentTracker {
     index: HashMap<NodeId, u32>,
     parent: Vec<u32>,

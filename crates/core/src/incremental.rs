@@ -281,7 +281,7 @@ pub fn affected_endpoints<'a>(
 /// [`EndpointIndex`] over its network subset. [`patch_endpoints`] keeps
 /// all three in sync across settles, so a settle never rebuilds the index
 /// from zero unless the hints were unusable.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct EndpointScratch {
     settled: bool,
     prev: Vec<Communication>,

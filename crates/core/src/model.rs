@@ -218,6 +218,35 @@ impl<M: PenaltyModel + ?Sized> PenaltyModel for Box<M> {
     }
 }
 
+impl<M: PenaltyModel + ?Sized> PenaltyModel for std::sync::Arc<M> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn penalties(&self, comms: &[Communication]) -> Vec<Penalty> {
+        (**self).penalties(comms)
+    }
+    fn new_scratch(&self) -> Box<dyn ModelScratch> {
+        (**self).new_scratch()
+    }
+    fn penalties_with_scratch(
+        &self,
+        comms: &[Communication],
+        delta: &PopulationDelta,
+        previous: Option<(&[Communication], &[Penalty])>,
+        scratch: &mut dyn ModelScratch,
+    ) -> (Vec<Penalty>, QueryOutcome) {
+        (**self).penalties_with_scratch(comms, delta, previous, scratch)
+    }
+    fn penalties_after_change(
+        &self,
+        comms: &[Communication],
+        delta: PopulationDelta,
+        previous: Option<(&[Communication], &[Penalty])>,
+    ) -> Vec<Penalty> {
+        (**self).penalties_after_change(comms, delta, previous)
+    }
+}
+
 /// Splits a communication population into network communications (returned
 /// with their original indices) and intra-node ones. Models compute on the
 /// former; the latter get [`Penalty::ONE`].

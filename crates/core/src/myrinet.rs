@@ -195,7 +195,7 @@ impl MyrinetModel {
 /// Component ids are never reused (`next_comp` is monotonic), so a stale
 /// `src_comp`/`dst_comp` entry — left behind when a node's last flow
 /// departs — can only name a dead component, which marks nothing.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct MyrinetScratch {
     settled: bool,
     /// The previously settled population (full, intra-node included).

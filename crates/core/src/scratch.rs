@@ -23,20 +23,29 @@ use std::any::Any;
 
 /// Opaque per-cache scratch state, owned by the query issuer (the fluid
 /// engine's `PenaltyCache`) and interpreted only by the model that created
-/// it. The blanket impl makes any `Any + Send` type usable as a scratch.
+/// it. The blanket impl makes any `Any + Send + Clone` type usable as a
+/// scratch.
 pub trait ModelScratch: Any + Send {
     /// Upcast for downcasting to the concrete scratch type.
     fn as_any(&self) -> &dyn Any;
     /// Mutable upcast for downcasting to the concrete scratch type.
     fn as_any_mut(&mut self) -> &mut dyn Any;
+    /// An independent deep copy of the scratch, behaviourally identical to
+    /// the original: a forked cache must answer the exact same queries with
+    /// the exact same bits. This is what lets a warm `FluidNetwork` be
+    /// forked for speculative what-if queries without a rebuild.
+    fn fork(&self) -> Box<dyn ModelScratch>;
 }
 
-impl<T: Any + Send> ModelScratch for T {
+impl<T: Any + Send + Clone> ModelScratch for T {
     fn as_any(&self) -> &dyn Any {
         self
     }
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+    fn fork(&self) -> Box<dyn ModelScratch> {
+        Box::new(self.clone())
     }
 }
 
@@ -139,6 +148,26 @@ mod tests {
         *(*boxed).as_any_mut().downcast_mut::<usize>().unwrap() += 1;
         assert_eq!(*(*boxed).as_any().downcast_ref::<usize>().unwrap(), 43);
         assert!((*boxed).as_any().downcast_ref::<NoScratch>().is_none());
+    }
+
+    #[test]
+    fn fork_deep_copies_the_scratch() {
+        let boxed: Box<dyn ModelScratch> = Box::new(vec![1u64, 2, 3]);
+        let mut forked = (*boxed).fork();
+        (*forked)
+            .as_any_mut()
+            .downcast_mut::<Vec<u64>>()
+            .unwrap()
+            .push(4);
+        assert_eq!(
+            (*boxed).as_any().downcast_ref::<Vec<u64>>().unwrap().len(),
+            3,
+            "mutating the fork must not touch the original"
+        );
+        assert_eq!(
+            (*forked).as_any().downcast_ref::<Vec<u64>>().unwrap().len(),
+            4
+        );
     }
 
     #[test]

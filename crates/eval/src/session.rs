@@ -109,11 +109,12 @@ impl std::fmt::Display for SweepStats {
     }
 }
 
-/// Cross-worker state of a session: the shared `Tref` memo plus the
-/// atomically merged counters.
+/// Cross-worker state of a session: the shared `Tref` memo (one bounded
+/// [`TrefCache`] per fabric, so a long-lived session fed arbitrary sizes
+/// cannot grow without bound) plus the atomically merged counters.
 #[derive(Default)]
 struct SessionShared {
-    tref: Mutex<HashMap<(FabricKey, u64), f64>>,
+    tref: Mutex<HashMap<FabricKey, TrefCache>>,
     items: AtomicU64,
     fabrics_built: AtomicU64,
     fabrics_reused: AtomicU64,
@@ -130,15 +131,17 @@ impl SessionShared {
         self.tref
             .lock()
             .expect("shared tref memo")
-            .get(&(key, size))
-            .copied()
+            .get(&key)
+            .and_then(|cache| cache.lookup(size))
     }
 
     fn tref_publish(&self, key: FabricKey, size: u64, tref: f64) {
         self.tref
             .lock()
             .expect("shared tref memo")
-            .insert((key, size), tref);
+            .entry(key)
+            .or_default()
+            .insert(size, tref);
     }
 
     fn absorb_exec(&self, stats: &ExecutorStats) {

@@ -163,6 +163,28 @@ impl PenaltyCache {
         self.stats
     }
 
+    /// An independent deep copy: settled population, pending deltas, and
+    /// the model scratch (via [`ModelScratch::fork`]) are all duplicated,
+    /// so the fork answers subsequent refreshes bit-for-bit like the
+    /// original would have — without the two ever sharing mutable state.
+    /// Stats are copied as-of-now and diverge from here on.
+    pub fn fork(&self) -> PenaltyCache {
+        PenaltyCache {
+            active: self.active.clone(),
+            comms: self.comms.clone(),
+            penalties: self.penalties.clone(),
+            valid: self.valid,
+            settled_once: self.settled_once,
+            pending_arrivals: self.pending_arrivals.clone(),
+            pending_departures: self.pending_departures.clone(),
+            pending_rebuild: self.pending_rebuild,
+            scratch: self.scratch.as_ref().map(|s| s.fork()),
+            affected: self.affected.clone(),
+            staged_arrivals: self.staged_arrivals.clone(),
+            stats: self.stats,
+        }
+    }
+
     /// Returns the cache to its pre-first-settle state while keeping the
     /// model scratch allocation and the cumulative stats. The next refresh
     /// issues a full rebuild query (no positional delta can bridge a

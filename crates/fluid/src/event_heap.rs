@@ -128,8 +128,10 @@ impl Ord for GateEntry {
     }
 }
 
-/// The engine's two lazy min-heaps plus their counters.
-#[derive(Debug, Default)]
+/// The engine's two lazy min-heaps plus their counters. Cloning copies
+/// both heaps entry-for-entry (entries are `Copy`), which is what lets a
+/// forked network resume its timeline without a rescan.
+#[derive(Debug, Default, Clone)]
 pub(crate) struct EventHeaps {
     completions: BinaryHeap<FinishEntry>,
     gates: BinaryHeap<GateEntry>,

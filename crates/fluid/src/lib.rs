@@ -77,7 +77,7 @@ pub mod timeline;
 pub use cache::{CacheStats, PenaltyCache};
 pub use dispatch::{SerialDispatch, SettleDispatch, SettleJob};
 pub use event_heap::TimelineStats;
-pub use network::{CompletedTransfer, FluidNetwork, TransferKey};
+pub use network::{AddError, CompletedTransfer, FluidNetwork, TransferKey};
 pub use params::NetworkParams;
 pub use slab::{FlowKey, Slab};
 pub use solver::{solve_scheme, FluidSolver, Phase, TransferResult};

@@ -52,6 +52,47 @@ use std::sync::{Arc, Mutex};
 /// [`FlowKey`], which names the transfer's slab slot.
 pub type TransferKey = u64;
 
+/// Why [`FluidNetwork::try_add`] refused a transfer.
+///
+/// [`FluidNetwork::add`] turns these into panics (its historical
+/// contract); long-running callers — the `netbw-serve` what-if service,
+/// where a malformed user query must not abort the process — go through
+/// [`FluidNetwork::try_add`] and handle the error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AddError {
+    /// The start time was NaN or infinite.
+    NonFiniteStart {
+        /// The offending start time.
+        start: f64,
+    },
+    /// The start time lies before the network's current time (the solver
+    /// cannot rewrite history).
+    StartInPast {
+        /// The offending start time.
+        start: f64,
+        /// The network's current time.
+        now: f64,
+    },
+}
+
+impl std::fmt::Display for AddError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            AddError::NonFiniteStart { start } => {
+                write!(f, "start time must be finite (got {start})")
+            }
+            AddError::StartInPast { start, now } => {
+                write!(
+                    f,
+                    "transfer starts at {start} but network time is already {now}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for AddError {}
+
 /// Relative epsilon under which a transfer's remaining bytes count as zero.
 const REL_EPS: f64 = 1e-9;
 
@@ -64,7 +105,7 @@ const TIME_EPS: f64 = 1e-15;
 /// event heap indexes. Progress is only materialized when the rate
 /// actually changes (re-anchoring), never per time step, which is what
 /// makes the arithmetic identical across the heap and scan engines.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Slot {
     key: TransferKey,
     comm: Communication,
@@ -643,17 +684,41 @@ impl<M: PenaltyModel> FluidNetwork<M> {
     ///
     /// # Panics
     /// If `start` is before the current time (the solver cannot rewrite
-    /// history) or not finite.
+    /// history) or not finite. Callers that must survive malformed input
+    /// use [`Self::try_add`] instead.
     pub fn add(&mut self, key: TransferKey, comm: Communication, start: f64) {
+        if let Err(err) = self.try_add(key, comm, start) {
+            match err {
+                AddError::NonFiniteStart { .. } => panic!("start time must be finite"),
+                AddError::StartInPast { start, now } => {
+                    panic!("transfer starts at {start} but network time is already {now}")
+                }
+            }
+        }
+    }
+
+    /// Fallible [`Self::add`]: refuses (instead of panicking on) a
+    /// non-finite start time or one before the current network time,
+    /// leaving the engine state untouched on `Err`. This is the entry
+    /// point for long-running services validating untrusted queries.
+    pub fn try_add(
+        &mut self,
+        key: TransferKey,
+        comm: Communication,
+        start: f64,
+    ) -> Result<(), AddError> {
         let heap_timeline = self.heap_timeline;
         let latency = self.params.latency;
         let st = self.state.get_mut().expect("engine state lock");
-        assert!(start.is_finite(), "start time must be finite");
-        assert!(
-            start >= st.time - 1e-12,
-            "transfer starts at {start} but network time is already {}",
-            st.time
-        );
+        if !start.is_finite() {
+            return Err(AddError::NonFiniteStart { start });
+        }
+        if start < st.time - 1e-12 {
+            return Err(AddError::StartInPast {
+                start,
+                now: st.time,
+            });
+        }
         // Sharded mode routes the endpoints through the component tracker
         // up front (gated flows included, so every flow has a shard home);
         // a flow bridging two components merges their shards here.
@@ -691,6 +756,7 @@ impl<M: PenaltyModel> FluidNetwork<M> {
         } else if heap_timeline {
             st.events.push_gate(gate, flow);
         }
+        Ok(())
     }
 
     /// The next instant at which the network state changes (a gate opens or
@@ -998,6 +1064,15 @@ impl<M: PenaltyModel> FluidNetwork<M> {
             }
             shards.recycle_candidates(candidates);
             done[batch_start..].sort_by_key(|c| c.key);
+            if slots.is_empty() {
+                // Quiescent barrier: the population drained to empty, so
+                // every shard is memberless and the partition — including
+                // a collapse pin left by a Myrinet budget fallback — can
+                // be forgotten. The next churn phase re-partitions from
+                // scratch instead of inheriting a degraded single-shard
+                // (or stale-member) structure forever.
+                shards.quiesce();
+            }
         }
         done
     }
@@ -1009,6 +1084,48 @@ impl<M: PenaltyModel> FluidNetwork<M> {
             done.extend(self.advance_to(t));
         }
         done
+    }
+}
+
+impl<M: PenaltyModel + Clone> FluidNetwork<M> {
+    /// An independent deep copy of the warm engine: clock, slab (keys,
+    /// generations and epochs verbatim), penalty cache with its model
+    /// scratch (via [`netbw_core::ModelScratch::fork`]), event heaps, and
+    /// — in sharded mode — the whole shard table. The fork and the
+    /// original evolve independently from here on and produce bit-for-bit
+    /// the results a rebuild-and-replay of the same history would (pinned
+    /// by the `fork_equivalence` proptests).
+    ///
+    /// The model itself is cloned, so share an immutable model cheaply by
+    /// instantiating the network over `Arc<dyn PenaltyModel>` (models are
+    /// stateless — all mutable state lives in the forked scratch). This is
+    /// what lets the `netbw-serve` what-if service answer speculative
+    /// queries by forking a warm snapshot instead of replaying history.
+    ///
+    /// `fork` takes `&self` (briefly locking the engine state), so many
+    /// worker threads can fork the same shared snapshot concurrently.
+    pub fn fork(&self) -> Self {
+        let st = self.state.lock().expect("engine state lock");
+        FluidNetwork {
+            model: self.model.clone(),
+            params: self.params,
+            record_phases: self.record_phases,
+            full_recompute: self.full_recompute,
+            heap_timeline: self.heap_timeline,
+            sharded: self.sharded,
+            dispatch: Arc::clone(&self.dispatch),
+            state: Mutex::new(EngineState {
+                time: st.time,
+                slots: st.slots.clone(),
+                cache: st.cache.fork(),
+                events: st.events.clone(),
+                shards: st.shards.fork(),
+                staged: Vec::new(),
+                comms_buf: Vec::new(),
+                opened: Vec::new(),
+                due: Vec::new(),
+            }),
+        }
     }
 }
 
@@ -1133,6 +1250,39 @@ mod tests {
         net.add(0, comm(0, 1, 10), 0.0);
         net.advance_to(5.0);
         net.add(1, comm(0, 2, 10), 1.0);
+    }
+
+    #[test]
+    fn try_add_reports_typed_errors_and_leaves_state_untouched() {
+        let mut net = FluidNetwork::new(LinearModel, NetworkParams::unit());
+        net.add(0, comm(0, 1, 10), 0.0);
+        net.advance_to(5.0);
+        assert!(matches!(
+            net.try_add(1, comm(0, 2, 10), f64::NAN),
+            Err(AddError::NonFiniteStart { start }) if start.is_nan()
+        ));
+        assert!(matches!(
+            net.try_add(1, comm(0, 2, 10), f64::INFINITY),
+            Err(AddError::NonFiniteStart { .. })
+        ));
+        let err = net.try_add(1, comm(0, 2, 10), 1.0).unwrap_err();
+        assert_eq!(
+            err,
+            AddError::StartInPast {
+                start: 1.0,
+                now: 5.0
+            }
+        );
+        assert_eq!(
+            err.to_string(),
+            "transfer starts at 1 but network time is already 5"
+        );
+        // refused adds left the engine untouched: only flow 0 in flight
+        assert_eq!(net.in_flight(), 1);
+        // and a valid add still goes through
+        assert_eq!(net.try_add(1, comm(0, 2, 10), 6.0), Ok(()));
+        assert_eq!(net.in_flight(), 2);
+        assert_eq!(net.run_to_completion().len(), 2);
     }
 
     #[test]

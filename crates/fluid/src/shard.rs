@@ -80,6 +80,20 @@ impl Shard {
             dirty: false,
         }
     }
+
+    /// An independent deep copy (cache via [`PenaltyCache::fork`], heaps
+    /// entry-for-entry) that settles bit-for-bit like the original.
+    fn fork(&self) -> Shard {
+        Shard {
+            cache: self.cache.fork(),
+            events: self.events.clone(),
+            members: self.members.clone(),
+            staged: self.staged.clone(),
+            comms_buf: self.comms_buf.clone(),
+            version: self.version,
+            dirty: self.dirty,
+        }
+    }
 }
 
 /// A cross-shard event-heap entry: one shard's next completion-or-gate
@@ -375,6 +389,42 @@ impl ShardSet {
             stats.absorb(sh.events.stats);
         }
         stats
+    }
+
+    /// An independent deep copy of the whole shard table: tracker,
+    /// per-shard caches (scratch included) and heaps, the dirty list and
+    /// the cross-shard event heap. The fork and the original settle
+    /// bit-for-bit identically from here on without sharing any state.
+    pub(crate) fn fork(&self) -> ShardSet {
+        ShardSet {
+            tracker: self.tracker.clone(),
+            shard_of_root: self.shard_of_root.clone(),
+            shards: self
+                .shards
+                .iter()
+                .map(|slot| slot.as_ref().map(Shard::fork))
+                .collect(),
+            live: self.live,
+            dirty: self.dirty.clone(),
+            next_events: self.next_events.clone(),
+            retired_cache: self.retired_cache,
+            retired_timeline: self.retired_timeline,
+            collapsed_into: self.collapsed_into,
+            reused_settles: self.reused_settles,
+            candidates: Vec::new(),
+        }
+    }
+
+    /// Quiescent-barrier reset, called by the engine when the flow
+    /// population drains to empty: every shard is provably memberless, so
+    /// the partition (and, crucially, a [`Self::collapse_all`] pin left by
+    /// a Myrinet budget fallback) can be forgotten wholesale. Without this
+    /// a single budget refusal would degrade a long-lived network to one
+    /// global shard *forever*; with it the next churn phase re-partitions
+    /// from scratch. Counters fold into the retired accumulators exactly
+    /// like [`Self::reset`], so stats stay cumulative across the barrier.
+    pub(crate) fn quiesce(&mut self) {
+        self.reset();
     }
 
     /// Drops every shard and the component structure while folding their

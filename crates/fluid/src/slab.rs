@@ -57,7 +57,7 @@ impl std::fmt::Display for FlowKey {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Entry<T> {
     /// Bumped on every removal, so stale keys miss.
     generation: u32,
@@ -70,8 +70,10 @@ struct Entry<T> {
 }
 
 /// A generational slab: O(1) insert/remove/lookup with stable keys and
-/// slot-ordered iteration.
-#[derive(Debug)]
+/// slot-ordered iteration. Cloning deep-copies every slot verbatim —
+/// generations, epochs and free-list included — so a clone hands out the
+/// exact same key sequence the original would.
+#[derive(Debug, Clone)]
 pub struct Slab<T> {
     entries: Vec<Entry<T>>,
     free: Vec<u32>,

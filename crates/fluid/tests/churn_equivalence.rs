@@ -400,12 +400,23 @@ fn components_collapsing_to_singletons_agree_in_all_modes() {
         }
     }
     let mut net = build(MyrinetModel::default(), Mode::Sharded);
-    drain_into(&mut net, &transfers);
+    for &(key, comm, start) in &transfers {
+        net.add(key, comm, start);
+    }
+    // Past every short flow's completion but before the singletons finish:
+    // both component shards must still be alive (shards retire only by
+    // merging or a full drain, never by shrinking to a singleton).
+    net.advance_to(2000.0);
+    assert_eq!(net.in_flight(), 2, "only the singletons remain");
     assert_eq!(
         net.shard_count(),
         2,
         "collapsed components keep their shards"
     );
+    // A full drain is the quiescent barrier: the partition is forgotten
+    // wholesale and rebuilt by the next churn phase.
+    net.run_to_completion();
+    assert_eq!(net.shard_count(), 0, "a full drain quiesces the partition");
 }
 
 #[test]
@@ -473,11 +484,32 @@ fn budget_fallback_collapses_the_partition_and_stays_bitwise() {
     let (heap, ..) = drain(MyrinetModel::with_budget(9), &transfers, Mode::Heap);
     let (oracle, ..) = drain(MyrinetModel::with_budget(9), &transfers, Mode::Oracle);
     let mut net = build(MyrinetModel::with_budget(9), Mode::Sharded);
-    let sharded = drain_into(&mut net, &transfers);
+    for &(key, comm, start) in &transfers {
+        net.add(key, comm, start);
+    }
+    assert_eq!(
+        net.shard_count(),
+        2,
+        "two components before the first settle"
+    );
+    // Open the latency gates: the first populated settle hits the budget
+    // and must collapse the partition.
+    net.advance_to(0.3);
     assert_eq!(
         net.shard_count(),
         1,
         "the budget fallback must collapse both shards into one"
+    );
+    let mut sharded: Vec<(u64, f64)> = net
+        .run_to_completion()
+        .into_iter()
+        .map(|c| (c.key, c.completion))
+        .collect();
+    sharded.sort_by_key(|&(k, _)| k);
+    assert_eq!(
+        net.shard_count(),
+        0,
+        "the full drain quiesces the collapse pin"
     );
     assert!(
         net.cache_stats().budget_fallbacks >= 1,

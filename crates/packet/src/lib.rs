@@ -44,4 +44,4 @@ pub use config::{FabricConfig, FabricKey};
 pub use fabric::{FabricStats, PacketFabric, PacketNetwork};
 pub use measure::{measure_penalties, PenaltyMeasurement, SchemeMeasurer};
 pub use topology::Topology;
-pub use tref::TrefCache;
+pub use tref::{TrefCache, DEFAULT_TREF_CAPACITY};

@@ -11,26 +11,62 @@
 //! `EvalSession` keeps one per fabric per worker plus a shared
 //! cross-worker memo, so each `(fabric, size)` pair is measured once per
 //! battery.
+//!
+//! The memo is **bounded**: a long-running service (`netbw-serve`)
+//! answering arbitrary user-supplied sizes must not grow a per-size map
+//! indefinitely, so the cache evicts in insertion (FIFO) order once it
+//! exceeds its capacity and counts the evictions alongside the hit/miss
+//! accounting.
 
 use crate::fabric::PacketFabric;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+
+/// Default capacity of a [`TrefCache`] (distinct sizes). Batteries use a
+/// handful of sizes, so the default never evicts in practice; it exists to
+/// bound the worst case of a service fed adversarial size streams.
+pub const DEFAULT_TREF_CAPACITY: usize = 1024;
 
 /// Memo of `Tref(size)` measurements for one fabric configuration.
 ///
 /// The cache itself never runs a simulation: misses call back into the
 /// supplied closure (usually [`PacketFabric::reference_time`]), so the
 /// caller decides which fabric instance pays for the measurement.
-#[derive(Clone, Debug, Default)]
+///
+/// Holds at most `capacity` distinct sizes, evicting the oldest-inserted
+/// entry first ([`Self::evictions`] counts them).
+#[derive(Clone, Debug)]
 pub struct TrefCache {
     map: HashMap<u64, f64>,
+    /// Insertion order of the live keys (front = oldest).
+    order: VecDeque<u64>,
+    capacity: usize,
     hits: u64,
     misses: u64,
+    evictions: u64,
+}
+
+impl Default for TrefCache {
+    fn default() -> Self {
+        TrefCache::with_capacity(DEFAULT_TREF_CAPACITY)
+    }
 }
 
 impl TrefCache {
-    /// An empty cache.
+    /// An empty cache with the default capacity.
     pub fn new() -> Self {
         TrefCache::default()
+    }
+
+    /// An empty cache holding at most `capacity` distinct sizes (min 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        TrefCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
     }
 
     /// The memoized reference time for `size`, if present. Does not count
@@ -39,9 +75,13 @@ impl TrefCache {
         self.map.get(&size).copied()
     }
 
-    /// Seeds the memo (e.g. from a session-shared cache).
+    /// Seeds the memo (e.g. from a session-shared cache), evicting the
+    /// oldest entry if the capacity is exceeded.
     pub fn insert(&mut self, size: u64, tref: f64) {
-        self.map.insert(size, tref);
+        if self.map.insert(size, tref).is_none() {
+            self.order.push_back(size);
+            self.evict_over_capacity();
+        }
     }
 
     /// The reference time for `size`, measuring via `compute` on a miss.
@@ -52,13 +92,21 @@ impl TrefCache {
         }
         self.misses += 1;
         let t = compute(size);
-        self.map.insert(size, t);
+        self.insert(size, t);
         t
     }
 
     /// [`TrefCache::get`] measuring through `fab` on a miss.
     pub fn reference_time(&mut self, fab: &mut PacketFabric, size: u64) -> f64 {
         self.get(size, |s| fab.reference_time(s))
+    }
+
+    fn evict_over_capacity(&mut self) {
+        while self.map.len() > self.capacity {
+            let oldest = self.order.pop_front().expect("order tracks every live key");
+            self.map.remove(&oldest);
+            self.evictions += 1;
+        }
     }
 
     /// Number of distinct sizes memoized.
@@ -71,6 +119,11 @@ impl TrefCache {
         self.map.is_empty()
     }
 
+    /// Maximum number of distinct sizes held.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Lookups served from the memo.
     pub fn hits(&self) -> u64 {
         self.hits
@@ -79,6 +132,11 @@ impl TrefCache {
     /// Lookups that had to measure.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Entries dropped to keep the memo within its capacity.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 }
 
@@ -103,6 +161,7 @@ mod tests {
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.lookup(100), Some(100.0));
         assert_eq!(cache.lookup(300), None);
+        assert_eq!(cache.evictions(), 0);
     }
 
     #[test]
@@ -125,5 +184,50 @@ mod tests {
         let t = cache.get(64, |_| unreachable!("seeded"));
         assert_eq!(t, 1.5);
         assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn evicts_oldest_beyond_capacity() {
+        let mut cache = TrefCache::with_capacity(2);
+        cache.get(1, |s| s as f64);
+        cache.get(2, |s| s as f64);
+        assert_eq!(cache.evictions(), 0);
+        // inserting a third size evicts the oldest (1)
+        cache.get(3, |s| s as f64);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.lookup(1), None);
+        assert_eq!(cache.lookup(2), Some(2.0));
+        assert_eq!(cache.lookup(3), Some(3.0));
+        // a re-measure of the evicted size is a miss again, and evicts 2
+        cache.get(1, |s| s as f64);
+        assert_eq!(cache.misses(), 4);
+        assert_eq!(cache.evictions(), 2);
+        assert_eq!(cache.lookup(2), None);
+    }
+
+    #[test]
+    fn reinserting_a_live_size_does_not_evict() {
+        let mut cache = TrefCache::with_capacity(2);
+        cache.insert(1, 1.0);
+        cache.insert(2, 2.0);
+        // overwriting a live key must not grow the order queue
+        cache.insert(1, 10.0);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.lookup(1), Some(10.0));
+        // hit/miss accounting is untouched by seeding
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 0);
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let mut cache = TrefCache::with_capacity(0);
+        assert_eq!(cache.capacity(), 1);
+        cache.insert(1, 1.0);
+        cache.insert(2, 2.0);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 1);
     }
 }

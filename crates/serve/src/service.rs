@@ -1,0 +1,616 @@
+//! The core what-if service: authoritative engine, snapshot cache, and
+//! batched speculative evaluation on the sweep executor.
+
+use netbw_core::{GigabitEthernetModel, PenaltyModel};
+use netbw_eval::{EvalSession, SweepStats, SweepWorker};
+use netbw_fluid::{AddError, CompletedTransfer, FluidNetwork, NetworkParams, TransferKey};
+use netbw_graph::Communication;
+use netbw_packet::FabricConfig;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Key bit marking a speculative (what-if) flow inside a fork. Admitted
+/// transfers take keys counting up from zero, so the two namespaces can
+/// never collide in practice.
+const SPEC_BASE: TransferKey = 1 << 63;
+
+/// Shared penalty model handle: the authoritative engine, its snapshot
+/// and every per-query fork alias one model allocation.
+type ModelHandle = Arc<dyn PenaltyModel>;
+
+/// Configuration of a [`WhatIfService`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Fluid-network parameters (bandwidth/latency) of the served cluster.
+    pub params: NetworkParams,
+    /// Packet fabric used to measure `Tref(size)` for slowdown
+    /// normalisation.
+    pub fabric: FabricConfig,
+    /// Worker ceiling for query batches (0 = available parallelism).
+    pub threads: usize,
+}
+
+impl Default for ServeConfig {
+    /// The paper's Gigabit Ethernet cluster, all cores.
+    fn default() -> Self {
+        ServeConfig {
+            params: NetworkParams::gige(),
+            fabric: FabricConfig::gige(),
+            threads: 0,
+        }
+    }
+}
+
+/// A typed refusal from the service. Malformed requests come back as
+/// values — a long-running service must never panic on user input.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ServeError {
+    /// The engine refused the flow (non-finite start, or a start before
+    /// the current clock).
+    Rejected(AddError),
+    /// `advance_to(t)` would move the clock backwards (or `t` is NaN).
+    NonMonotonicClock {
+        /// The requested clock value.
+        t: f64,
+        /// The service clock at the time of the request.
+        now: f64,
+    },
+    /// A what-if query with no flows.
+    EmptyQuery,
+    /// The service thread behind a [`crate::ServeHandle`] has shut down.
+    ServiceStopped,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Rejected(err) => write!(f, "admission rejected: {err}"),
+            ServeError::NonMonotonicClock { t, now } => {
+                write!(f, "cannot advance to {t}: clock is already at {now}")
+            }
+            ServeError::EmptyQuery => write!(f, "what-if query has no flows"),
+            ServeError::ServiceStopped => write!(f, "service thread has shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Rejected(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<AddError> for ServeError {
+    fn from(err: AddError) -> Self {
+        ServeError::Rejected(err)
+    }
+}
+
+/// A speculative placement: flows to superimpose on the live cluster
+/// state, each starting `offset` seconds after the service clock.
+#[derive(Clone, Debug, Default)]
+pub struct WhatIfQuery {
+    /// `(communication, start offset from now)` pairs; offsets must be
+    /// finite and non-negative or the query is [`ServeError::Rejected`].
+    pub flows: Vec<(Communication, f64)>,
+}
+
+impl WhatIfQuery {
+    /// A single-flow query starting `offset` seconds from now.
+    pub fn flow(comm: Communication, offset: f64) -> Self {
+        WhatIfQuery {
+            flows: vec![(comm, offset)],
+        }
+    }
+}
+
+/// Predicted outcome of one speculative flow.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FlowAnswer {
+    /// Absolute completion time on the service clock.
+    pub completion: f64,
+    /// Elapsed time from the flow's start to its completion.
+    pub elapsed: f64,
+    /// Uncontended reference time `Tref(size)` on the service fabric.
+    pub tref: f64,
+    /// `elapsed / tref` — the paper's penalty, as experienced end to end
+    /// (1.0 = the cluster looks idle to this flow).
+    pub slowdown: f64,
+}
+
+/// Predicted outcome of a [`WhatIfQuery`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct WhatIfAnswer {
+    /// Per-flow outcomes, in query order.
+    pub flows: Vec<FlowAnswer>,
+    /// Time from now until the last speculative flow completes.
+    pub makespan: f64,
+}
+
+/// Observability counters of a [`WhatIfService`].
+#[derive(Clone, Debug)]
+pub struct ServeStats {
+    /// Transfers admitted into the authoritative engine.
+    pub admitted: u64,
+    /// Admitted transfers that have completed.
+    pub completed: u64,
+    /// What-if queries answered through the fork path.
+    pub queries: u64,
+    /// Snapshot forks taken from the authoritative engine.
+    pub snapshot_builds: u64,
+    /// Queries served from an already-warm snapshot.
+    pub snapshot_reuses: u64,
+    /// Executor / arena / `Tref` memo counters of the underlying session.
+    pub sweep: SweepStats,
+}
+
+impl ServeStats {
+    /// Share of queries that did not force a snapshot rebuild, in `[0, 1]`.
+    pub fn snapshot_reuse_rate(&self) -> f64 {
+        let total = self.snapshot_builds + self.snapshot_reuses;
+        if total == 0 {
+            0.0
+        } else {
+            self.snapshot_reuses as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for ServeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} admitted ({} completed) | {} queries | snapshots: {} built, {} reused \
+             ({:.1}% reuse) | {}",
+            self.admitted,
+            self.completed,
+            self.queries,
+            self.snapshot_builds,
+            self.snapshot_reuses,
+            self.snapshot_reuse_rate() * 100.0,
+            self.sweep,
+        )
+    }
+}
+
+/// A cached fork of the authoritative engine, shared by every query of a
+/// batch (and across batches until an admission or advance invalidates
+/// it). Queries fork *this* instead of the authoritative state, so the
+/// authoritative lock is held only for the cache check, never for the
+/// speculative settles.
+struct Snapshot {
+    net: FluidNetwork<ModelHandle>,
+    now: f64,
+}
+
+/// State behind the authoritative lock: the engine of record, the
+/// admission log (for the rebuild ablation), and the snapshot cache.
+struct Authoritative {
+    net: FluidNetwork<ModelHandle>,
+    log: Vec<(TransferKey, Communication, f64)>,
+    snapshot: Option<Arc<Snapshot>>,
+    next_key: TransferKey,
+    completed: u64,
+}
+
+/// A long-running what-if service: admit real transfers, advance the
+/// clock as they progress, and ask speculative placement questions at any
+/// point — answered from forks of the warm engine state, batched on the
+/// sweep executor, with `Tref` normalisation deduplicated through the
+/// session memo. See the crate docs for the dataflow.
+pub struct WhatIfService {
+    model: ModelHandle,
+    config: ServeConfig,
+    session: EvalSession,
+    state: Mutex<Authoritative>,
+    queries: AtomicU64,
+    snapshot_builds: AtomicU64,
+    snapshot_reuses: AtomicU64,
+}
+
+impl WhatIfService {
+    /// A service over the paper's Gigabit Ethernet model.
+    pub fn new(config: ServeConfig) -> Self {
+        WhatIfService::with_model(Arc::new(GigabitEthernetModel::default()), config)
+    }
+
+    /// A service over an explicit penalty model.
+    pub fn with_model(model: ModelHandle, config: ServeConfig) -> Self {
+        let net = FluidNetwork::new(Arc::clone(&model), config.params);
+        WhatIfService {
+            model,
+            config,
+            session: EvalSession::with_threads(config.threads),
+            state: Mutex::new(Authoritative {
+                net,
+                log: Vec::new(),
+                snapshot: None,
+                next_key: 0,
+                completed: 0,
+            }),
+            queries: AtomicU64::new(0),
+            snapshot_builds: AtomicU64::new(0),
+            snapshot_reuses: AtomicU64::new(0),
+        }
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The current service clock.
+    pub fn now(&self) -> f64 {
+        self.state().net.time()
+    }
+
+    /// Admitted transfers still in flight.
+    pub fn in_flight(&self) -> usize {
+        self.state().net.in_flight()
+    }
+
+    /// Admits a transfer into the authoritative engine, returning its
+    /// key. Rejections are typed values ([`AddError`] routed through
+    /// [`ServeError::Rejected`]) — never panics.
+    pub fn admit(&self, comm: Communication, start: f64) -> Result<TransferKey, ServeError> {
+        let mut st = self.state();
+        let key = st.next_key;
+        st.net.try_add(key, comm, start)?;
+        st.next_key += 1;
+        st.log.push((key, comm, start));
+        st.snapshot = None;
+        Ok(key)
+    }
+
+    /// Advances the authoritative clock to `t`, returning the transfers
+    /// that completed on the way.
+    pub fn advance_to(&self, t: f64) -> Result<Vec<CompletedTransfer>, ServeError> {
+        let mut st = self.state();
+        let now = st.net.time();
+        if t.is_nan() || t < now {
+            return Err(ServeError::NonMonotonicClock { t, now });
+        }
+        let done = st.net.advance_to(t);
+        st.completed += done.len() as u64;
+        // Any real clock movement invalidates the snapshot: its cached
+        // `now` (the origin of query offsets) must match the service
+        // clock, and latency gates may have opened even when nothing
+        // completed. A no-op advance (`t == now`) keeps it warm.
+        if t > now {
+            st.snapshot = None;
+        }
+        Ok(done)
+    }
+
+    /// Answers one query (a batch of one).
+    pub fn what_if(&self, query: &WhatIfQuery) -> Result<WhatIfAnswer, ServeError> {
+        self.what_if_batch(std::slice::from_ref(query))
+            .pop()
+            .expect("one answer per query")
+    }
+
+    /// Answers a batch of speculative queries, fanned out on the session
+    /// executor. Each query runs on a private fork of the shared snapshot
+    /// (built at most once per batch), so queries neither perturb the
+    /// authoritative state nor each other.
+    pub fn what_if_batch(&self, queries: &[WhatIfQuery]) -> Vec<Result<WhatIfAnswer, ServeError>> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let snap = self.snapshot_for(queries.len() as u64);
+        self.queries
+            .fetch_add(queries.len() as u64, Ordering::Relaxed);
+        self.session.sweep(queries, |worker, query| {
+            self.answer_on(snap.net.fork(), snap.now, worker, query)
+        })
+    }
+
+    /// Ablation baseline: answers the same queries by rebuilding a fresh
+    /// engine per query and replaying the full admission log. Bitwise
+    /// identical to [`Self::what_if_batch`] (guarded by `serve_smoke` and
+    /// the fork-equivalence proptests) — it exists to measure what the
+    /// fork path saves.
+    pub fn what_if_batch_via_rebuild(
+        &self,
+        queries: &[WhatIfQuery],
+    ) -> Vec<Result<WhatIfAnswer, ServeError>> {
+        let (log, now) = {
+            let st = self.state();
+            (st.log.clone(), st.net.time())
+        };
+        self.session.sweep(queries, |worker, query| {
+            let mut net = FluidNetwork::new(Arc::clone(&self.model), self.config.params);
+            for &(key, comm, start) in &log {
+                net.add(key, comm, start);
+            }
+            net.advance_to(now);
+            self.answer_on(net, now, worker, query)
+        })
+    }
+
+    /// The service counters (includes the underlying session's sweep
+    /// stats).
+    pub fn stats(&self) -> ServeStats {
+        let (admitted, completed) = {
+            let st = self.state();
+            (st.next_key, st.completed)
+        };
+        ServeStats {
+            admitted,
+            completed,
+            queries: self.queries.load(Ordering::Relaxed),
+            snapshot_builds: self.snapshot_builds.load(Ordering::Relaxed),
+            snapshot_reuses: self.snapshot_reuses.load(Ordering::Relaxed),
+            sweep: self.session.stats(),
+        }
+    }
+
+    fn state(&self) -> std::sync::MutexGuard<'_, Authoritative> {
+        self.state.lock().expect("authoritative state lock")
+    }
+
+    /// The shared snapshot for a batch of `queries` queries, forking the
+    /// authoritative engine only if the cache was invalidated since the
+    /// last batch.
+    fn snapshot_for(&self, queries: u64) -> Arc<Snapshot> {
+        let mut st = self.state();
+        if let Some(snap) = &st.snapshot {
+            self.snapshot_reuses.fetch_add(queries, Ordering::Relaxed);
+            return Arc::clone(snap);
+        }
+        let snap = Arc::new(Snapshot {
+            net: st.net.fork(),
+            now: st.net.time(),
+        });
+        st.snapshot = Some(Arc::clone(&snap));
+        self.snapshot_builds.fetch_add(1, Ordering::Relaxed);
+        self.snapshot_reuses
+            .fetch_add(queries.saturating_sub(1), Ordering::Relaxed);
+        snap
+    }
+
+    /// Superimposes the query's flows on `net` (already positioned at
+    /// `now`) and settles until every speculative flow completes. `net`
+    /// is consumed: it is a throwaway fork or rebuild.
+    fn answer_on(
+        &self,
+        mut net: FluidNetwork<ModelHandle>,
+        now: f64,
+        worker: &mut SweepWorker<'_>,
+        query: &WhatIfQuery,
+    ) -> Result<WhatIfAnswer, ServeError> {
+        if query.flows.is_empty() {
+            return Err(ServeError::EmptyQuery);
+        }
+        let mut starts = Vec::with_capacity(query.flows.len());
+        for (i, &(comm, offset)) in query.flows.iter().enumerate() {
+            let start = now + offset;
+            net.try_add(SPEC_BASE | i as TransferKey, comm, start)?;
+            starts.push(start);
+        }
+        // Settle event by event until every speculative flow has
+        // completed; background flows that finish later stay in flight.
+        let mut completions = vec![f64::NAN; query.flows.len()];
+        let mut pending = query.flows.len();
+        while pending > 0 {
+            let t = net
+                .next_event_time()
+                .expect("speculative flows pending implies a next event");
+            for done in net.advance_to(t) {
+                if done.key & SPEC_BASE != 0 {
+                    completions[(done.key & !SPEC_BASE) as usize] = done.completion;
+                    pending -= 1;
+                }
+            }
+        }
+        let mut flows = Vec::with_capacity(query.flows.len());
+        let mut makespan = 0.0f64;
+        for ((&(comm, _), &start), &completion) in query.flows.iter().zip(&starts).zip(&completions)
+        {
+            let tref = worker.tref(self.config.fabric, comm.size);
+            let elapsed = completion - start;
+            flows.push(FlowAnswer {
+                completion,
+                elapsed,
+                tref,
+                slowdown: elapsed / tref,
+            });
+            makespan = makespan.max(completion - now);
+        }
+        Ok(WhatIfAnswer { flows, makespan })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netbw_core::MyrinetModel;
+
+    fn tiny_config() -> ServeConfig {
+        ServeConfig {
+            params: NetworkParams::new(2.0, 0.25),
+            fabric: FabricConfig::gige(),
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn admission_and_advance_drive_the_authoritative_engine() {
+        let service = WhatIfService::new(tiny_config());
+        let a = service
+            .admit(Communication::new(0u32, 1u32, 100), 0.0)
+            .unwrap();
+        let b = service
+            .admit(Communication::new(2u32, 1u32, 100), 0.0)
+            .unwrap();
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(service.in_flight(), 2);
+        let done = service.advance_to(1_000.0).unwrap();
+        assert_eq!(done.len(), 2);
+        assert_eq!(service.in_flight(), 0);
+        let stats = service.stats();
+        assert_eq!(stats.admitted, 2);
+        assert_eq!(stats.completed, 2);
+    }
+
+    #[test]
+    fn malformed_requests_come_back_as_typed_errors() {
+        let service = WhatIfService::new(tiny_config());
+        service
+            .admit(Communication::new(0u32, 1u32, 100), 5.0)
+            .unwrap();
+        service.advance_to(5.0).unwrap();
+
+        assert!(matches!(
+            service.admit(Communication::new(2u32, 3u32, 100), 1.0),
+            Err(ServeError::Rejected(AddError::StartInPast { start, now }))
+                if start == 1.0 && now == 5.0
+        ));
+        assert!(matches!(
+            service.admit(Communication::new(2u32, 3u32, 100), f64::NAN),
+            Err(ServeError::Rejected(AddError::NonFiniteStart { .. }))
+        ));
+        assert!(matches!(
+            service.advance_to(1.0),
+            Err(ServeError::NonMonotonicClock { t, now }) if t == 1.0 && now == 5.0
+        ));
+        assert!(matches!(
+            service.advance_to(f64::NAN),
+            Err(ServeError::NonMonotonicClock { .. })
+        ));
+        assert_eq!(
+            service.what_if(&WhatIfQuery::default()),
+            Err(ServeError::EmptyQuery)
+        );
+        assert!(matches!(
+            service.what_if(&WhatIfQuery::flow(
+                Communication::new(2u32, 3u32, 100),
+                -1.0
+            )),
+            Err(ServeError::Rejected(AddError::StartInPast { .. }))
+        ));
+        // a rejected admission leaves no trace
+        assert_eq!(service.stats().admitted, 1);
+    }
+
+    #[test]
+    fn what_if_matches_a_hand_built_scenario() {
+        // Authoritative: one flow of 400 bytes at 2 B/s from t=0. A
+        // speculative flow sharing its destination contends with it; one
+        // on disjoint nodes does not.
+        let service = WhatIfService::new(tiny_config());
+        service
+            .admit(Communication::new(0u32, 1u32, 400), 0.0)
+            .unwrap();
+        service.advance_to(10.0).unwrap();
+
+        let free = service
+            .what_if(&WhatIfQuery::flow(Communication::new(4u32, 5u32, 400), 0.0))
+            .unwrap();
+        let contended = service
+            .what_if(&WhatIfQuery::flow(Communication::new(2u32, 1u32, 400), 0.0))
+            .unwrap();
+        // An uncontended flow: latency gate + size/bandwidth.
+        assert_eq!(free.flows[0].elapsed, 0.25 + 400.0 / 2.0);
+        assert!(contended.flows[0].elapsed > free.flows[0].elapsed);
+        assert!(contended.makespan >= contended.flows[0].elapsed);
+        assert!(contended.flows[0].slowdown > free.flows[0].slowdown);
+        // Speculation must not have perturbed the authoritative engine.
+        assert_eq!(service.in_flight(), 1);
+        assert_eq!(service.now(), 10.0);
+    }
+
+    #[test]
+    fn fork_path_is_bitwise_identical_to_rebuild_and_replay() {
+        let model: ModelHandle = Arc::new(MyrinetModel::default());
+        let service = WhatIfService::with_model(model, tiny_config());
+        // Interleave admissions and advances so the rebuild really
+        // replays a history, not a single batch.
+        for i in 0..12u64 {
+            let comm = Communication::new((i % 4) as u32, (4 + i % 3) as u32, 500 + 40 * i);
+            service.admit(comm, i as f64 * 0.4).unwrap();
+            if i % 3 == 2 {
+                service.advance_to(i as f64 * 0.4 + 0.1).unwrap();
+            }
+        }
+        service.advance_to(5.0).unwrap();
+
+        let queries: Vec<WhatIfQuery> = (0..8u64)
+            .map(|i| {
+                let mut q = WhatIfQuery::flow(
+                    Communication::new((i % 5) as u32, (5 + i % 2) as u32, 900 + 10 * i),
+                    0.2 * i as f64,
+                );
+                q.flows.push((Communication::new(7u32, 8u32, 600), 0.0));
+                q
+            })
+            .collect();
+        let forked = service.what_if_batch(&queries);
+        let rebuilt = service.what_if_batch_via_rebuild(&queries);
+        for (f, r) in forked.iter().zip(&rebuilt) {
+            let (f, r) = (f.as_ref().unwrap(), r.as_ref().unwrap());
+            assert_eq!(f.makespan.to_bits(), r.makespan.to_bits());
+            for (ff, rf) in f.flows.iter().zip(&r.flows) {
+                assert_eq!(ff.completion.to_bits(), rf.completion.to_bits());
+                assert_eq!(ff.slowdown.to_bits(), rf.slowdown.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn snapshots_are_reused_until_invalidated() {
+        let service = WhatIfService::new(tiny_config());
+        service
+            .admit(Communication::new(0u32, 1u32, 1_000), 0.0)
+            .unwrap();
+        service.advance_to(1.0).unwrap();
+
+        let queries: Vec<WhatIfQuery> = (0..6)
+            .map(|i| WhatIfQuery::flow(Communication::new(2u32, 3u32, 100 + i), 0.0))
+            .collect();
+        service.what_if_batch(&queries);
+        service.what_if_batch(&queries);
+        let stats = service.stats();
+        assert_eq!(stats.snapshot_builds, 1);
+        assert_eq!(stats.snapshot_reuses, 11);
+        assert_eq!(stats.queries, 12);
+
+        // Admission invalidates; the next batch rebuilds exactly once.
+        service
+            .admit(Communication::new(4u32, 5u32, 1_000), 2.0)
+            .unwrap();
+        service.what_if_batch(&queries);
+        let stats = service.stats();
+        assert_eq!(stats.snapshot_builds, 2);
+        assert!(stats.snapshot_reuse_rate() > 0.8);
+
+        // Any real clock movement invalidates too: query offsets are
+        // relative to `now`, so a stale snapshot would shift them.
+        service.advance_to(2.5).unwrap();
+        service.what_if_batch(&queries);
+        assert_eq!(service.stats().snapshot_builds, 3);
+        // A no-op advance (t == now) keeps the snapshot warm.
+        service.advance_to(2.5).unwrap();
+        service.what_if_batch(&queries);
+        assert_eq!(service.stats().snapshot_builds, 3);
+    }
+
+    #[test]
+    fn tref_is_deduplicated_across_queries() {
+        let service = WhatIfService::new(tiny_config());
+        service
+            .admit(Communication::new(0u32, 1u32, 1_000), 0.0)
+            .unwrap();
+        // 16 queries, all the same size: one reference measurement.
+        let queries: Vec<WhatIfQuery> = (0..16)
+            .map(|i| WhatIfQuery::flow(Communication::new((2 + i % 3) as u32, 6u32, 4_096), 0.0))
+            .collect();
+        service.what_if_batch(&queries);
+        let sweep = service.stats().sweep;
+        assert_eq!(sweep.tref_misses, 1);
+        assert_eq!(sweep.tref_hits, 15);
+    }
+}

@@ -214,8 +214,9 @@ fn sharded_backend_aggregates_stats_across_shards() {
     // Replay the multi-component trace with the simulator holding the
     // backend by `&mut`, then read the counters off the network itself:
     // the per-shard caches and timelines must aggregate into the trait's
-    // stats (rebuild per shard, every flow anchored in some shard's heap),
-    // and the bridge must have merged two of the four pair-shards.
+    // stats (rebuild per shard, every flow anchored in some shard's heap)
+    // even though the fully drained slab has quiesced the partition —
+    // retired shards leave their counters behind.
     let trace = parse_trace(PAIRS_THEN_BRIDGE).expect("trace parses");
     let cluster = ClusterSpec::smp(8);
     let placement = Placement::assign(&PlacementPolicy::RoundRobinNode, trace.len(), &cluster);
@@ -228,8 +229,8 @@ fn sharded_backend_aggregates_stats_across_shards() {
     assert_eq!(inter_node, 5, "four pair flows plus the bridge");
     assert_eq!(
         net.shard_count(),
-        3,
-        "the bridge merges two of the four pair shards"
+        0,
+        "a fully drained replay quiesces the partition"
     );
     let cache = NetworkBackend::cache_stats(&&mut net).expect("fluid backends expose cache stats");
     assert!(

@@ -24,6 +24,7 @@
 //! | [`workloads`] | `netbw-workloads` | HPL trace generator, synthetic batteries |
 //! | [`trace`] | `netbw-trace` | MPE-like event trace format |
 //! | [`eval`] | `netbw-eval` | Erel/Eabs metrics, measured-vs-predicted experiments, sweep execution engine |
+//! | [`serve`] | `netbw-serve` | long-running what-if service: speculative placement queries on warm forked engine state |
 //!
 //! ## Quickstart
 //!
@@ -47,6 +48,7 @@ pub use netbw_eval as eval;
 pub use netbw_fluid as fluid;
 pub use netbw_graph as graph;
 pub use netbw_packet as packet;
+pub use netbw_serve as serve;
 pub use netbw_sim as sim;
 pub use netbw_trace as trace;
 pub use netbw_workloads as workloads;
@@ -58,6 +60,7 @@ pub mod prelude {
     pub use netbw_fluid::{FluidNetwork, FluidSolver, NetworkParams};
     pub use netbw_graph::prelude::*;
     pub use netbw_packet::{FabricConfig, PacketFabric, PacketNetwork};
+    pub use netbw_serve::{ServeConfig, WhatIfQuery, WhatIfService};
     pub use netbw_sim::{ClusterSpec, Placement, PlacementPolicy, Simulator};
     pub use netbw_trace::{Event, TaskTrace, Trace};
     pub use netbw_workloads::HplConfig;

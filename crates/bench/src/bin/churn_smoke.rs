@@ -26,12 +26,21 @@
 //!   shards). On ≥4 cores the executor-dispatched sharded engine must be
 //!   ≥1.5x faster than the heap engine on the median; on fewer cores it
 //!   must merely never fall behind the heap beyond a noise slack.
+//! * the `shard_split_smoke` group: steady arrive/depart bridge waves
+//!   (`netbw_bench::bridge_wave_churn`) that merge the partition every
+//!   wave and break it apart again when the bridges complete. The
+//!   splitting engine must keep the partition multi-shard at every wave
+//!   boundary and its per-wave settle cost flat over time; on ≥4 cores
+//!   it must additionally drain ≥2x faster than the never-splitting
+//!   `with_sharded_merge_only` ablation, which degrades to one
+//!   mega-shard on the first wave and stays there.
 //!
-//! The medians land in `BENCH_timeline.json` and `BENCH_shard.json`
-//! (uploaded as CI artifacts next to `BENCH_sweep.json`) so the perf
-//! trajectory is tracked. Pass `--flows N`, `--big N`, `--prefix K`,
-//! `--comps N`, `--comp-flows N`, `--shard-prefix K` to override group
-//! sizes. The workload itself is `netbw_bench::churn_transfers`, shared
+//! The medians land in `BENCH_timeline.json`, `BENCH_shard.json` and
+//! `BENCH_split.json` (uploaded as CI artifacts next to
+//! `BENCH_sweep.json`) so the perf trajectory is tracked. Pass
+//! `--flows N`, `--big N`, `--prefix K`, `--comps N`, `--comp-flows N`,
+//! `--shard-prefix K`, `--split-comps N`, `--split-waves N` to override
+//! group sizes. The workload itself is `netbw_bench::churn_transfers`, shared
 //! with the `fluid_incremental` bench and the engine proptests so all of
 //! them measure the same scenario.
 
@@ -40,8 +49,8 @@ use netbw::fluid::{CacheStats, TimelineStats};
 use netbw::graph::Communication;
 use netbw::prelude::*;
 use netbw_bench::{
-    churn_stagger, churn_transfers, drain_churn_mode, drain_churn_prefix, drain_prefix_into,
-    multi_component_churn, EngineMode, CHURN_SEED,
+    bridge_wave_churn, churn_stagger, churn_transfers, drain_churn_mode, drain_churn_prefix,
+    drain_prefix_into, multi_component_churn, EngineMode, CHURN_SEED,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -315,6 +324,141 @@ fn check_shard(comps: usize, flows_per_comp: usize, prefix: usize, reps: usize) 
     )
 }
 
+/// The `shard_split_smoke` group: the bridge-wave workload, fed and
+/// drained wave-by-wave through the splitting engine (shards are assigned
+/// when a transfer is *added*, so an open-loop feed — each wave enqueued
+/// as it opens — is what lets the partition refine between waves;
+/// per-wave settle cost and partition shape are observed at every wave
+/// boundary, where that wave's bridges are gone and the next wave's have
+/// not arrived), then through the never-splitting
+/// `with_sharded_merge_only` ablation on the same feed. GigE keeps the
+/// mega-shard Moon–Moser-free, so the comparison isolates partition
+/// *shape* — no budget collapse muddies either side. Returns the JSON
+/// line for `BENCH_split.json`.
+fn check_split(comps: usize, flows_per_comp: usize, waves: usize, reps: usize) -> String {
+    let stagger = churn_stagger(ModelKind::GigabitEthernet);
+    let wave_len = stagger * flows_per_comp as f64;
+    let transfers = bridge_wave_churn(comps, flows_per_comp, waves, stagger, CHURN_SEED);
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    let mut chunks: Vec<Vec<(u64, Communication, f64)>> = vec![Vec::new(); waves];
+    for &t in &transfers {
+        let w = ((t.2 / wave_len) as usize).min(waves - 1);
+        chunks[w].push(t);
+    }
+
+    let feed = |net: &mut FluidNetwork<GigabitEthernetModel>,
+                mut per_wave: Option<(&mut Vec<Duration>, &mut usize)>| {
+        let mut done = 0usize;
+        for (w, chunk) in chunks.iter().enumerate() {
+            let tw = Instant::now();
+            for &(key, comm, start) in chunk {
+                net.add(key, comm, start);
+            }
+            done += net.advance_to((w + 1) as f64 * wave_len).len();
+            if let Some((wave_times, boundary_shards)) = per_wave.as_mut() {
+                wave_times[w] = wave_times[w].min(tw.elapsed());
+                if w + 1 < waves {
+                    **boundary_shards = (**boundary_shards).min(net.shard_count());
+                }
+            }
+        }
+        done + net.run_to_completion().len()
+    };
+
+    let mut wave_best = vec![Duration::MAX; waves];
+    let mut split_times = Vec::with_capacity(reps);
+    let mut boundary_min_shards = usize::MAX;
+    let mut stats = netbw::fluid::ShardStats::default();
+    for _ in 0..reps {
+        let mut net = FluidNetwork::new(GigabitEthernetModel::default(), NetworkParams::unit())
+            .with_sharded_dispatch(Arc::new(SweepExecutor::new(0)));
+        let t0 = Instant::now();
+        let done = feed(&mut net, Some((&mut wave_best, &mut boundary_min_shards)));
+        split_times.push(t0.elapsed());
+        assert_eq!(done, transfers.len(), "splitting engine lost flows");
+        stats = net.shard_stats();
+    }
+    split_times.sort_unstable();
+    let t_split = split_times[split_times.len() / 2];
+
+    let (t_fused, fused_stats) = median_time(reps, || {
+        let mut net = FluidNetwork::new(GigabitEthernetModel::default(), NetworkParams::unit())
+            .with_sharded_dispatch(Arc::new(SweepExecutor::new(0)))
+            .with_sharded_merge_only();
+        let done = feed(&mut net, None);
+        assert_eq!(done, transfers.len(), "merge-only engine lost flows");
+        net.shard_stats()
+    });
+
+    let speedup = t_fused.as_secs_f64() / t_split.as_secs_f64();
+    println!(
+        "split-{comps}x{flows_per_comp}x{waves} ({cores} cores): split drain {t_split:?} \
+         ({} splits, {} merges) | merge-only drain {t_fused:?} ({} merges, 0 splits) \
+         | refinement speedup {speedup:.2}x | waves {:?}",
+        stats.splits, stats.merges, fused_stats.merges, wave_best,
+    );
+
+    // Partition shape: every wave re-merges and re-splits, and every
+    // observed boundary shows the fine partition restored.
+    assert!(
+        boundary_min_shards >= comps,
+        "split smoke: partition degraded to {boundary_min_shards} shards \
+         at a wave boundary (expected ≥{comps})"
+    );
+    assert!(
+        stats.splits >= ((waves - 1) * (comps - 1)) as u64,
+        "split smoke: too few splits for {waves} bridge waves: {stats:?}"
+    );
+    assert_eq!(
+        fused_stats.splits, 0,
+        "split smoke: merge-only ablation must never split: {fused_stats:?}"
+    );
+    assert!(!stats.collapsed, "split smoke: no budget collapse on GigE");
+
+    // Settle cost must stay flat across waves: steady churn with a
+    // refining partition has no mechanism to get slower. Wave 1 is cold
+    // (first settles rebuild every scratch), so the yardstick is wave 2.
+    let (t_early, t_late) = (wave_best[1], wave_best[waves - 1]);
+    let flat_slack = Duration::from_millis(2);
+    assert!(
+        t_late <= t_early * 3 + flat_slack,
+        "split smoke: per-wave settle cost grew over time \
+         ({t_early:?} at wave 2 vs {t_late:?} at wave {waves})"
+    );
+
+    if cores >= 4 {
+        assert!(
+            speedup >= 2.0,
+            "split smoke: the refining partition must drain ≥2x faster than \
+             the merge-only mega-shard on {cores} cores, got {speedup:.2}x \
+             ({t_split:?} vs {t_fused:?})"
+        );
+    } else {
+        let slack = (t_fused / 5).max(Duration::from_millis(2));
+        assert!(
+            t_split <= t_fused + slack,
+            "split smoke: refining partition fell behind merge-only on \
+             {cores} core(s) ({t_split:?} vs {t_fused:?} + {slack:?} slack)"
+        );
+    }
+
+    format!(
+        "{{\"comps\": {comps}, \"flows_per_comp\": {flows_per_comp}, \"waves\": {waves}, \
+         \"cores\": {cores}, \"split_drain_ms\": {:.3}, \"merge_only_drain_ms\": {:.3}, \
+         \"refinement_speedup\": {speedup:.3}, \"wave2_ms\": {:.3}, \"last_wave_ms\": {:.3}, \
+         \"splits\": {}, \"merges\": {}}}\n",
+        t_split.as_secs_f64() * 1e3,
+        t_fused.as_secs_f64() * 1e3,
+        t_early.as_secs_f64() * 1e3,
+        t_late.as_secs_f64() * 1e3,
+        stats.splits,
+        stats.merges,
+    )
+}
+
 fn main() {
     let mut flows = 512usize;
     let mut big = 100_000usize;
@@ -322,6 +466,8 @@ fn main() {
     let mut comps = 8192usize;
     let mut comp_flows = 16usize;
     let mut shard_prefix = 12_288usize;
+    let mut split_comps = 128usize;
+    let mut split_waves = 8usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut grab = |name: &str| -> usize {
@@ -336,6 +482,8 @@ fn main() {
             "--comps" => comps = grab("--comps"),
             "--comp-flows" => comp_flows = grab("--comp-flows"),
             "--shard-prefix" => shard_prefix = grab("--shard-prefix"),
+            "--split-comps" => split_comps = grab("--split-comps"),
+            "--split-waves" => split_waves = grab("--split-waves"),
             other => panic!("unknown flag {other}"),
         }
     }
@@ -372,6 +520,11 @@ fn main() {
     let json = check_shard(comps, comp_flows, shard_prefix, 3);
     std::fs::write("BENCH_shard.json", &json).expect("write BENCH_shard.json");
     print!("churn_smoke: BENCH_shard.json = {json}");
+
+    // The merge/split churn group live partition refinement exists for.
+    let json = check_split(split_comps, 16, split_waves, 3);
+    std::fs::write("BENCH_split.json", &json).expect("write BENCH_split.json");
+    print!("churn_smoke: BENCH_split.json = {json}");
 
     println!("churn smoke: heap timeline ahead on all groups");
 }

@@ -14,8 +14,10 @@ use netbw::core::MyrinetModel;
 use netbw::graph::schemes;
 use netbw::graph::units::MB;
 use netbw::prelude::*;
+use netbw::sim::NetworkBackend;
 use netbw_bench::{
-    churn_stagger, churn_transfers, drain_churn_mode, fabric_model_pairs, section, show, EngineMode,
+    bridge_wave_churn, churn_stagger, churn_transfers, drain_churn_mode, fabric_model_pairs,
+    section, show, EngineMode, CHURN_SEED,
 };
 
 fn main() {
@@ -125,5 +127,39 @@ fn main() {
         tl.gate_pushes,
         tl.gate_heap_hits,
         tl.rescans,
+    );
+
+    section("Partition shape (sharded engine, 16-component bridge-wave churn)");
+    // Driven through the `NetworkBackend` trait object, the same surface the
+    // simulator uses. Waves are fed incrementally — shards are assigned at
+    // add time, so queueing the whole schedule up front would fuse the
+    // partition for the entire run.
+    let (comps, flows_per_comp, waves) = (16usize, 16usize, 4usize);
+    let stagger = churn_stagger(kind);
+    let wave_len = stagger * flows_per_comp as f64;
+    let wave_churn = bridge_wave_churn(comps, flows_per_comp, waves, stagger, CHURN_SEED);
+    let mut backend: Box<dyn NetworkBackend> =
+        Box::new(FluidNetwork::new(kind.build(), NetworkParams::unit()).with_sharded());
+    let mut done = 0usize;
+    let mut boundary_shards = Vec::with_capacity(waves);
+    for w in 0..waves {
+        let lo = w as f64 * wave_len;
+        let hi = lo + wave_len;
+        let last = w + 1 == waves;
+        for &(key, comm, start) in wave_churn
+            .iter()
+            .filter(|t| t.2 >= lo && (last || t.2 < hi))
+        {
+            backend.add(key, comm, start);
+        }
+        done += backend.advance_to(hi).len();
+        boundary_shards.push(backend.shard_stats().expect("sharded backend").live_shards);
+    }
+    done += backend.advance_to(1e9).len();
+    let shape = backend.shard_stats().expect("sharded backend");
+    println!(
+        "{done} completions | live shards at wave boundaries {boundary_shards:?} | \
+         {} splits, {} merges, {} drains, {} budget collapses, {} un-collapses",
+        shape.splits, shape.merges, shape.drains, shape.budget_collapses, shape.uncollapses,
     );
 }

@@ -1,0 +1,198 @@
+//! Open-loop saturation bench for the what-if service front-end: many
+//! client threads hammer [`ServeHandle`] clones with speculative queries
+//! while a churn driver keeps the authoritative engine moving (clock
+//! advances + fresh admissions), so every measured query competes with
+//! snapshot invalidation the way a live scheduler sidecar would.
+//!
+//! Run with `cargo run --release -p netbw-bench --bin serve_qps`.
+//! Each rep spawns a warm service, `--clients` threads issuing
+//! `--queries` what-if requests each as fast as the queue absorbs them
+//! (open loop: no pacing), and one churn thread stirring the engine until
+//! the clients finish. Queries sitting in the queue together coalesce
+//! into one executor batch on the service thread — the coalescing is
+//! what saturation throughput measures. The median queries/sec over the
+//! reps lands in `BENCH_serve_qps.json` next to the other bench
+//! artifacts.
+//!
+//! Guards (panics on regression): every answer must come back `Ok` with
+//! a finite positive slowdown, the service must count exactly the issued
+//! queries, and under concurrent clients the snapshot cache must see
+//! reuse (coalescing collapsed batches) despite the churn invalidating
+//! it continuously.
+
+use netbw::graph::Communication;
+use netbw::prelude::*;
+use netbw::serve::{ServeHandle, ServeStats, WhatIfService};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const REPS: usize = 3;
+/// Background transfers admitted before the clients start.
+const BACKGROUND: usize = 300;
+/// Distinct payload sizes (bytes), shared with `serve_smoke` so the
+/// `Tref` memo stays hot.
+const SIZES: [u64; 3] = [262_144, 1_048_576, 4_194_304];
+
+/// A service with the background load admitted and the clock advanced
+/// into the thick of it, spawned onto its service thread.
+fn warm_spawned() -> (ServeHandle, std::thread::JoinHandle<WhatIfService>) {
+    let service = WhatIfService::new(ServeConfig::default());
+    for i in 0..BACKGROUND {
+        let comm = Communication::new((i % 24) as u32, (24 + i % 8) as u32, SIZES[i % SIZES.len()]);
+        service
+            .admit(comm, i as f64 * 0.002)
+            .expect("admit background");
+    }
+    service.advance_to(0.45).expect("advance into the load");
+    service.spawn()
+}
+
+/// The query stream of one client: placements rotated over sources,
+/// destinations and sizes, deterministic in `(client, q)`.
+fn client_query(client: usize, q: usize) -> WhatIfQuery {
+    let mut query = WhatIfQuery::flow(
+        Communication::new(
+            ((client * 7 + q) % 20) as u32,
+            (24 + (client + q) % 8) as u32,
+            SIZES[q % SIZES.len()],
+        ),
+        (q % 5) as f64 * 0.001,
+    );
+    if q.is_multiple_of(4) {
+        query.flows.push((
+            Communication::new(30u32, 31u32, SIZES[client % SIZES.len()]),
+            0.0,
+        ));
+    }
+    query
+}
+
+/// One saturation rep: returns the clients' wall-clock, the number of
+/// churn events that landed while they ran, and the final service stats.
+fn run_rep(clients: usize, per_client: usize) -> (Duration, u64, ServeStats) {
+    let (handle, thread) = warm_spawned();
+    let stop = Arc::new(AtomicBool::new(false));
+    let churn_events = Arc::new(AtomicU64::new(0));
+
+    // Live churn: the clock moves and a transfer lands every period,
+    // invalidating the snapshot under the clients' feet.
+    let churn = {
+        let handle = handle.clone();
+        let stop = Arc::clone(&stop);
+        let churn_events = Arc::clone(&churn_events);
+        std::thread::spawn(move || {
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let t = 0.45 + 0.002 * (i + 1) as f64;
+                if handle.advance_to(t).is_err() {
+                    return;
+                }
+                let comm = Communication::new(
+                    (20 + i % 4) as u32,
+                    (24 + i % 8) as u32,
+                    SIZES[(i % SIZES.len() as u64) as usize],
+                );
+                let _ = handle.admit(comm, t);
+                churn_events.fetch_add(1, Ordering::Relaxed);
+                i += 1;
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        })
+    };
+
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let handle = handle.clone();
+            std::thread::spawn(move || {
+                for q in 0..per_client {
+                    let answer = handle
+                        .what_if(client_query(c, q))
+                        .expect("what-if answered");
+                    for flow in &answer.flows {
+                        assert!(
+                            flow.slowdown.is_finite() && flow.slowdown > 0.0,
+                            "client {c} query {q}: bad slowdown {flow:?}"
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("client thread");
+    }
+    let elapsed = t0.elapsed();
+    stop.store(true, Ordering::Relaxed);
+    churn.join().expect("churn thread");
+
+    handle.shutdown();
+    let service = thread.join().expect("service thread");
+    (
+        elapsed,
+        churn_events.load(Ordering::Relaxed),
+        service.stats(),
+    )
+}
+
+fn main() {
+    let mut clients = 4usize;
+    let mut per_client = 50usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut grab = |name: &str| -> usize {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{name} takes a number"))
+        };
+        match arg.as_str() {
+            "--clients" => clients = grab("--clients"),
+            "--queries" => per_client = grab("--queries"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    let total = (clients * per_client) as u64;
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    let mut elapsed = Vec::with_capacity(REPS);
+    let mut churned = 0u64;
+    let mut stats: Option<ServeStats> = None;
+    for _ in 0..REPS {
+        let (t, events, s) = run_rep(clients, per_client);
+        assert_eq!(s.queries, total, "service miscounted the query stream");
+        assert!(
+            s.snapshot_reuses > 0,
+            "no coalescing under {clients} concurrent clients: {s}"
+        );
+        elapsed.push(t);
+        churned = events;
+        stats = Some(s);
+    }
+    let stats = stats.expect("at least one rep");
+    elapsed.sort_unstable();
+    let m = elapsed[elapsed.len() / 2];
+    let qps = total as f64 / m.as_secs_f64();
+
+    println!(
+        "serve_qps: {clients} clients x {per_client} queries against {churned} churn events \
+         ({BACKGROUND}-transfer warm log, {cores} cores) | median {m:?} | {qps:.0} queries/s"
+    );
+    println!("serve_qps: {stats}");
+
+    let json = format!(
+        "{{\"background\": {BACKGROUND}, \"clients\": {clients}, \"queries\": {total}, \
+         \"cores\": {cores}, \"churn_events\": {churned}, \"elapsed_ms\": {:.3}, \
+         \"qps\": {qps:.1}, \"snapshot_builds\": {}, \"snapshot_reuse_rate\": {:.4}, \
+         \"tref_hit_rate\": {:.4}}}\n",
+        m.as_secs_f64() * 1e3,
+        stats.snapshot_builds,
+        stats.snapshot_reuse_rate(),
+        stats.sweep.tref_hit_rate(),
+    );
+    std::fs::write("BENCH_serve_qps.json", &json).expect("write BENCH_serve_qps.json");
+    print!("serve_qps: BENCH_serve_qps.json = {json}");
+    println!("serve qps: saturation run healthy");
+}

@@ -202,6 +202,11 @@ pub enum EngineMode {
     /// scratch and timeline per component, settles independent per shard
     /// (serial dispatch here; benches plug in the sweep executor).
     Sharded,
+    /// The sharded engine with splitting disabled: bridging arrivals
+    /// still merge shards, but component break-up never carves them back
+    /// apart. The never-refining ablation baseline the `shard_split_smoke`
+    /// guard compares against.
+    ShardedMergeOnly,
 }
 
 /// Builds a fresh unit-parameter engine in the requested mode.
@@ -212,6 +217,7 @@ pub fn churn_engine<M: PenaltyModel>(model: M, mode: EngineMode) -> FluidNetwork
         EngineMode::LinearTimeline => net.with_linear_timeline(),
         EngineMode::FullRecompute => net.with_full_recompute(),
         EngineMode::Sharded => net.with_sharded(),
+        EngineMode::ShardedMergeOnly => net.with_sharded_merge_only(),
     }
 }
 
@@ -239,6 +245,66 @@ pub fn multi_component_churn(
                 Communication::new(comm.src.0 + offset, comm.dst.0 + offset, comm.size),
                 start,
             ));
+        }
+    }
+    out.sort_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)));
+    out
+}
+
+/// A churn workload whose conflict components repeatedly merge and break
+/// apart: `waves` waves, each carrying `flows_per_comp` staggered
+/// intra-component flows for every one of `comps` disjoint components
+/// *plus* a chain of tiny bridge flows joining adjacent components. While
+/// a wave's bridges are in flight the whole fabric is one conflict
+/// component; the bridges are sized to finish early in the wave, so the
+/// component breaks back into `comps` pieces long before the next wave
+/// re-bridges it. A merge-only partition therefore degrades to a single
+/// mega-shard on the first wave and stays there; a splitting partition
+/// returns to `comps` shards every wave. Intra-component flow lifetimes
+/// are matched to the wave length so the live population reaches a steady
+/// state instead of accumulating — the regime where per-settle cost
+/// should stay flat over time. Bridges start mid-slot (`stagger / 2`
+/// after the wave opens), so at every wave boundary the previous wave's
+/// bridges are gone and the next wave's have not arrived: boundaries
+/// observe the split partition. Keys are globally unique and the schedule
+/// is sorted by start time.
+pub fn bridge_wave_churn(
+    comps: usize,
+    flows_per_comp: usize,
+    waves: usize,
+    stagger: f64,
+    seed: u64,
+) -> Vec<(u64, Communication, f64)> {
+    let comps = comps.max(2);
+    let nodes = (flows_per_comp.max(4) / 2) as u32;
+    let wave_len = stagger * flows_per_comp as f64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    let mut key = 0u64;
+    for w in 0..waves {
+        let t0 = w as f64 * wave_len;
+        for c in 0..comps {
+            let offset = c as u32 * nodes;
+            for i in 0..flows_per_comp {
+                let s = rng.random_range(0..nodes);
+                let mut d = rng.random_range(0..nodes - 1);
+                if d >= s {
+                    d += 1;
+                }
+                let size = 50 + rng.random_range(0..50u32) as u64;
+                out.push((
+                    key,
+                    Communication::new(offset + s, offset + d, size),
+                    t0 + stagger * i as f64,
+                ));
+                key += 1;
+            }
+        }
+        for c in 0..comps - 1 {
+            let a = c as u32 * nodes;
+            let b = (c as u32 + 1) * nodes;
+            out.push((key, Communication::new(a, b, 10), t0 + stagger / 2.0));
+            key += 1;
         }
     }
     out.sort_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)));
@@ -443,6 +509,41 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn bridge_waves_split_and_remerge_the_partition() {
+        let (comps, flows_per_comp, waves) = (4usize, 8usize, 3usize);
+        let transfers = bridge_wave_churn(comps, flows_per_comp, waves, 10.0, CHURN_SEED);
+        assert_eq!(
+            transfers.len(),
+            waves * (comps * flows_per_comp + comps - 1)
+        );
+        assert_eq!(transfers, bridge_wave_churn(4, 8, 3, 10.0, CHURN_SEED));
+
+        let mut split = churn_engine(GigabitEthernetModel::default(), EngineMode::Sharded);
+        for &(key, comm, start) in &transfers {
+            split.add(key, comm, start);
+        }
+        let done = split.run_to_completion().len();
+        assert_eq!(done, transfers.len());
+        let refined = split.shard_stats();
+        // Every wave's bridge chain merges shards and its completion
+        // carves them back apart.
+        assert!(refined.merges >= (comps - 1) as u64, "{refined:?}");
+        assert!(refined.splits >= (comps - 1) as u64, "{refined:?}");
+
+        let mut fused = churn_engine(
+            GigabitEthernetModel::default(),
+            EngineMode::ShardedMergeOnly,
+        );
+        for &(key, comm, start) in &transfers {
+            fused.add(key, comm, start);
+        }
+        assert_eq!(fused.run_to_completion().len(), done);
+        let stats = fused.shard_stats();
+        assert_eq!(stats.splits, 0, "merge-only must never split: {stats:?}");
+        assert!(stats.merges >= (comps - 1) as u64, "{stats:?}");
     }
 
     #[test]

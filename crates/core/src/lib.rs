@@ -65,7 +65,7 @@ pub mod scratch;
 pub mod sensitivity;
 pub mod states;
 
-pub use components::{ComponentChange, ComponentRoot, ComponentTracker};
+pub use components::{ComponentChange, ComponentRemoval, ComponentRoot, ComponentTracker};
 pub use gige::GigabitEthernetModel;
 pub use infiniband::InfinibandModel;
 pub use model::{ModelKind, PenaltyModel, PopulationDelta};

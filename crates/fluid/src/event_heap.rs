@@ -20,7 +20,13 @@
 //! completion is a heap peek (amortized O(log n)) rather than an O(n)
 //! scan. Latency gates get the same treatment with a simpler lifecycle:
 //! gates are immutable once a transfer is added and gated flows never
-//! complete, so gate entries are never stale — each pop is a gate opening.
+//! complete, so in a single-timeline engine gate entries are never stale.
+//! Gate entries still carry the slab epoch, because the *sharded* engine
+//! migrates gated flows between per-shard heaps when a shard splits: the
+//! migration bumps the flow's epoch and re-pushes its gate into the
+//! splinter heap, leaving the old shard's entry to be lazily discarded
+//! ([`TimelineStats::gate_lazy_pops`]) exactly like a re-anchored
+//! completion entry.
 //!
 //! The full-recompute oracle mode keeps the linear scans (see
 //! `ARCHITECTURE.md`, "Event timeline"), which is what lets the
@@ -43,9 +49,13 @@ pub struct TimelineStats {
     pub lazy_pops: u64,
     /// Latency-gate entries pushed at [`crate::FluidNetwork::add`] time.
     pub gate_pushes: u64,
-    /// Gate openings served from the gate heap (each pop is one opening;
-    /// gate entries are never stale).
+    /// Gate openings served from the gate heap (each live pop is one
+    /// opening).
     pub gate_heap_hits: u64,
+    /// Stale gate entries discarded on peek/pop — only shard splits make
+    /// gate entries stale (migrating a gated flow re-pushes its gate under
+    /// a fresh epoch), so this stays 0 in the unsharded engines.
+    pub gate_lazy_pops: u64,
     /// Settles that fell back to re-syncing the whole active population
     /// (an [`netbw_core::AffectedSet::All`] answer — full recomputes,
     /// scratch rebuilds, budget fallbacks — and every settle of the
@@ -63,6 +73,7 @@ impl TimelineStats {
         self.lazy_pops += other.lazy_pops;
         self.gate_pushes += other.gate_pushes;
         self.gate_heap_hits += other.gate_heap_hits;
+        self.gate_lazy_pops += other.gate_lazy_pops;
         self.rescans += other.rescans;
     }
 }
@@ -101,11 +112,14 @@ impl Ord for FinishEntry {
     }
 }
 
-/// A gate-heap entry: the instant a transfer starts contending.
+/// A gate-heap entry: the instant a transfer starts contending, stamped
+/// with the slab epoch at push time so shard splits can invalidate it
+/// lazily.
 #[derive(Clone, Copy, Debug)]
 struct GateEntry {
     gate: f64,
     key: FlowKey,
+    epoch: u64,
 }
 
 impl PartialEq for GateEntry {
@@ -125,6 +139,7 @@ impl Ord for GateEntry {
             .gate
             .total_cmp(&self.gate)
             .then_with(|| other.key.cmp(&self.key))
+            .then_with(|| other.epoch.cmp(&self.epoch))
     }
 }
 
@@ -193,20 +208,26 @@ impl EventHeaps {
         }
     }
 
-    /// Records a transfer's latency gate at add time. Only future gates
-    /// belong in the heap — immediately-contending transfers are noted as
-    /// arrivals directly.
-    pub(crate) fn push_gate(&mut self, gate: f64, key: FlowKey) {
+    /// Records a transfer's latency gate, stamped with the slab's current
+    /// epoch for `key`. Only future gates belong in the heap —
+    /// immediately-contending transfers are noted as arrivals directly.
+    pub(crate) fn push_gate(&mut self, gate: f64, key: FlowKey, epoch: u64) {
         debug_assert!(!gate.is_nan());
         self.stats.gate_pushes += 1;
-        self.gates.push(GateEntry { gate, key });
+        self.gates.push(GateEntry { gate, key, epoch });
     }
 
-    /// The earliest unopened gate. Entries are never stale: gated flows
-    /// cannot complete, and every crossed gate was popped by
-    /// [`Self::pop_gates_through`] when the clock passed it.
-    pub(crate) fn peek_gate(&self) -> Option<f64> {
-        self.gates.peek().map(|g| g.gate)
+    /// The earliest unopened live gate, discarding stale entries (flows a
+    /// shard split migrated away under a fresh epoch) from the top.
+    pub(crate) fn peek_gate<T>(&mut self, slots: &Slab<T>) -> Option<f64> {
+        while let Some(top) = self.gates.peek() {
+            if slots.epoch(top.key) == Some(top.epoch) {
+                return Some(top.gate);
+            }
+            self.gates.pop();
+            self.stats.gate_lazy_pops += 1;
+        }
+        None
     }
 
     /// Splices `other`'s entries (and counters) into `self` — the heap
@@ -220,16 +241,21 @@ impl EventHeaps {
         self.stats.absorb(other.stats);
     }
 
-    /// Pops every gate with `gate <= t` into `out` — these flows start
-    /// contending now and must be noted as arrivals by the caller.
-    pub(crate) fn pop_gates_through(&mut self, t: f64, out: &mut Vec<FlowKey>) {
+    /// Pops every live gate with `gate <= t` into `out` — these flows
+    /// start contending now and must be noted as arrivals by the caller.
+    /// Stale entries under the bound are discarded as a side effect.
+    pub(crate) fn pop_gates_through<T>(&mut self, t: f64, slots: &Slab<T>, out: &mut Vec<FlowKey>) {
         while let Some(top) = self.gates.peek() {
             if top.gate > t {
                 break;
             }
             let entry = self.gates.pop().expect("peeked entry pops");
-            self.stats.gate_heap_hits += 1;
-            out.push(entry.key);
+            if slots.epoch(entry.key) == Some(entry.epoch) {
+                self.stats.gate_heap_hits += 1;
+                out.push(entry.key);
+            } else {
+                self.stats.gate_lazy_pops += 1;
+            }
         }
     }
 }
@@ -275,18 +301,41 @@ mod tests {
 
     #[test]
     fn gates_pop_in_time_order() {
-        let (_, keys) = slab_with(3);
+        let (slab, keys) = slab_with(3);
         let mut heaps = EventHeaps::default();
-        heaps.push_gate(3.0, keys[0]);
-        heaps.push_gate(1.0, keys[1]);
-        heaps.push_gate(2.0, keys[2]);
-        assert_eq!(heaps.peek_gate(), Some(1.0));
+        heaps.push_gate(3.0, keys[0], 0);
+        heaps.push_gate(1.0, keys[1], 0);
+        heaps.push_gate(2.0, keys[2], 0);
+        assert_eq!(heaps.peek_gate(&slab), Some(1.0));
         let mut opened = Vec::new();
-        heaps.pop_gates_through(2.5, &mut opened);
+        heaps.pop_gates_through(2.5, &slab, &mut opened);
         assert_eq!(opened, vec![keys[1], keys[2]]);
-        assert_eq!(heaps.peek_gate(), Some(3.0));
+        assert_eq!(heaps.peek_gate(&slab), Some(3.0));
         assert_eq!(heaps.stats.gate_heap_hits, 2);
         assert_eq!(heaps.stats.gate_pushes, 3);
+        assert_eq!(heaps.stats.gate_lazy_pops, 0);
+    }
+
+    #[test]
+    fn migrated_gate_entries_go_stale() {
+        // a shard split re-pushes a gated flow's entry under a bumped
+        // epoch; the old entry must be skipped on peek and pop
+        let (mut slab, keys) = slab_with(2);
+        let mut heaps = EventHeaps::default();
+        heaps.push_gate(1.0, keys[0], 0);
+        heaps.push_gate(2.0, keys[1], 0);
+        let e = slab.bump_epoch(keys[0]).unwrap();
+        let mut splinter = EventHeaps::default();
+        splinter.push_gate(1.0, keys[0], e);
+        assert_eq!(heaps.peek_gate(&slab), Some(2.0));
+        assert_eq!(heaps.stats.gate_lazy_pops, 1);
+        assert_eq!(splinter.peek_gate(&slab), Some(1.0));
+        let mut opened = Vec::new();
+        heaps.push_gate(1.5, keys[0], 99); // another stale anchoring
+        heaps.pop_gates_through(3.0, &slab, &mut opened);
+        assert_eq!(opened, vec![keys[1]]);
+        assert_eq!(heaps.stats.gate_lazy_pops, 2);
+        assert_eq!(heaps.stats.gate_heap_hits, 1);
     }
 
     #[test]

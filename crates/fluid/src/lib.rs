@@ -58,11 +58,16 @@
 //! population into conflict-component [`shard`]s — each with its own cache,
 //! scratch and heaps — whose settles are independent and can be dispatched
 //! onto a parallel executor ([`dispatch`]), still bit-for-bit equal to the
-//! other modes because the penalty models are component-local. The one
-//! non-local model behaviour — a Myrinet budget refusal degrades the whole
-//! query population — collapses the partition into a single global shard
-//! the first time a shard reports it, so equality survives that regime
-//! too (see [`shard`]).
+//! other modes because the penalty models are component-local. The
+//! partition refines in both directions: bridging arrivals merge shards
+//! and component-splitting departures carve them back apart, so a
+//! long-lived churning population keeps its fine partition instead of
+//! degrading toward one mega-shard. The one non-local model behaviour — a
+//! Myrinet budget refusal degrades the whole query population — collapses
+//! the partition into a single global shard the first time a shard reports
+//! it, pinned to the offending component so the collapse lifts as soon as
+//! that component departs; equality survives that regime too (see
+//! [`shard`]).
 
 pub mod cache;
 pub mod dispatch;
@@ -79,6 +84,7 @@ pub use dispatch::{SerialDispatch, SettleDispatch, SettleJob};
 pub use event_heap::TimelineStats;
 pub use network::{AddError, CompletedTransfer, FluidNetwork, TransferKey};
 pub use params::NetworkParams;
+pub use shard::ShardStats;
 pub use slab::{FlowKey, Slab};
 pub use solver::{solve_scheme, FluidSolver, Phase, TransferResult};
 pub use timeline::{penalty_series, utilization, StepSeries};

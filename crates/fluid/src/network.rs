@@ -40,8 +40,8 @@ use crate::cache::{CacheStats, PenaltyCache};
 use crate::dispatch::{SerialDispatch, SettleDispatch, SettleJob};
 use crate::event_heap::{EventHeaps, TimelineStats};
 use crate::params::NetworkParams;
-use crate::shard::ShardSet;
-use crate::slab::{FlowKey, Slab};
+use crate::shard::{ShardSet, ShardStats, SlotView};
+use crate::slab::{FlowKey, RawSlots, Slab};
 use crate::solver::Phase;
 use netbw_core::{AffectedSet, Penalty, PenaltyModel};
 use netbw_graph::Communication;
@@ -130,6 +130,21 @@ struct Slot {
     phases: Vec<Phase>,
 }
 
+impl SlotView for Slot {
+    fn comm(&self) -> &Communication {
+        &self.comm
+    }
+    fn contending(&self) -> bool {
+        self.contending
+    }
+    fn finish(&self) -> f64 {
+        self.finish
+    }
+    fn gate(&self) -> f64 {
+        self.gate
+    }
+}
+
 /// A finished transfer, in completion order.
 #[derive(Debug, Clone)]
 pub struct CompletedTransfer {
@@ -163,6 +178,9 @@ struct EngineState {
     opened: Vec<FlowKey>,
     /// Completions due at the current event.
     due: Vec<FlowKey>,
+    /// Endpoint pairs of the completions at the current event, fed to the
+    /// shard table's departure refinement after the batch (sharded mode).
+    departed: Vec<Communication>,
 }
 
 /// A shared network under a penalty model, integrating transfer progress
@@ -207,12 +225,37 @@ fn clamped_finish(now: f64, remaining: f64, rate: f64, eps: f64) -> f64 {
     }
 }
 
-/// Re-anchors the flow at position `i` of the settled population if its
-/// rate changed: materializes progress since the previous anchor, records
-/// the closed phase, refreshes the cached finish time, and (heap mode)
-/// bumps the slot epoch and pushes the new finish entry. Flows whose
-/// penalty is bitwise-unchanged are left untouched — their live heap entry
-/// is still exact, which is why skipping the unaffected majority is safe.
+/// Core of a re-anchor: if the flow's rate changed, materializes progress
+/// since the previous anchor, records the closed phase, and refreshes the
+/// cached finish time — returning it so the caller can republish the heap
+/// entry. Flows whose penalty is bitwise-unchanged are left untouched
+/// (`None`) — their live heap entry is still exact, which is why skipping
+/// the unaffected majority is safe.
+fn resync_slot(
+    params: &NetworkParams,
+    record_phases: bool,
+    now: f64,
+    slot: &mut Slot,
+    penalty: Penalty,
+) -> Option<f64> {
+    let new_rate = params.bandwidth * penalty.rate();
+    if slot.rate == new_rate {
+        return None;
+    }
+    if record_phases && slot.rate > 0.0 && now > slot.anchor {
+        push_phase(&mut slot.phases, slot.anchor, now, slot.penalty);
+    }
+    slot.remaining -= slot.rate * (now - slot.anchor);
+    slot.anchor = now;
+    slot.rate = new_rate;
+    slot.penalty = penalty.value();
+    slot.finish = clamped_finish(now, slot.remaining, new_rate, slot.eps);
+    Some(slot.finish)
+}
+
+/// Re-anchors the flow at position `i` of the settled population via
+/// [`resync_slot`], and (heap mode) bumps the slot epoch and pushes the
+/// new finish entry.
 #[allow(clippy::too_many_arguments)]
 fn resync_position(
     params: &NetworkParams,
@@ -224,24 +267,42 @@ fn resync_position(
     key: FlowKey,
     penalty: Penalty,
 ) {
-    let new_rate = params.bandwidth * penalty.rate();
     let slot = slots.get_mut(key).expect("settled flow lives in slab");
-    if slot.rate == new_rate {
+    let Some(finish) = resync_slot(params, record_phases, now, slot, penalty) else {
         return;
-    }
-    if record_phases && slot.rate > 0.0 && now > slot.anchor {
-        push_phase(&mut slot.phases, slot.anchor, now, slot.penalty);
-    }
-    slot.remaining -= slot.rate * (now - slot.anchor);
-    slot.anchor = now;
-    slot.rate = new_rate;
-    slot.penalty = penalty.value();
-    slot.finish = clamped_finish(now, slot.remaining, new_rate, slot.eps);
-    let finish = slot.finish;
+    };
     if heap_timeline {
         let epoch = slots.bump_epoch(key).expect("settled flow lives in slab");
         events.push_completion(finish, key, epoch);
     }
+}
+
+/// The parallel-barrier counterpart of [`resync_position`], re-anchoring
+/// through a [`RawSlots`] view so the settle jobs of disjoint shards can
+/// run concurrently. Always heap-mode.
+///
+/// # Safety
+/// `key` must be live, and no other concurrent user of the same raw view
+/// may hold it (the dirty shards' settled populations partition the slab,
+/// which the barrier asserts in debug builds). The slab must be
+/// structurally frozen for the view's lifetime.
+unsafe fn resync_raw(
+    params: &NetworkParams,
+    record_phases: bool,
+    now: f64,
+    slots: RawSlots<Slot>,
+    events: &mut EventHeaps,
+    key: FlowKey,
+    penalty: Penalty,
+) {
+    // SAFETY: forwarded from the caller's contract; the `slot` borrow ends
+    // before `bump_epoch` touches the entry again.
+    let slot = unsafe { slots.get_mut(key) }.expect("settled flow lives in slab");
+    let Some(finish) = resync_slot(params, record_phases, now, slot, penalty) else {
+        return;
+    };
+    let epoch = unsafe { slots.bump_epoch(key) }.expect("settled flow lives in slab");
+    events.push_completion(finish, key, epoch);
 }
 
 /// Settles the penalty cache for the current population and re-anchors
@@ -350,27 +411,36 @@ fn settle<M: PenaltyModel>(
     }
 }
 
-/// The sharded settle barrier, in three phases over the dirty shards:
+/// The sharded settle barrier, in two parallel rounds over the dirty
+/// shards with the cross-shard splice points serialized between them:
 ///
-/// 1. **Stage** (serial): derive each dirty shard's post-change contending
-///    population — from the shard cache's pending change sets when
-///    possible, falling back to a slot-ordered gather over the shard's
-///    (lazily compacted) member list;
-/// 2. **Refresh** (parallelizable): run the per-shard penalty queries
-///    through the dispatcher. The jobs touch disjoint shards and the
-///    models are component-local, so any schedule yields the same bits;
-/// 3. **Re-anchor** (serial): resync the kinetics of each shard's
-///    affected flows and republish the shard's next event.
+/// 1. **Stage + refresh** (parallel): each dirty shard derives its
+///    post-change contending population — from the shard cache's pending
+///    change sets when possible, falling back to a slot-ordered gather
+///    over the shard's (lazily compacted) member list — and runs its
+///    penalty query. The jobs own disjoint shards and read the slab
+///    immutably, so any schedule yields the same bits;
+/// 2. **Re-anchor** (parallel): resync the kinetics of each shard's
+///    affected flows through a [`RawSlots`] view — dirty shards' settled
+///    populations are disjoint slot sets (asserted in debug builds) and
+///    the slab is structurally frozen for the whole barrier, so the jobs
+///    never touch the same entry. The next-event republish stays serial:
+///    it feeds the shared cross-shard heap.
 ///
 /// Clean shards are never touched, so a settle costs the dirty shards'
 /// O(affected) work — not O(components) — plus the dispatch overhead.
 ///
-/// One guard sits between phases 2 and 3: if any refresh reported a model
+/// One guard sits between the rounds: if any refresh reported a model
 /// budget fallback while more than one shard is live, the barrier
-/// collapses the partition into a single global shard and restarts at the
-/// same instant. A budget-degraded answer depends on the *whole* query
-/// population (see [`crate::shard`]), so only a global query reproduces
-/// the unsharded engine's bits from that settle on.
+/// collapses the partition into a single global shard — pinned to the
+/// first offending shard's component root, whose departure un-collapses
+/// it — and restarts at the same instant. A budget-degraded answer
+/// depends on the *whole* query population (see [`crate::shard`]), so
+/// only a global query reproduces the unsharded engine's bits from that
+/// settle on. Keeping the rounds separate is what makes the restart
+/// exact: no flow is re-anchored before the fallback check, so the
+/// global redo starts from the same pre-settle kinetics the unsharded
+/// engine would.
 fn settle_sharded<M: PenaltyModel>(
     model: &M,
     params: &NetworkParams,
@@ -393,7 +463,7 @@ fn settle_sharded<M: PenaltyModel>(
     }
 }
 
-/// One attempt at the three-phase barrier. Returns `false` when a budget
+/// One attempt at the two-round barrier. Returns `false` when a budget
 /// fallback forced a [`crate::shard::ShardSet::collapse_all`] — the caller
 /// must rerun the barrier over the merged shard.
 fn settle_sharded_barrier<M: PenaltyModel>(
@@ -412,101 +482,137 @@ fn settle_sharded_barrier<M: PenaltyModel>(
     let now = *time;
     let mut dirty = std::mem::take(&mut shards.dirty);
     dirty.sort_unstable();
-    for &id in &dirty {
-        let sh = shards.shard_mut(id);
-        if !sh.cache.staged_active(&mut sh.staged) {
-            // Rebuild gather: compact the member list, then stage the
-            // shard's contending flows in slot order — exactly the slab
-            // scan the unsharded engine would do, restricted to this
-            // shard.
-            sh.members.retain(|&k| slots.contains(k));
-            sh.staged.clear();
-            sh.staged.extend(
-                sh.members
-                    .iter()
-                    .copied()
-                    .filter(|&k| slots.get(k).expect("member lives in slab").contending),
-            );
-            sh.staged.sort_unstable_by_key(|k| k.slot_index());
-        }
-        sh.comms_buf.clear();
-        sh.comms_buf.extend(
-            sh.staged
-                .iter()
-                .map(|&k| slots.get(k).expect("staged flow lives in slab").comm),
-        );
-    }
-    let fallbacks = |shards: &mut ShardSet, dirty: &[usize]| -> u64 {
-        dirty
-            .iter()
-            .map(|&id| shards.shard_mut(id).cache.stats().budget_fallbacks)
-            .sum()
-    };
-    let fallbacks_before = fallbacks(shards, &dirty);
+    // Per-shard fallback counts before the queries, so the splice point
+    // can identify which shard's refusal forced a collapse (its component
+    // root becomes the collapse pin).
+    let fallbacks_before: Vec<u64> = dirty
+        .iter()
+        .map(|&id| shards.shard_mut(id).cache.stats().budget_fallbacks)
+        .collect();
     {
+        // Round 1: stage + refresh. Jobs share the slab read-only.
+        let slots = &*slots;
+        let mut jobs: Vec<SettleJob<'_>> =
+            shards
+                .disjoint_mut(&dirty)
+                .into_iter()
+                .map(|sh| {
+                    SettleJob::new(move || {
+                        if !sh.cache.staged_active(&mut sh.staged) {
+                            // Rebuild gather: compact the member list, then
+                            // stage the shard's contending flows in slot order
+                            // — exactly the slab scan the unsharded engine
+                            // would do, restricted to this shard.
+                            sh.members.retain(|&k| slots.contains(k));
+                            sh.staged.clear();
+                            sh.staged.extend(sh.members.iter().copied().filter(|&k| {
+                                slots.get(k).expect("member lives in slab").contending
+                            }));
+                            sh.staged.sort_unstable_by_key(|k| k.slot_index());
+                        }
+                        sh.comms_buf.clear();
+                        sh.comms_buf.extend(
+                            sh.staged
+                                .iter()
+                                .map(|&k| slots.get(k).expect("staged flow lives in slab").comm),
+                        );
+                        let active = std::mem::take(&mut sh.staged);
+                        let comms = std::mem::take(&mut sh.comms_buf);
+                        let (mut recycled_active, mut recycled_comms) =
+                            sh.cache.refresh(model, active, comms);
+                        recycled_active.clear();
+                        recycled_comms.clear();
+                        sh.staged = recycled_active;
+                        sh.comms_buf = recycled_comms;
+                    })
+                })
+                .collect();
+        dispatch.run_settles(&mut jobs);
+    }
+    if shards.live_count() > 1 {
+        let offender = dirty
+            .iter()
+            .zip(&fallbacks_before)
+            .find(|&(&id, &before)| shards.shard_mut(id).cache.stats().budget_fallbacks > before)
+            .map(|(&id, _)| id);
+        if let Some(offender) = offender {
+            // Round 2 is skipped: the merged rebuild re-queries and
+            // re-anchors everything from the same pre-settle kinetics,
+            // exactly as the unsharded engine's single global settle
+            // would.
+            let pin = shards.shard_mut(offender).root;
+            shards.collapse_all(Some(pin));
+            return false;
+        }
+    }
+    #[cfg(debug_assertions)]
+    {
+        // The RawSlots round below is sound only if the dirty shards'
+        // settled populations name pairwise-disjoint slots.
+        let mut seen = std::collections::HashSet::new();
+        for &id in &dirty {
+            for &k in shards.shard_mut(id).cache.active() {
+                assert!(seen.insert(k), "shard populations overlap on a slot");
+            }
+        }
+    }
+    {
+        // Round 2: re-anchor the affected flows of each dirty shard.
+        let raw = slots.raw();
         let mut jobs: Vec<SettleJob<'_>> = shards
             .disjoint_mut(&dirty)
             .into_iter()
             .map(|sh| {
                 SettleJob::new(move || {
-                    let active = std::mem::take(&mut sh.staged);
-                    let comms = std::mem::take(&mut sh.comms_buf);
-                    let (mut recycled_active, mut recycled_comms) =
-                        sh.cache.refresh(model, active, comms);
-                    recycled_active.clear();
-                    recycled_comms.clear();
-                    sh.staged = recycled_active;
-                    sh.comms_buf = recycled_comms;
+                    match sh.cache.take_affected() {
+                        AffectedSet::Positions(positions) => {
+                            for &i in &positions {
+                                let key = sh.cache.active()[i];
+                                let penalty = sh.cache.penalties()[i];
+                                // SAFETY: `key` sits in this shard's
+                                // settled population, disjoint from every
+                                // other job's; the slab is frozen for the
+                                // whole barrier.
+                                unsafe {
+                                    resync_raw(
+                                        params,
+                                        record_phases,
+                                        now,
+                                        raw,
+                                        &mut sh.events,
+                                        key,
+                                        penalty,
+                                    );
+                                }
+                            }
+                        }
+                        AffectedSet::All => {
+                            sh.events.stats.rescans += 1;
+                            for i in 0..sh.cache.active().len() {
+                                let key = sh.cache.active()[i];
+                                let penalty = sh.cache.penalties()[i];
+                                // SAFETY: as above.
+                                unsafe {
+                                    resync_raw(
+                                        params,
+                                        record_phases,
+                                        now,
+                                        raw,
+                                        &mut sh.events,
+                                        key,
+                                        penalty,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    sh.dirty = false;
                 })
             })
             .collect();
         dispatch.run_settles(&mut jobs);
     }
-    if shards.live_count() > 1 && fallbacks(shards, &dirty) > fallbacks_before {
-        // Phase 3 is skipped: the merged rebuild re-queries and re-anchors
-        // everything from the same pre-settle kinetics, exactly as the
-        // unsharded engine's single global settle would.
-        shards.collapse_all();
-        return false;
-    }
     for &id in &dirty {
-        let sh = shards.shard_mut(id);
-        match sh.cache.take_affected() {
-            AffectedSet::Positions(positions) => {
-                for &i in &positions {
-                    let key = sh.cache.active()[i];
-                    let penalty = sh.cache.penalties()[i];
-                    resync_position(
-                        params,
-                        record_phases,
-                        true,
-                        now,
-                        slots,
-                        &mut sh.events,
-                        key,
-                        penalty,
-                    );
-                }
-            }
-            AffectedSet::All => {
-                sh.events.stats.rescans += 1;
-                for i in 0..sh.cache.active().len() {
-                    let key = sh.cache.active()[i];
-                    let penalty = sh.cache.penalties()[i];
-                    resync_position(
-                        params,
-                        record_phases,
-                        true,
-                        now,
-                        slots,
-                        &mut sh.events,
-                        key,
-                        penalty,
-                    );
-                }
-            }
-        }
-        sh.dirty = false;
         shards.refresh_next(id, slots);
     }
     debug_assert!(shards.dirty.is_empty(), "no shard dirtied mid-settle");
@@ -555,6 +661,7 @@ impl<M: PenaltyModel> FluidNetwork<M> {
                 comms_buf: Vec::new(),
                 opened: Vec::new(),
                 due: Vec::new(),
+                departed: Vec::new(),
             }),
         }
     }
@@ -606,6 +713,20 @@ impl<M: PenaltyModel> FluidNetwork<M> {
     /// [`SettleDispatch`] for exactly this.
     pub fn with_sharded_dispatch(mut self, dispatch: Arc<dyn SettleDispatch>) -> Self {
         self.dispatch = dispatch;
+        self.with_sharded()
+    }
+
+    /// [`Self::with_sharded`] with departure-driven refinement disabled:
+    /// the partition only ever coarsens, as it did before shard splitting
+    /// landed. Kept as the ablation baseline the split benchmarks compare
+    /// against — long-lived populations degrade toward one mega-shard in
+    /// this mode.
+    pub fn with_sharded_merge_only(mut self) -> Self {
+        self.state
+            .get_mut()
+            .expect("engine state lock")
+            .shards
+            .merge_only = true;
         self.with_sharded()
     }
 
@@ -661,6 +782,17 @@ impl<M: PenaltyModel> FluidNetwork<M> {
             .expect("engine state lock")
             .shards
             .live_count()
+    }
+
+    /// Partition-shape counters: live shard count plus cumulative splits,
+    /// merges, drains and budget collapses/un-collapses (all zero unless
+    /// built with [`Self::with_sharded`]).
+    pub fn shard_stats(&self) -> ShardStats {
+        self.state
+            .lock()
+            .expect("engine state lock")
+            .shards
+            .shard_stats()
     }
 
     /// Returns the network to an idle state at time 0 while keeping every
@@ -739,6 +871,7 @@ impl<M: PenaltyModel> FluidNetwork<M> {
             eps: (size * REL_EPS).max(1e-9),
             phases: Vec::new(),
         });
+        let epoch = st.slots.epoch(flow).expect("just-inserted flow is live");
         if let Some(id) = shard_id {
             let sh = st.shards.shard_mut(id);
             sh.members.push(flow);
@@ -746,7 +879,7 @@ impl<M: PenaltyModel> FluidNetwork<M> {
                 sh.cache.note_arrival(flow);
                 st.shards.mark_dirty(id);
             } else {
-                sh.events.push_gate(gate, flow);
+                sh.events.push_gate(gate, flow, epoch);
             }
             st.shards.refresh_next(id, &st.slots);
         } else if contending {
@@ -754,7 +887,7 @@ impl<M: PenaltyModel> FluidNetwork<M> {
             // when the clock crosses their gate.
             st.cache.note_arrival(flow);
         } else if heap_timeline {
-            st.events.push_gate(gate, flow);
+            st.events.push_gate(gate, flow, epoch);
         }
         Ok(())
     }
@@ -791,7 +924,7 @@ impl<M: PenaltyModel> FluidNetwork<M> {
             ..
         } = &mut *st;
         let (completion, gate) = if self.heap_timeline {
-            (events.peek_finish(slots), events.peek_gate())
+            (events.peek_finish(slots), events.peek_gate(slots))
         } else {
             (scan_next_finish(slots), scan_next_gate(slots, *time))
         };
@@ -849,7 +982,7 @@ impl<M: PenaltyModel> FluidNetwork<M> {
                 ..
             } = st;
             let (completion, gate) = if heap_timeline {
-                (events.peek_finish(slots), events.peek_gate())
+                (events.peek_finish(slots), events.peek_gate(slots))
             } else {
                 (scan_next_finish(slots), scan_next_gate(slots, *time))
             };
@@ -869,7 +1002,7 @@ impl<M: PenaltyModel> FluidNetwork<M> {
                     let now = *time;
                     opened.clear();
                     if heap_timeline {
-                        events.pop_gates_through(now + TIME_EPS, opened);
+                        events.pop_gates_through(now + TIME_EPS, slots, opened);
                     } else {
                         opened.extend(
                             slots
@@ -896,7 +1029,7 @@ impl<M: PenaltyModel> FluidNetwork<M> {
             // completions (one chained Mixed delta).
             opened.clear();
             if heap_timeline {
-                events.pop_gates_through(now + TIME_EPS, opened);
+                events.pop_gates_through(now + TIME_EPS, slots, opened);
             } else {
                 opened.extend(
                     slots
@@ -985,6 +1118,7 @@ impl<M: PenaltyModel> FluidNetwork<M> {
                 shards,
                 opened,
                 due,
+                departed,
                 ..
             } = st;
             let e = match shards.peek_next() {
@@ -999,7 +1133,7 @@ impl<M: PenaltyModel> FluidNetwork<M> {
                     for &id in &candidates {
                         opened.clear();
                         let sh = shards.shard_mut(id);
-                        sh.events.pop_gates_through(now + TIME_EPS, opened);
+                        sh.events.pop_gates_through(now + TIME_EPS, slots, opened);
                         for &flow in opened.iter() {
                             slots
                                 .get_mut(flow)
@@ -1029,7 +1163,7 @@ impl<M: PenaltyModel> FluidNetwork<M> {
                 opened.clear();
                 due.clear();
                 let sh = shards.shard_mut(id);
-                sh.events.pop_gates_through(now + TIME_EPS, opened);
+                sh.events.pop_gates_through(now + TIME_EPS, slots, opened);
                 sh.events.pop_due_completions(now, slots, due);
                 for &flow in opened.iter() {
                     slots
@@ -1051,6 +1185,7 @@ impl<M: PenaltyModel> FluidNetwork<M> {
                         "flow {flow} completed with bytes left"
                     );
                     sh.cache.note_departure(flow);
+                    departed.push(slot.comm);
                     done.push(CompletedTransfer {
                         key: slot.key,
                         completion: now,
@@ -1071,7 +1206,17 @@ impl<M: PenaltyModel> FluidNetwork<M> {
                 // be forgotten. The next churn phase re-partitions from
                 // scratch instead of inheriting a degraded single-shard
                 // (or stale-member) structure forever.
+                departed.clear();
                 shards.quiesce();
+            } else {
+                // Departure refinement: drop each completed flow's edge
+                // from the component tracker and re-partition to match —
+                // re-seating roots, retiring drained shards, splitting
+                // disconnected ones, or un-collapsing a budget-collapsed
+                // partition whose pinned component departed.
+                for comm in departed.drain(..) {
+                    shards.depart(&comm, slots);
+                }
             }
         }
         done
@@ -1124,6 +1269,7 @@ impl<M: PenaltyModel + Clone> FluidNetwork<M> {
                 comms_buf: Vec::new(),
                 opened: Vec::new(),
                 due: Vec::new(),
+                departed: Vec::new(),
             }),
         }
     }
@@ -1469,6 +1615,55 @@ mod tests {
         assert!(stats.model_queries > 0, "{stats:?}");
         let tstats = sharded.timeline_stats();
         assert!(tstats.heap_pushes > 0, "{tstats:?}");
+    }
+
+    #[test]
+    fn bridge_departure_splits_the_partition_live() {
+        // Two components bridged by one short flow: when the bridge
+        // completes mid-run the component breaks back apart, and the
+        // refining engine re-splits the shard while the merge-only
+        // ablation stays fused — both bitwise equal to the heap engine.
+        let add_all = |net: &mut FluidNetwork<MyrinetModel>| {
+            net.add(0, comm(0, 1, 200), 0.0);
+            net.add(1, comm(0, 2, 200), 0.0);
+            net.add(2, comm(10, 11, 200), 0.0);
+            net.add(3, comm(10, 12, 200), 0.0);
+            net.add(4, comm(2, 10, 10), 0.0); // the bridge, finishes first
+        };
+        let params = NetworkParams::unit();
+        let mut heap = FluidNetwork::new(MyrinetModel::default(), params);
+        let mut refine = FluidNetwork::new(MyrinetModel::default(), params).with_sharded();
+        let mut fused =
+            FluidNetwork::new(MyrinetModel::default(), params).with_sharded_merge_only();
+        add_all(&mut heap);
+        add_all(&mut refine);
+        add_all(&mut fused);
+        assert_eq!(refine.shard_count(), 1, "the bridge fuses everything");
+        let mut a = heap.advance_to(100.0);
+        let mut b = refine.advance_to(100.0);
+        let mut c = fused.advance_to(100.0);
+        assert_eq!(b.len(), 1, "only the bridge completed by t=100");
+        assert_eq!(refine.shard_count(), 2, "bridge departure re-splits");
+        assert_eq!(refine.shard_stats().splits, 1);
+        assert_eq!(fused.shard_count(), 1, "merge-only never splits");
+        a.extend(heap.run_to_completion());
+        b.extend(refine.run_to_completion());
+        c.extend(fused.run_to_completion());
+        for done in [&mut a, &mut b, &mut c] {
+            done.sort_by_key(|d| d.key);
+        }
+        assert_eq!(a.len(), 5);
+        for ((x, y), z) in a.iter().zip(&b).zip(&c) {
+            assert_eq!(x.completion.to_bits(), y.completion.to_bits(), "refine");
+            assert_eq!(x.completion.to_bits(), z.completion.to_bits(), "fused");
+        }
+        // The drained population quiesced the partition (both symmetric
+        // components finish in one final batch, which resets the table
+        // wholesale rather than retiring shards one by one); the shape
+        // counters survive the quiesce.
+        let stats = refine.shard_stats();
+        assert_eq!(stats.live_shards, 0);
+        assert_eq!((stats.splits, stats.merges), (1, 1), "{stats:?}");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! shared churn generator in `netbw-bench` — the same source the churn
 //! bench and the `churn_smoke` CI guard draw from.
 
-use netbw_bench::{churn_transfers_seeded, multi_component_churn};
+use netbw_bench::{bridge_wave_churn, churn_transfers_seeded, multi_component_churn};
 use netbw_core::{GigabitEthernetModel, InfinibandModel, MyrinetModel, PenaltyModel};
 use netbw_fluid::{FluidNetwork, NetworkParams, TimelineStats};
 use netbw_graph::Communication;
@@ -15,13 +15,16 @@ use proptest::prelude::*;
 /// The four engine configurations under test: the event-heap timeline
 /// (default), the pre-heap linear scans over the incremental cache, the
 /// pre-refactor full-recompute oracle, and the component-sharded engine
-/// (one cache + scratch + timeline per conflict component).
+/// (one cache + scratch + timeline per conflict component). `MergeOnly`
+/// is the sharded engine with departure-driven splitting disabled — the
+/// refinement ablation, equally bound by bitwise equality.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Mode {
     Heap,
     Linear,
     Oracle,
     Sharded,
+    MergeOnly,
 }
 
 fn build<M: PenaltyModel>(model: M, mode: Mode) -> FluidNetwork<M> {
@@ -31,6 +34,7 @@ fn build<M: PenaltyModel>(model: M, mode: Mode) -> FluidNetwork<M> {
         Mode::Linear => net.with_linear_timeline(),
         Mode::Oracle => net.with_full_recompute(),
         Mode::Sharded => net.with_sharded(),
+        Mode::MergeOnly => net.with_sharded_merge_only(),
     }
 }
 
@@ -227,6 +231,102 @@ proptest! {
         check!(MyrinetModel::default());
         check!(InfinibandModel::default());
     }
+
+    /// Mid-run component splits: the bridge-wave workload merges the
+    /// partition every wave and carves it back apart when the bridges
+    /// complete, so the splitting machinery (slab-key partitioning, cache
+    /// forks, heap rebuilds, slot reuse) runs continuously mid-drain. All
+    /// five modes — including the merge-only ablation, whose partition
+    /// shape differs — must agree bitwise on all three models, because a
+    /// union of components is still a safe partition cell.
+    #[test]
+    fn bridge_wave_splits_agree_across_all_modes(
+        seed in 0u64..1_000_000,
+        comps in 2usize..4,
+        flows_per_comp in 4usize..9,
+        waves in 1usize..4,
+        stagger_pick in 0usize..3,
+    ) {
+        let stagger = [0.5, 5.0, 40.0][stagger_pick];
+        let transfers = bridge_wave_churn(comps, flows_per_comp, waves, stagger, seed);
+        macro_rules! check {
+            ($model:expr) => {{
+                let (fast, _, _) = drain($model, &transfers, Mode::Heap);
+                let (lin, _, _) = drain($model, &transfers, Mode::Linear);
+                let (slow, _, _) = drain($model, &transfers, Mode::Oracle);
+                let (shard, _, _) = drain($model, &transfers, Mode::Sharded);
+                let (fused, _, _) = drain($model, &transfers, Mode::MergeOnly);
+                prop_assert_eq!(fast.len(), transfers.len());
+                for modeled in [&lin, &slow, &shard, &fused] {
+                    prop_assert_eq!(fast.len(), modeled.len());
+                    for (&(ka, ta), &(kb, tb)) in fast.iter().zip(modeled) {
+                        prop_assert_eq!(ka, kb);
+                        prop_assert_eq!(ta.to_bits(), tb.to_bits(),
+                            "key {}: {} vs {}", ka, ta, tb);
+                    }
+                }
+            }};
+        }
+        check!(GigabitEthernetModel::default());
+        check!(MyrinetModel::default());
+        check!(InfinibandModel::default());
+
+        // The refining engine must have actually exercised the partition:
+        // every wave's bridge chain coarsens it, and (stagger permitting)
+        // its completion refines it back.
+        let mut net = build(GigabitEthernetModel::default(), Mode::Sharded);
+        drain_into(&mut net, &transfers);
+        let stats = net.shard_stats();
+        prop_assert!(
+            stats.merges >= (comps - 1) as u64,
+            "bridges must merge shards: {:?}", stats
+        );
+    }
+
+    /// Split-then-rebridge round-trips: two components joined and re-joined
+    /// by a sequence of short bridges, each gone before the next arrives.
+    /// The partition round-trips merged → split → merged; the kept shard
+    /// and the splinter must stay interchangeable with the fused modes at
+    /// every step — bitwise, on all three models.
+    #[test]
+    fn split_rebridge_round_trips_agree_across_all_modes(
+        seed in 0u64..1_000_000,
+        flows in 4usize..12,
+        stagger_pick in 0usize..3,
+        bridges in 2usize..5,
+        sa in 0u32..64,
+        sb in 0u32..64,
+    ) {
+        let stagger = [0.5, 5.0, 40.0][stagger_pick];
+        let mut transfers = multi_component_churn(2, flows, stagger, seed);
+        let nodes = (flows.max(4) / 2) as u32;
+        let horizon = stagger * flows as f64 + 1.0;
+        for r in 0..bridges {
+            let key = transfers.len() as u64;
+            let bridge = Communication::new(sa % nodes, nodes + sb % nodes, 20);
+            transfers.push((key, bridge, horizon * r as f64 / bridges as f64));
+        }
+        macro_rules! check {
+            ($model:expr) => {{
+                let (fast, _, _) = drain($model, &transfers, Mode::Heap);
+                let (slow, _, _) = drain($model, &transfers, Mode::Oracle);
+                let (shard, _, _) = drain($model, &transfers, Mode::Sharded);
+                let (fused, _, _) = drain($model, &transfers, Mode::MergeOnly);
+                prop_assert_eq!(fast.len(), transfers.len());
+                for modeled in [&slow, &shard, &fused] {
+                    prop_assert_eq!(fast.len(), modeled.len());
+                    for (&(ka, ta), &(kb, tb)) in fast.iter().zip(modeled) {
+                        prop_assert_eq!(ka, kb);
+                        prop_assert_eq!(ta.to_bits(), tb.to_bits(),
+                            "key {}: {} vs {}", ka, ta, tb);
+                    }
+                }
+            }};
+        }
+        check!(GigabitEthernetModel::default());
+        check!(MyrinetModel::default());
+        check!(InfinibandModel::default());
+    }
 }
 
 #[test]
@@ -236,13 +336,20 @@ fn zero_size_transfers_complete_at_their_gate_in_all_modes() {
     // including one landing exactly on another flow's completion instant.
     // All three timelines must agree bitwise.
     let mut results = Vec::new();
-    for mode in [Mode::Heap, Mode::Linear, Mode::Oracle, Mode::Sharded] {
+    for mode in [
+        Mode::Heap,
+        Mode::Linear,
+        Mode::Oracle,
+        Mode::Sharded,
+        Mode::MergeOnly,
+    ] {
         let mut net = FluidNetwork::new(MyrinetModel::default(), NetworkParams::new(1.0, 0.0));
         net = match mode {
             Mode::Heap => net,
             Mode::Linear => net.with_linear_timeline(),
             Mode::Oracle => net.with_full_recompute(),
             Mode::Sharded => net.with_sharded(),
+            Mode::MergeOnly => net.with_sharded_merge_only(),
         };
         net.add(0, Communication::new(0u32, 1u32, 100), 0.0);
         net.add(1, Communication::new(0u32, 2u32, 0), 0.0); // flashes at t=0
@@ -268,9 +375,10 @@ fn zero_size_transfers_complete_at_their_gate_in_all_modes() {
         results.push(done);
     }
     let heap = &results[0];
-    for (done, mode) in results[1..]
-        .iter()
-        .zip([Mode::Linear, Mode::Oracle, Mode::Sharded])
+    for (done, mode) in
+        results[1..]
+            .iter()
+            .zip([Mode::Linear, Mode::Oracle, Mode::Sharded, Mode::MergeOnly])
     {
         for (&(ka, ta), &(kb, tb)) in heap.iter().zip(done) {
             assert_eq!(ka, kb, "{mode:?}");
@@ -528,4 +636,96 @@ fn budget_fallback_collapses_the_partition_and_stays_bitwise() {
         assert_eq!(hk, ok);
         assert_eq!(ht.to_bits(), ot.to_bits(), "key {hk}: heap vs oracle");
     }
+}
+
+/// Split after a budget collapse: the C8 cycle blows the state-set budget
+/// and collapses the partition, pinned to its component. When C8 drains,
+/// the collapse must lift *mid-run* — the partition is rebuilt from the
+/// live slab (the surviving C6 component and a still-gated future flow
+/// each get a shard back), C6's penalties return to exact, and every mode
+/// still agrees bitwise. The merge-only ablation never un-collapses and
+/// must agree all the same.
+#[test]
+fn pinned_collapse_lifts_when_the_offender_departs_and_stays_bitwise() {
+    let c8 = [
+        (0u32, 1u32),
+        (2, 1),
+        (2, 3),
+        (4, 3),
+        (4, 5),
+        (6, 5),
+        (6, 7),
+        (0, 7),
+    ];
+    let c6 = [(8u32, 9u32), (10, 9), (10, 11), (12, 11), (12, 13), (8, 13)];
+    let mut transfers: Vec<(u64, Communication, f64)> = c8
+        .iter()
+        .map(|&(s, d)| Communication::new(s, d, 2_000))
+        .chain(c6.iter().map(|&(s, d)| Communication::new(s, d, 8_000)))
+        .enumerate()
+        .map(|(i, comm)| (i as u64, comm, 0.0))
+        .collect();
+    // A latecomer, gated until long after the collapse lifts: the rebuild
+    // must re-seat still-gated flows too.
+    transfers.push((14, Communication::new(20u32, 21u32, 1_000), 6_500.0));
+
+    let (heap, ..) = drain(MyrinetModel::with_budget(9), &transfers, Mode::Heap);
+    let (oracle, ..) = drain(MyrinetModel::with_budget(9), &transfers, Mode::Oracle);
+    let (fused, ..) = drain(MyrinetModel::with_budget(9), &transfers, Mode::MergeOnly);
+
+    let mut net = build(MyrinetModel::with_budget(9), Mode::Sharded);
+    for &(key, comm, start) in &transfers {
+        net.add(key, comm, start);
+    }
+    assert_eq!(net.shard_count(), 3, "C8, C6 and the gated latecomer");
+    net.advance_to(0.3); // first populated settle: C8 blows the budget
+    let stats = net.shard_stats();
+    assert!(stats.collapsed, "{stats:?}");
+    assert_eq!(stats.budget_collapses, 1, "{stats:?}");
+    assert_eq!(net.shard_count(), 1, "collapsed into the global shard");
+
+    // Past C8's drain, before C6 finishes or the latecomer arrives.
+    let mut sharded: Vec<(u64, f64)> = net
+        .advance_to(6_000.0)
+        .into_iter()
+        .map(|c| (c.key, c.completion))
+        .collect();
+    assert_eq!(sharded.len(), 8, "all of C8 drains by t=6000");
+    let stats = net.shard_stats();
+    assert!(!stats.collapsed, "the pinned component left: {stats:?}");
+    assert_eq!(stats.uncollapses, 1, "{stats:?}");
+    assert_eq!(
+        net.shard_count(),
+        2,
+        "C6 and the still-gated latecomer get their shards back"
+    );
+
+    sharded.extend(
+        net.run_to_completion()
+            .into_iter()
+            .map(|c| (c.key, c.completion)),
+    );
+    sharded.sort_by_key(|&(k, _)| k);
+    assert_eq!(net.shard_count(), 0, "full drain quiesces");
+    for (modeled, name) in [(&heap, "heap"), (&oracle, "oracle"), (&fused, "merge-only")] {
+        assert_eq!(sharded.len(), modeled.len(), "{name}");
+        for (&(ka, ta), &(kb, tb)) in sharded.iter().zip(modeled.iter()) {
+            assert_eq!(ka, kb, "{name}");
+            assert_eq!(
+                ta.to_bits(),
+                tb.to_bits(),
+                "sharded vs {name}, key {ka}: {ta} vs {tb}"
+            );
+        }
+    }
+
+    // The ablation keeps the collapse for good.
+    let mut fused_net = build(MyrinetModel::with_budget(9), Mode::MergeOnly);
+    for &(key, comm, start) in &transfers {
+        fused_net.add(key, comm, start);
+    }
+    fused_net.advance_to(6_000.0);
+    let stats = fused_net.shard_stats();
+    assert!(stats.collapsed, "merge-only never un-collapses: {stats:?}");
+    assert_eq!(stats.uncollapses, 0, "{stats:?}");
 }

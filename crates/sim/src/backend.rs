@@ -7,7 +7,7 @@
 //! * [`netbw_packet::PacketNetwork`] — the simulated hardware, the
 //!   **measured** side.
 
-use netbw_fluid::{CacheStats, TimelineStats};
+use netbw_fluid::{CacheStats, ShardStats, TimelineStats};
 use netbw_graph::Communication;
 
 /// An inter-node transfer service: transfers are keyed, started at given
@@ -44,6 +44,12 @@ pub trait NetworkBackend {
     fn timeline_stats(&self) -> Option<TimelineStats> {
         None
     }
+    /// Partition-shape counters (live shard count, splits, merges, budget
+    /// collapses/un-collapses), for backends that shard their population
+    /// by conflict component (`None` otherwise).
+    fn shard_stats(&self) -> Option<ShardStats> {
+        None
+    }
 }
 
 /// Mutable references forward, so a caller can keep the backend (and its
@@ -67,6 +73,10 @@ impl<B: NetworkBackend + ?Sized> NetworkBackend for &mut B {
 
     fn timeline_stats(&self) -> Option<TimelineStats> {
         (**self).timeline_stats()
+    }
+
+    fn shard_stats(&self) -> Option<ShardStats> {
+        (**self).shard_stats()
     }
 }
 
@@ -92,6 +102,10 @@ impl<M: netbw_core::PenaltyModel> NetworkBackend for netbw_fluid::FluidNetwork<M
 
     fn timeline_stats(&self) -> Option<TimelineStats> {
         Some(netbw_fluid::FluidNetwork::timeline_stats(self))
+    }
+
+    fn shard_stats(&self) -> Option<ShardStats> {
+        Some(netbw_fluid::FluidNetwork::shard_stats(self))
     }
 }
 
@@ -194,6 +208,22 @@ mod tests {
             .expect("sharded fluid exposes timeline stats");
         assert!(tl.heap_pushes >= 2, "{tl:?}");
         assert_eq!(tl.rescans, 2, "one first-settle rescan per shard: {tl:?}");
+        let shape = b.shard_stats().expect("sharded fluid exposes shard stats");
+        assert_eq!(shape.merges, 0, "components stay disjoint: {shape:?}");
+        assert_eq!(shape.splits, 0, "{shape:?}");
+        assert!(!shape.collapsed, "{shape:?}");
+    }
+
+    #[test]
+    fn unsharded_fluid_backend_reports_trivial_partition() {
+        // A fused (unsharded) fluid backend still answers `shard_stats`,
+        // with the trivial single-cell shape, so reporting code can tell
+        // "no partition machinery" (packet) apart from "one cell" (fused).
+        let mut b: Box<dyn NetworkBackend> =
+            Box::new(FluidNetwork::new(LinearModel, NetworkParams::unit()));
+        b.add(0, Communication::new(0u32, 1u32, 100), 0.0);
+        let shape = b.shard_stats().expect("fluid exposes shard stats");
+        assert_eq!(shape.splits, 0, "{shape:?}");
     }
 
     #[test]
@@ -201,6 +231,7 @@ mod tests {
         let b: Box<dyn NetworkBackend> = Box::new(PacketNetwork::new(FabricConfig::gige(), 2));
         assert!(b.cache_stats().is_none());
         assert!(b.timeline_stats().is_none());
+        assert!(b.shard_stats().is_none());
     }
 
     #[test]

@@ -129,6 +129,50 @@ fn main() {
         tl.rescans,
     );
 
+    section("Serve path (what-if service: snapshot re-bases + warm fork arenas)");
+    // A small live service: admissions and clock advances interleave with
+    // query batches, so the churn travels the snapshot re-base path and
+    // the per-query forks recycle the worker arenas.
+    let serve = WhatIfService::new(ServeConfig::default());
+    let sizes = [262_144u64, 1_048_576, 4_194_304];
+    for i in 0..60usize {
+        let comm = netbw::graph::Communication::new(
+            (i % 12) as u32,
+            (12 + i % 6) as u32,
+            sizes[i % sizes.len()],
+        );
+        serve
+            .admit(comm, i as f64 * 0.003)
+            .expect("serve admission");
+    }
+    serve.advance_to(0.1).expect("advance into the load");
+    for round in 0..4usize {
+        let queries: Vec<WhatIfQuery> = (0..8u64)
+            .map(|q| {
+                WhatIfQuery::flow(
+                    netbw::graph::Communication::new(
+                        ((round as u64 * 5 + q) % 10) as u32,
+                        (12 + q % 6) as u32,
+                        sizes[q as usize % sizes.len()],
+                    ),
+                    (q % 3) as f64 * 0.001,
+                )
+            })
+            .collect();
+        for answer in serve.what_if_batch(&queries) {
+            answer.expect("what-if answered");
+        }
+        let now = serve.now() + 0.004;
+        serve.advance_to(now).expect("inter-round advance");
+        serve
+            .admit(
+                netbw::graph::Communication::new(20u32, (12 + round % 6) as u32, sizes[round % 3]),
+                now,
+            )
+            .expect("inter-round admission");
+    }
+    println!("{}", serve.stats());
+
     section("Partition shape (sharded engine, 16-component bridge-wave churn)");
     // Driven through the `NetworkBackend` trait object, the same surface the
     // simulator uses. Waves are fed incrementally — shards are assigned at

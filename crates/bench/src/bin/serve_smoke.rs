@@ -105,7 +105,8 @@ fn main() {
         let mut rebuild_total = Duration::ZERO;
         for round in 0..ROUNDS {
             // live churn between rounds: the clock moves and one more
-            // transfer lands, so each round re-forks the snapshot once
+            // transfer lands — each lands on the snapshot as an O(delta)
+            // re-base, so the rounds share one snapshot build
             let now = service.now() + 0.005;
             service.advance_to(now).expect("advance between rounds");
             service
@@ -148,10 +149,17 @@ fn main() {
     let json = format!(
         "{{\"log\": {BACKGROUND}, \"in_flight\": {in_flight}, \"queries\": {queries}, \
          \"cores\": {cores}, \"fork_ms\": {:.3}, \"rebuild_ms\": {:.3}, \"speedup\": {speedup:.3}, \
-         \"snapshot_reuse_rate\": {:.4}, \"tref_hit_rate\": {:.4}}}\n",
+         \"snapshot_builds\": {}, \"per_query_snapshot_reuse_rate\": {:.4}, \
+         \"per_batch_snapshot_reuse_rate\": {:.4}, \"rebases\": {}, \"rebase_fallbacks\": {}, \
+         \"fork_reuses\": {}, \"tref_hit_rate\": {:.4}}}\n",
         m_fork.as_secs_f64() * 1e3,
         m_rebuild.as_secs_f64() * 1e3,
-        stats.snapshot_reuse_rate(),
+        stats.snapshot_builds,
+        stats.per_query_snapshot_reuse_rate(),
+        stats.per_batch_snapshot_reuse_rate(),
+        stats.rebases,
+        stats.rebase_fallbacks,
+        stats.fork_reuses,
         stats.sweep.tref_hit_rate(),
     );
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
@@ -159,8 +167,19 @@ fn main() {
 
     assert_eq!(stats.queries, queries, "fork-path queries miscounted");
     assert!(
-        stats.snapshot_reuse_rate() > 0.9,
+        stats.per_query_snapshot_reuse_rate() > 0.9,
         "snapshot cache regressed: {stats}"
+    );
+    // The churn between rounds must travel the re-base path (one build,
+    // then O(delta) replays), and steady-state per-query forks must
+    // recycle the worker arenas instead of deep-copying afresh.
+    assert!(
+        stats.rebases > 0,
+        "inter-round churn never re-based: {stats}"
+    );
+    assert!(
+        stats.fork_reuses > 0,
+        "per-worker fork arenas never recycled: {stats}"
     );
     // one Tref measurement per size per worker at worst — everything else
     // must come from the worker-local and session-shared memos

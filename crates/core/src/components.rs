@@ -179,6 +179,25 @@ impl ComponentTracker {
         self.mark_gen = 0;
     }
 
+    /// Makes `target` an exact copy of `self` while reusing `target`'s
+    /// allocations (the allocation-preserving counterpart of `clone`).
+    /// Sweep scratch is copied too, so a forked tracker is bitwise
+    /// indistinguishable from a cloned one.
+    pub fn fork_into(&self, target: &mut Self) {
+        target.index.clone_from(&self.index);
+        target.nodes.clone_from(&self.nodes);
+        target.parent.clone_from(&self.parent);
+        target.rank.clone_from(&self.rank);
+        target.adj.clone_from(&self.adj);
+        target.incident.clone_from(&self.incident);
+        target.free.clone_from(&self.free);
+        target.components = self.components;
+        target.mark.clone_from(&self.mark);
+        target.mark_gen = self.mark_gen;
+        target.stack.clone_from(&self.stack);
+        target.visited.clone_from(&self.visited);
+    }
+
     /// The root of the component containing `node`, or `None` if the node
     /// is not in the live population.
     pub fn find(&mut self, node: NodeId) -> Option<ComponentRoot> {

@@ -35,6 +35,12 @@ pub trait ModelScratch: Any + Send {
     /// the exact same bits. This is what lets a warm `FluidNetwork` be
     /// forked for speculative what-if queries without a rebuild.
     fn fork(&self) -> Box<dyn ModelScratch>;
+    /// [`fork`](Self::fork) into an existing scratch, reusing its
+    /// allocations where the concrete type allows. Returns `false` when
+    /// `target` holds a different concrete type (the caller falls back to
+    /// a fresh `fork`); on `true`, `target` is bitwise-behaviourally equal
+    /// to what `fork` would have produced.
+    fn fork_into(&self, target: &mut dyn ModelScratch) -> bool;
 }
 
 impl<T: Any + Send + Clone> ModelScratch for T {
@@ -46,6 +52,15 @@ impl<T: Any + Send + Clone> ModelScratch for T {
     }
     fn fork(&self) -> Box<dyn ModelScratch> {
         Box::new(self.clone())
+    }
+    fn fork_into(&self, target: &mut dyn ModelScratch) -> bool {
+        match target.as_any_mut().downcast_mut::<T>() {
+            Some(t) => {
+                t.clone_from(self);
+                true
+            }
+            None => false,
+        }
     }
 }
 
@@ -167,6 +182,25 @@ mod tests {
         assert_eq!(
             (*forked).as_any().downcast_ref::<Vec<u64>>().unwrap().len(),
             4
+        );
+    }
+
+    #[test]
+    fn fork_into_reuses_on_type_match_and_refuses_on_mismatch() {
+        let src: Box<dyn ModelScratch> = Box::new(vec![7u64, 8, 9]);
+        let mut tgt: Box<dyn ModelScratch> = Box::new(vec![0u64; 16]);
+        assert!(
+            (*src).fork_into(&mut *tgt),
+            "same concrete type must clone into"
+        );
+        assert_eq!(
+            (*tgt).as_any().downcast_ref::<Vec<u64>>().unwrap(),
+            &vec![7u64, 8, 9]
+        );
+        let mut wrong: Box<dyn ModelScratch> = Box::new(NoScratch);
+        assert!(
+            !(*src).fork_into(&mut *wrong),
+            "a type mismatch must report failure, not panic"
         );
     }
 

@@ -115,6 +115,13 @@ impl std::fmt::Display for SweepStats {
 #[derive(Default)]
 struct SessionShared {
     tref: Mutex<HashMap<FabricKey, TrefCache>>,
+    /// Fork arenas parked between sweep calls, keyed by `(caller key,
+    /// worker index)`: opaque warm state (the serve hot path parks a whole
+    /// forked engine) that a worker checks out at first use and its drop
+    /// flushes back, so steady-state re-forks reuse the allocations of the
+    /// previous sweep's fork instead of building a fresh deep copy. Keyed
+    /// per worker, an arena is never aliased across live workers.
+    fork_arenas: Mutex<HashMap<(u64, usize), Box<dyn std::any::Any + Send>>>,
     items: AtomicU64,
     fabrics_built: AtomicU64,
     fabrics_reused: AtomicU64,
@@ -175,7 +182,14 @@ struct LocalCounters {
 /// wrap).
 pub struct SweepWorker<'a> {
     shared: Option<&'a SessionShared>,
+    /// This worker's stable index on the session executor (0 for
+    /// standalone workers) — the second half of the fork-arena key.
+    index: usize,
     arenas: HashMap<FabricKey, PacketFabric>,
+    /// Fork arenas checked out from the session for the duration of one
+    /// sweep call (see [`SessionShared::fork_arenas`]); flushed back on
+    /// drop so they survive into the next sweep.
+    fork_arenas: HashMap<u64, Box<dyn std::any::Any + Send>>,
     trefs: HashMap<FabricKey, TrefCache>,
     /// Reusable solvers keyed by model *instance*: `(name, address)`.
     /// The address distinguishes differently calibrated instances of one
@@ -187,10 +201,12 @@ pub struct SweepWorker<'a> {
 }
 
 impl<'a> SweepWorker<'a> {
-    fn attached(shared: &'a SessionShared) -> Self {
+    fn attached(shared: &'a SessionShared, index: usize) -> Self {
         SweepWorker {
             shared: Some(shared),
+            index,
             arenas: HashMap::new(),
+            fork_arenas: HashMap::new(),
             trefs: HashMap::new(),
             solvers: HashMap::new(),
             local: LocalCounters::default(),
@@ -203,11 +219,39 @@ impl<'a> SweepWorker<'a> {
     pub fn standalone() -> Self {
         SweepWorker {
             shared: None,
+            index: 0,
             arenas: HashMap::new(),
+            fork_arenas: HashMap::new(),
             trefs: HashMap::new(),
             solvers: HashMap::new(),
             local: LocalCounters::default(),
         }
+    }
+
+    /// Checks the fork arena for `key` out of the worker (falling back to
+    /// the session's parked arenas from earlier sweep calls). The caller
+    /// owns the arena until [`Self::put_fork_arena`] hands it back —
+    /// taking it out of the worker sidesteps any borrow of the worker's
+    /// other reusable state while the arena is in use. Returns `None` on
+    /// a cold key (and always for standalone workers' first use), in
+    /// which case the caller builds the state fresh and still hands it
+    /// back to warm the next use.
+    pub fn take_fork_arena(&mut self, key: u64) -> Option<Box<dyn std::any::Any + Send>> {
+        if let Some(arena) = self.fork_arenas.remove(&key) {
+            return Some(arena);
+        }
+        let shared = self.shared?;
+        shared
+            .fork_arenas
+            .lock()
+            .expect("session fork arenas")
+            .remove(&(key, self.index))
+    }
+
+    /// Returns a fork arena to the worker; it survives into later sweep
+    /// calls of the same session (flushed back on worker drop).
+    pub fn put_fork_arena(&mut self, key: u64, arena: Box<dyn std::any::Any + Send>) {
+        self.fork_arenas.insert(key, arena);
     }
 
     /// The arena fabric for `cfg`, reset and large enough for `nodes`
@@ -370,6 +414,12 @@ impl Drop for SweepWorker<'_> {
         let Some(shared) = self.shared else {
             return;
         };
+        if !self.fork_arenas.is_empty() {
+            let mut parked = shared.fork_arenas.lock().expect("session fork arenas");
+            for (key, arena) in self.fork_arenas.drain() {
+                parked.insert((key, self.index), arena);
+            }
+        }
         let mut nb = self.local.networks_built;
         let mut nr = self.local.networks_reused;
         for fab in self.arenas.values() {
@@ -446,7 +496,7 @@ impl EvalSession {
         let exec = SweepExecutor::new(self.threads);
         let (out, exec_stats) = exec.map_init(
             items,
-            |_| SweepWorker::attached(&self.shared),
+            |w| SweepWorker::attached(&self.shared, w),
             |worker, item, _| f(worker, item),
         );
         self.shared

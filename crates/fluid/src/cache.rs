@@ -185,6 +185,35 @@ impl PenaltyCache {
         }
     }
 
+    /// [`Self::fork`] into an existing cache, reusing its allocations.
+    /// Identical outcome to `*target = self.fork()` — bitwise, scratch
+    /// included — but steady-state re-forks into a warm target allocate
+    /// nothing: containers `clone_from`, and the model scratch clones in
+    /// place via [`ModelScratch::fork_into`] whenever the concrete scratch
+    /// types line up (falling back to a fresh `fork` when they don't).
+    pub fn fork_into(&self, target: &mut PenaltyCache) {
+        target.active.clone_from(&self.active);
+        target.comms.clone_from(&self.comms);
+        target.penalties.clone_from(&self.penalties);
+        target.valid = self.valid;
+        target.settled_once = self.settled_once;
+        target.pending_arrivals.clone_from(&self.pending_arrivals);
+        target
+            .pending_departures
+            .clone_from(&self.pending_departures);
+        target.pending_rebuild = self.pending_rebuild;
+        let scratch_reused = match (&self.scratch, &mut target.scratch) {
+            (Some(src), Some(tgt)) => src.fork_into(&mut **tgt),
+            _ => false,
+        };
+        if !scratch_reused {
+            target.scratch = self.scratch.as_ref().map(|s| s.fork());
+        }
+        target.affected.clone_from(&self.affected);
+        target.staged_arrivals.clone_from(&self.staged_arrivals);
+        target.stats = self.stats;
+    }
+
     /// Returns the cache to its pre-first-settle state while keeping the
     /// model scratch allocation and the cumulative stats. The next refresh
     /// issues a full rebuild query (no positional delta can bridge a

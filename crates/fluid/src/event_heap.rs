@@ -161,6 +161,16 @@ impl EventHeaps {
         self.gates.clear();
     }
 
+    /// Makes `target` an exact copy of `self` — heap layout, stamps and
+    /// stats included — while reusing `target`'s heap allocations
+    /// (`BinaryHeap::clone_from` delegates to the backing `Vec`'s). The
+    /// allocation-preserving counterpart of `clone`.
+    pub(crate) fn fork_into(&self, target: &mut Self) {
+        target.completions.clone_from(&self.completions);
+        target.gates.clone_from(&self.gates);
+        target.stats = self.stats;
+    }
+
     /// Records a (re-)anchored flow's cached finish time. `epoch` must be
     /// the slab's *current* stamp for `key` (i.e. the caller bumped it
     /// just before), so exactly one entry per flow is live.

@@ -1273,6 +1273,41 @@ impl<M: PenaltyModel + Clone> FluidNetwork<M> {
             }),
         }
     }
+
+    /// [`Self::fork`] into an existing engine, reusing `target`'s
+    /// allocations all the way down: slab, penalty cache (model scratch
+    /// included, via [`netbw_core::ModelScratch::fork_into`]), event
+    /// heaps, and — in sharded mode — the whole shard table clone in
+    /// place. The outcome is bitwise indistinguishable from
+    /// `*target = self.fork()` (pinned by the `rebase_equivalence`
+    /// proptests), but a steady-state re-fork into a warm target
+    /// allocates nothing — this is the serve hot path's per-worker fork
+    /// arena.
+    ///
+    /// `target`'s own history is discarded wholesale; its scratch
+    /// buffers are cleared, not copied, exactly as `fork` starts them
+    /// empty (they are always drained before use).
+    pub fn fork_into(&self, target: &mut Self) {
+        let st = self.state.lock().expect("engine state lock");
+        target.model = self.model.clone();
+        target.params = self.params;
+        target.record_phases = self.record_phases;
+        target.full_recompute = self.full_recompute;
+        target.heap_timeline = self.heap_timeline;
+        target.sharded = self.sharded;
+        target.dispatch = Arc::clone(&self.dispatch);
+        let tgt = target.state.get_mut().expect("target engine state lock");
+        tgt.time = st.time;
+        st.slots.fork_into(&mut tgt.slots);
+        st.cache.fork_into(&mut tgt.cache);
+        st.events.fork_into(&mut tgt.events);
+        st.shards.fork_into(&mut tgt.shards);
+        tgt.staged.clear();
+        tgt.comms_buf.clear();
+        tgt.opened.clear();
+        tgt.due.clear();
+        tgt.departed.clear();
+    }
 }
 
 /// Appends a phase, merging with the previous one when the penalty is

@@ -160,6 +160,20 @@ impl Shard {
             dirty: self.dirty,
         }
     }
+
+    /// [`Self::fork`] into an existing shard, reusing its allocations
+    /// (cache via [`PenaltyCache::fork_into`], heaps via
+    /// [`EventHeaps::fork_into`]). Bitwise identical outcome to `fork`.
+    fn fork_into(&self, target: &mut Shard) {
+        target.root = self.root;
+        self.cache.fork_into(&mut target.cache);
+        self.events.fork_into(&mut target.events);
+        target.members.clone_from(&self.members);
+        target.staged.clone_from(&self.staged);
+        target.comms_buf.clone_from(&self.comms_buf);
+        target.version = self.version;
+        target.dirty = self.dirty;
+    }
 }
 
 /// A cross-shard event-heap entry: one shard's next completion-or-gate
@@ -751,6 +765,43 @@ impl ShardSet {
             collapses: self.collapses,
             uncollapses: self.uncollapses,
         }
+    }
+
+    /// [`Self::fork`] into an existing shard table, reusing its
+    /// allocations: the tracker, the shard slots (matching `Some`/`Some`
+    /// slots clone in place, shard caches and heaps included) and every
+    /// side table `clone_from` into the target. Bitwise identical outcome
+    /// to `fork` — including the always-empty `candidates` scratch.
+    pub(crate) fn fork_into(&self, target: &mut ShardSet) {
+        self.tracker.fork_into(&mut target.tracker);
+        target.shard_of_root.clone_from(&self.shard_of_root);
+        target.shards.truncate(self.shards.len());
+        for (i, slot) in self.shards.iter().enumerate() {
+            if let Some(tgt) = target.shards.get_mut(i) {
+                match (slot, tgt) {
+                    (Some(src), Some(t)) => src.fork_into(t),
+                    (src, t) => *t = src.as_ref().map(Shard::fork),
+                }
+            } else {
+                target.shards.push(slot.as_ref().map(Shard::fork));
+            }
+        }
+        target.live = self.live;
+        target.free_slots.clone_from(&self.free_slots);
+        target.dirty.clone_from(&self.dirty);
+        target.next_events.clone_from(&self.next_events);
+        target.retired_cache = self.retired_cache;
+        target.retired_timeline = self.retired_timeline;
+        target.collapsed_into = self.collapsed_into;
+        target.collapsed_pin = self.collapsed_pin;
+        target.merge_only = self.merge_only;
+        target.reused_settles = self.reused_settles;
+        target.candidates.clear();
+        target.splits = self.splits;
+        target.merges = self.merges;
+        target.drains = self.drains;
+        target.collapses = self.collapses;
+        target.uncollapses = self.uncollapses;
     }
 
     /// Quiescent-barrier reset, called by the engine when the flow

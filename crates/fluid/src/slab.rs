@@ -117,6 +117,19 @@ impl<T> Slab<T> {
         self.len == 0
     }
 
+    /// Makes `target` an exact copy of `self` — generations, epochs and
+    /// free-list included — while reusing `target`'s allocations. The
+    /// allocation-preserving counterpart of `clone`: a forked slab hands
+    /// out the same key sequence the original would.
+    pub fn fork_into(&self, target: &mut Self)
+    where
+        T: Clone,
+    {
+        target.entries.clone_from(&self.entries);
+        target.free.clone_from(&self.free);
+        target.len = self.len;
+    }
+
     /// Stores `value`, returning its stable key. Freed slots are re-used
     /// (with a fresh generation) before the slab grows.
     pub fn insert(&mut self, value: T) -> FlowKey {

@@ -161,6 +161,12 @@ impl<M: PenaltyModel + Clone> FluidSolver<M> {
             net: self.net.fork(),
         }
     }
+
+    /// [`Self::fork`] into an existing solver, reusing its network's
+    /// allocations (see [`FluidNetwork::fork_into`]).
+    pub fn fork_into(&self, target: &mut Self) {
+        self.net.fork_into(&mut target.net);
+    }
 }
 
 /// One-shot convenience: completion times of a scheme under `model`,

@@ -50,5 +50,6 @@ mod service;
 
 pub use frontend::{ServeHandle, ServeRequest};
 pub use service::{
-    FlowAnswer, ServeConfig, ServeError, ServeStats, WhatIfAnswer, WhatIfQuery, WhatIfService,
+    EngineMode, FlowAnswer, ServeConfig, ServeError, ServeStats, WhatIfAnswer, WhatIfQuery,
+    WhatIfService,
 };

@@ -18,6 +18,44 @@ const SPEC_BASE: TransferKey = 1 << 63;
 /// and every per-query fork alias one model allocation.
 type ModelHandle = Arc<dyn PenaltyModel>;
 
+/// The service's key into each worker's fork arena (see
+/// [`netbw_eval::SweepWorker::take_fork_arena`]); one engine is parked
+/// per worker.
+const FORK_ARENA_KEY: u64 = 0;
+
+/// Which fluid-engine variant the service runs — authoritative engine,
+/// snapshot and rebuild ablation alike, so the bitwise-equality guards
+/// (fork == rebuild, re-base == fresh fork) can be pinned per mode. All
+/// five settle bit-for-bit identically; they differ only in how much work
+/// a settle costs (see `netbw-fluid`'s crate docs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EngineMode {
+    /// Lazy event heaps (the default production engine).
+    #[default]
+    Event,
+    /// Linear scan timeline (no heaps).
+    LinearTimeline,
+    /// Full-recompute oracle (every settle recomputes everything).
+    FullRecompute,
+    /// Conflict-component sharding over the event engine.
+    Sharded,
+    /// Sharding with departure refinement disabled (merge-only ablation).
+    ShardedMergeOnly,
+}
+
+impl EngineMode {
+    /// Applies the mode to a freshly built network.
+    fn apply(self, net: FluidNetwork<ModelHandle>) -> FluidNetwork<ModelHandle> {
+        match self {
+            EngineMode::Event => net,
+            EngineMode::LinearTimeline => net.with_linear_timeline(),
+            EngineMode::FullRecompute => net.with_full_recompute(),
+            EngineMode::Sharded => net.with_sharded(),
+            EngineMode::ShardedMergeOnly => net.with_sharded_merge_only(),
+        }
+    }
+}
+
 /// Configuration of a [`WhatIfService`].
 #[derive(Clone, Copy, Debug)]
 pub struct ServeConfig {
@@ -28,6 +66,8 @@ pub struct ServeConfig {
     pub fabric: FabricConfig,
     /// Worker ceiling for query batches (0 = available parallelism).
     pub threads: usize,
+    /// Fluid-engine variant (event heaps by default).
+    pub mode: EngineMode,
 }
 
 impl Default for ServeConfig {
@@ -37,6 +77,7 @@ impl Default for ServeConfig {
             params: NetworkParams::gige(),
             fabric: FabricConfig::gige(),
             threads: 0,
+            mode: EngineMode::Event,
         }
     }
 }
@@ -141,20 +182,50 @@ pub struct ServeStats {
     pub queries: u64,
     /// Snapshot forks taken from the authoritative engine.
     pub snapshot_builds: u64,
-    /// Queries served from an already-warm snapshot.
+    /// Queries served from an already-warm snapshot (every query of a
+    /// batch beyond the one that built it, plus whole batches served from
+    /// cache). Per-query unit — pairs with [`ServeStats::queries`].
     pub snapshot_reuses: u64,
+    /// Batches that found the snapshot cache warm (per-batch unit — pairs
+    /// with [`ServeStats::snapshot_builds`]).
+    pub snapshot_batch_reuses: u64,
+    /// Admission/advance deltas replayed onto the cached snapshot in
+    /// place (O(delta)) instead of invalidating it.
+    pub rebases: u64,
+    /// Re-bases that could not mutate the cached snapshot in place —
+    /// it was still aliased by an in-flight batch, so the delta was
+    /// applied to a privately re-based successor published in its stead
+    /// (paying one fork), or replay was refused and the snapshot dropped.
+    pub rebase_fallbacks: u64,
+    /// Per-query engine forks that recycled a warm per-worker arena via
+    /// `FluidNetwork::fork_into` instead of deep-copying afresh.
+    pub fork_reuses: u64,
     /// Executor / arena / `Tref` memo counters of the underlying session.
     pub sweep: SweepStats,
 }
 
 impl ServeStats {
-    /// Share of queries that did not force a snapshot rebuild, in `[0, 1]`.
-    pub fn snapshot_reuse_rate(&self) -> f64 {
-        let total = self.snapshot_builds + self.snapshot_reuses;
+    /// Share of *queries* answered without forking the authoritative
+    /// engine, in `[0, 1]` — the unit `serve_qps` guards. A batch of `n`
+    /// that builds the snapshot still serves `n - 1` queries from it.
+    pub fn per_query_snapshot_reuse_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.snapshot_reuses as f64 / self.queries as f64
+        }
+    }
+
+    /// Share of *batches* that found the snapshot cache warm, in
+    /// `[0, 1]`. Counts builds against whole-batch cache hits — the unit
+    /// the pre-re-base `snapshot_reuse_rate` conflated with per-query
+    /// reuses.
+    pub fn per_batch_snapshot_reuse_rate(&self) -> f64 {
+        let total = self.snapshot_builds + self.snapshot_batch_reuses;
         if total == 0 {
             0.0
         } else {
-            self.snapshot_reuses as f64 / total as f64
+            self.snapshot_batch_reuses as f64 / total as f64
         }
     }
 }
@@ -164,13 +235,18 @@ impl std::fmt::Display for ServeStats {
         write!(
             f,
             "{} admitted ({} completed) | {} queries | snapshots: {} built, {} reused \
-             ({:.1}% reuse) | {}",
+             ({:.1}% of queries, {:.1}% of batches) | {} rebases ({} fallbacks) | \
+             {} fork reuses | {}",
             self.admitted,
             self.completed,
             self.queries,
             self.snapshot_builds,
             self.snapshot_reuses,
-            self.snapshot_reuse_rate() * 100.0,
+            self.per_query_snapshot_reuse_rate() * 100.0,
+            self.per_batch_snapshot_reuse_rate() * 100.0,
+            self.rebases,
+            self.rebase_fallbacks,
+            self.fork_reuses,
             self.sweep,
         )
     }
@@ -209,6 +285,10 @@ pub struct WhatIfService {
     queries: AtomicU64,
     snapshot_builds: AtomicU64,
     snapshot_reuses: AtomicU64,
+    snapshot_batch_reuses: AtomicU64,
+    rebases: AtomicU64,
+    rebase_fallbacks: AtomicU64,
+    fork_reuses: AtomicU64,
 }
 
 impl WhatIfService {
@@ -219,7 +299,9 @@ impl WhatIfService {
 
     /// A service over an explicit penalty model.
     pub fn with_model(model: ModelHandle, config: ServeConfig) -> Self {
-        let net = FluidNetwork::new(Arc::clone(&model), config.params);
+        let net = config
+            .mode
+            .apply(FluidNetwork::new(Arc::clone(&model), config.params));
         WhatIfService {
             model,
             config,
@@ -234,12 +316,21 @@ impl WhatIfService {
             queries: AtomicU64::new(0),
             snapshot_builds: AtomicU64::new(0),
             snapshot_reuses: AtomicU64::new(0),
+            snapshot_batch_reuses: AtomicU64::new(0),
+            rebases: AtomicU64::new(0),
+            rebase_fallbacks: AtomicU64::new(0),
+            fork_reuses: AtomicU64::new(0),
         }
     }
 
     /// The service configuration.
     pub fn config(&self) -> &ServeConfig {
         &self.config
+    }
+
+    /// Number of sweep workers query batches fan out on.
+    pub fn threads(&self) -> usize {
+        self.session.threads()
     }
 
     /// The current service clock.
@@ -261,7 +352,10 @@ impl WhatIfService {
         st.net.try_add(key, comm, start)?;
         st.next_key += 1;
         st.log.push((key, comm, start));
-        st.snapshot = None;
+        // Re-base instead of invalidating: the same admission that just
+        // succeeded on the authoritative engine replays onto the cached
+        // snapshot at O(delta), keeping it bitwise equal to a fresh fork.
+        self.rebase(&mut st, |snap| snap.net.try_add(key, comm, start).is_ok());
         Ok(key)
     }
 
@@ -275,12 +369,17 @@ impl WhatIfService {
         }
         let done = st.net.advance_to(t);
         st.completed += done.len() as u64;
-        // Any real clock movement invalidates the snapshot: its cached
+        // Any real clock movement must reach the snapshot too: its cached
         // `now` (the origin of query offsets) must match the service
         // clock, and latency gates may have opened even when nothing
-        // completed. A no-op advance (`t == now`) keeps it warm.
+        // completed. The same `advance_to` replays onto the snapshot at
+        // O(affected); a no-op advance (`t == now`) touches nothing.
         if t > now {
-            st.snapshot = None;
+            self.rebase(&mut st, |snap| {
+                snap.net.advance_to(t);
+                snap.now = t;
+                true
+            });
         }
         Ok(done)
     }
@@ -295,7 +394,10 @@ impl WhatIfService {
     /// Answers a batch of speculative queries, fanned out on the session
     /// executor. Each query runs on a private fork of the shared snapshot
     /// (built at most once per batch), so queries neither perturb the
-    /// authoritative state nor each other.
+    /// authoritative state nor each other. The fork lands in the worker's
+    /// persistent fork arena: after each worker's first query ever, the
+    /// deep copy recycles the previous fork's allocations
+    /// ([`FluidNetwork::fork_into`]) instead of building a fresh engine.
     pub fn what_if_batch(&self, queries: &[WhatIfQuery]) -> Vec<Result<WhatIfAnswer, ServeError>> {
         if queries.is_empty() {
             return Vec::new();
@@ -304,7 +406,23 @@ impl WhatIfService {
         self.queries
             .fetch_add(queries.len() as u64, Ordering::Relaxed);
         self.session.sweep(queries, |worker, query| {
-            self.answer_on(snap.net.fork(), snap.now, worker, query)
+            // The arena engine is taken *out* of the worker for the
+            // query's duration, so `answer_on` can borrow the worker for
+            // `Tref` lookups while the engine is live.
+            let mut engine = match worker
+                .take_fork_arena(FORK_ARENA_KEY)
+                .and_then(|warm| warm.downcast::<FluidNetwork<ModelHandle>>().ok())
+            {
+                Some(mut warm) => {
+                    snap.net.fork_into(&mut warm);
+                    self.fork_reuses.fetch_add(1, Ordering::Relaxed);
+                    warm
+                }
+                None => Box::new(snap.net.fork()),
+            };
+            let answer = self.answer_on(&mut engine, snap.now, worker, query);
+            worker.put_fork_arena(FORK_ARENA_KEY, engine);
+            answer
         })
     }
 
@@ -312,7 +430,9 @@ impl WhatIfService {
     /// engine per query and replaying the full admission log. Bitwise
     /// identical to [`Self::what_if_batch`] (guarded by `serve_smoke` and
     /// the fork-equivalence proptests) — it exists to measure what the
-    /// fork path saves.
+    /// fork path saves, so it deliberately takes none of the shortcuts:
+    /// no snapshot, no re-base, no fork arena (pinned by the
+    /// `rebuild_ablation_takes_no_shortcuts` test).
     pub fn what_if_batch_via_rebuild(
         &self,
         queries: &[WhatIfQuery],
@@ -322,12 +442,15 @@ impl WhatIfService {
             (st.log.clone(), st.net.time())
         };
         self.session.sweep(queries, |worker, query| {
-            let mut net = FluidNetwork::new(Arc::clone(&self.model), self.config.params);
+            let mut net = self.config.mode.apply(FluidNetwork::new(
+                Arc::clone(&self.model),
+                self.config.params,
+            ));
             for &(key, comm, start) in &log {
                 net.add(key, comm, start);
             }
             net.advance_to(now);
-            self.answer_on(net, now, worker, query)
+            self.answer_on(&mut net, now, worker, query)
         })
     }
 
@@ -344,6 +467,10 @@ impl WhatIfService {
             queries: self.queries.load(Ordering::Relaxed),
             snapshot_builds: self.snapshot_builds.load(Ordering::Relaxed),
             snapshot_reuses: self.snapshot_reuses.load(Ordering::Relaxed),
+            snapshot_batch_reuses: self.snapshot_batch_reuses.load(Ordering::Relaxed),
+            rebases: self.rebases.load(Ordering::Relaxed),
+            rebase_fallbacks: self.rebase_fallbacks.load(Ordering::Relaxed),
+            fork_reuses: self.fork_reuses.load(Ordering::Relaxed),
             sweep: self.session.stats(),
         }
     }
@@ -352,12 +479,54 @@ impl WhatIfService {
         self.state.lock().expect("authoritative state lock")
     }
 
+    /// Replays one authoritative delta onto the cached snapshot (the
+    /// re-base lifecycle; runs under the state lock, so batches never
+    /// observe a half-applied snapshot). Three paths:
+    ///
+    /// * the cache is cold — nothing to do, the next batch forks fresh;
+    /// * the snapshot is unaliased (`Arc::get_mut`) — `apply` mutates it
+    ///   in place at O(delta), counted in [`ServeStats::rebases`];
+    /// * the snapshot is still aliased by an in-flight batch (its queries
+    ///   hold `Arc` clones and are forking it right now) — mutating it
+    ///   would race those forks, so the delta applies to a privately
+    ///   re-based successor that is published atomically in its place,
+    ///   counted in [`ServeStats::rebase_fallbacks`].
+    ///
+    /// `apply` returning `false` (replay refused — cannot happen for
+    /// deltas the authoritative engine just accepted, kept as a defensive
+    /// rail) drops the snapshot, falling back to PR 8's invalidation.
+    fn rebase(&self, st: &mut Authoritative, apply: impl FnOnce(&mut Snapshot) -> bool) {
+        let Some(arc) = st.snapshot.as_mut() else {
+            return;
+        };
+        if let Some(snap) = Arc::get_mut(arc) {
+            if apply(snap) {
+                self.rebases.fetch_add(1, Ordering::Relaxed);
+            } else {
+                st.snapshot = None;
+                self.rebase_fallbacks.fetch_add(1, Ordering::Relaxed);
+            }
+            return;
+        }
+        let mut next = Snapshot {
+            net: arc.net.fork(),
+            now: arc.now,
+        };
+        if apply(&mut next) {
+            st.snapshot = Some(Arc::new(next));
+        } else {
+            st.snapshot = None;
+        }
+        self.rebase_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// The shared snapshot for a batch of `queries` queries, forking the
     /// authoritative engine only if the cache was invalidated since the
     /// last batch.
     fn snapshot_for(&self, queries: u64) -> Arc<Snapshot> {
         let mut st = self.state();
         if let Some(snap) = &st.snapshot {
+            self.snapshot_batch_reuses.fetch_add(1, Ordering::Relaxed);
             self.snapshot_reuses.fetch_add(queries, Ordering::Relaxed);
             return Arc::clone(snap);
         }
@@ -374,10 +543,12 @@ impl WhatIfService {
 
     /// Superimposes the query's flows on `net` (already positioned at
     /// `now`) and settles until every speculative flow completes. `net`
-    /// is consumed: it is a throwaway fork or rebuild.
+    /// is a private fork or rebuild — it is left diverged, to be
+    /// overwritten by the next `fork_into` (arena path) or dropped
+    /// (rebuild path).
     fn answer_on(
         &self,
-        mut net: FluidNetwork<ModelHandle>,
+        net: &mut FluidNetwork<ModelHandle>,
         now: f64,
         worker: &mut SweepWorker<'_>,
         query: &WhatIfQuery,
@@ -434,6 +605,7 @@ mod tests {
             params: NetworkParams::new(2.0, 0.25),
             fabric: FabricConfig::gige(),
             threads: 2,
+            mode: EngineMode::Event,
         }
     }
 
@@ -561,7 +733,7 @@ mod tests {
     }
 
     #[test]
-    fn snapshots_are_reused_until_invalidated() {
+    fn snapshots_are_rebased_not_rebuilt() {
         let service = WhatIfService::new(tiny_config());
         service
             .admit(Communication::new(0u32, 1u32, 1_000), 0.0)
@@ -576,26 +748,110 @@ mod tests {
         let stats = service.stats();
         assert_eq!(stats.snapshot_builds, 1);
         assert_eq!(stats.snapshot_reuses, 11);
+        assert_eq!(stats.snapshot_batch_reuses, 1);
         assert_eq!(stats.queries, 12);
+        assert_eq!(stats.rebases, 0, "no churn yet, nothing to re-base");
 
-        // Admission invalidates; the next batch rebuilds exactly once.
+        // Admission re-bases the snapshot in place: the next batch still
+        // finds it warm, no new fork of the authoritative engine.
         service
             .admit(Communication::new(4u32, 5u32, 1_000), 2.0)
             .unwrap();
         service.what_if_batch(&queries);
         let stats = service.stats();
-        assert_eq!(stats.snapshot_builds, 2);
-        assert!(stats.snapshot_reuse_rate() > 0.8);
+        assert_eq!(stats.snapshot_builds, 1);
+        assert_eq!(stats.rebases, 1);
+        assert_eq!(stats.rebase_fallbacks, 0, "nothing aliased the snapshot");
 
-        // Any real clock movement invalidates too: query offsets are
-        // relative to `now`, so a stale snapshot would shift them.
+        // Clock movement re-bases too (offsets are relative to `now`).
         service.advance_to(2.5).unwrap();
         service.what_if_batch(&queries);
-        assert_eq!(service.stats().snapshot_builds, 3);
-        // A no-op advance (t == now) keeps the snapshot warm.
+        let stats = service.stats();
+        assert_eq!(stats.snapshot_builds, 1);
+        assert_eq!(stats.rebases, 2);
+        // A no-op advance (t == now) touches nothing.
         service.advance_to(2.5).unwrap();
         service.what_if_batch(&queries);
-        assert_eq!(service.stats().snapshot_builds, 3);
+        let stats = service.stats();
+        assert_eq!(stats.snapshot_builds, 1);
+        assert_eq!(stats.rebases, 2);
+        // Per-query reuse now counts every query after the very first
+        // build; per-batch reuse counts every batch after the first.
+        assert_eq!(stats.per_query_snapshot_reuse_rate(), 29.0 / 30.0);
+        assert_eq!(stats.per_batch_snapshot_reuse_rate(), 4.0 / 5.0);
+        // Steady-state forks recycle each worker's arena: only the first
+        // query of each of the (at most) 2 workers built an engine.
+        assert!(stats.fork_reuses >= stats.queries - 2);
+    }
+
+    #[test]
+    fn rebased_snapshot_answers_like_a_fresh_fork() {
+        // Drive churn through the re-base path on one service and compare
+        // against a twin that replays the same history with its snapshot
+        // cache never populated before the query — the rebased snapshot
+        // must be observationally identical to a fresh fork.
+        let run = |prewarm: bool| {
+            let service = WhatIfService::new(tiny_config());
+            for i in 0..10u64 {
+                let comm = Communication::new((i % 3) as u32, (3 + i % 4) as u32, 700 + 31 * i);
+                service.admit(comm, i as f64 * 0.3).unwrap();
+                if prewarm && i == 0 {
+                    // Populate the snapshot cache so every later admission
+                    // and advance re-bases it.
+                    service
+                        .what_if(&WhatIfQuery::flow(Communication::new(8u32, 9u32, 100), 0.0))
+                        .unwrap();
+                }
+                if i % 2 == 1 {
+                    service.advance_to(i as f64 * 0.3 + 0.05).unwrap();
+                }
+            }
+            service.advance_to(3.2).unwrap();
+            let answer = service
+                .what_if(&WhatIfQuery::flow(Communication::new(1u32, 3u32, 512), 0.1))
+                .unwrap();
+            (answer, service.stats())
+        };
+        let (rebased, warm_stats) = run(true);
+        let (fresh, cold_stats) = run(false);
+        assert!(warm_stats.rebases > 0, "prewarmed run must re-base");
+        assert_eq!(cold_stats.rebases, 0, "cold run must fork fresh");
+        assert_eq!(
+            rebased.flows[0].completion.to_bits(),
+            fresh.flows[0].completion.to_bits()
+        );
+        assert_eq!(
+            rebased.flows[0].slowdown.to_bits(),
+            fresh.flows[0].slowdown.to_bits()
+        );
+    }
+
+    #[test]
+    fn rebuild_ablation_takes_no_shortcuts() {
+        let service = WhatIfService::new(tiny_config());
+        for i in 0..8u64 {
+            service
+                .admit(
+                    Communication::new((i % 4) as u32, (4 + i % 2) as u32, 400 + 10 * i),
+                    i as f64 * 0.2,
+                )
+                .unwrap();
+        }
+        service.advance_to(2.0).unwrap();
+        let queries: Vec<WhatIfQuery> = (0..5)
+            .map(|i| WhatIfQuery::flow(Communication::new(6u32, 7u32, 300 + i), 0.0))
+            .collect();
+        service.what_if_batch_via_rebuild(&queries);
+        service.what_if_batch_via_rebuild(&queries);
+        let stats = service.stats();
+        // An honest ablation: no snapshot, no re-base, no arena recycling
+        // — every query paid the full rebuild-and-replay.
+        assert_eq!(stats.snapshot_builds, 0);
+        assert_eq!(stats.snapshot_reuses, 0);
+        assert_eq!(stats.rebases, 0);
+        assert_eq!(stats.rebase_fallbacks, 0);
+        assert_eq!(stats.fork_reuses, 0);
+        assert_eq!(stats.queries, 0, "ablation queries bypass the fork path");
     }
 
     #[test]
